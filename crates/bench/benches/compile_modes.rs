@@ -1,0 +1,34 @@
+//! Criterion bench: Table I — executing Gemma-2B under each torch.compile
+//! mode (prints the compile-time model's Table I values once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{compile_time, CompileMode, Engine, ExecMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::new(Platform::intel_h100());
+    let wl = Workload::new(zoo::gemma_2b(), Phase::Prefill, 1, 1024);
+    let graph = wl.graph();
+    for cm in CompileMode::all() {
+        println!(
+            "{}: compile_time={:.3}s",
+            cm.label(),
+            compile_time(&graph, cm).as_secs_f64()
+        );
+    }
+    let mut g = c.benchmark_group("table1_compile_modes");
+    g.bench_function("eager", |b| {
+        b.iter(|| black_box(engine.run(&wl, ExecMode::Eager)))
+    });
+    for cm in CompileMode::all() {
+        g.bench_function(cm.label(), |b| {
+            b.iter(|| black_box(engine.run(&wl, ExecMode::TorchCompile(cm))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

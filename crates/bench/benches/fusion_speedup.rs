@@ -1,0 +1,29 @@
+//! Criterion bench: Fig. 7/8 — proximity-score chain analysis across chain
+//! lengths on a GPT2 eager trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skip_fusion::{FusionAnalysis, KernelSequences};
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = Engine::new(Platform::intel_h100()).run(
+        &Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512),
+        ExecMode::Eager,
+    );
+    let seqs = KernelSequences::from_trace(&trace);
+    let mut g = c.benchmark_group("fig8_fusion_analysis");
+    for l in [2usize, 16, 64, 256] {
+        let a = FusionAnalysis::of_sequences(&seqs, l);
+        println!("L={l}: ideal_speedup={:.2}", a.ideal_speedup());
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| black_box(FusionAnalysis::of_sequences(black_box(&seqs), l)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

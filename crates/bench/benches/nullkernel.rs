@@ -1,0 +1,25 @@
+//! Criterion bench: the Table V nullKernel microbenchmark across the three
+//! evaluation platforms (also prints the derived Table V values once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skip_hw::Platform;
+use skip_runtime::nullkernel_microbench;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_nullkernel");
+    for p in Platform::paper_trio() {
+        let s = nullkernel_microbench(&p, 10_000);
+        println!(
+            "{}: launch_overhead={:.1}ns duration={:.1}ns",
+            p.name, s.launch_overhead_ns, s.duration_ns
+        );
+        g.bench_function(&p.name, |b| {
+            b.iter(|| black_box(nullkernel_microbench(black_box(&p), 1_000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: Figs. 6/10/11 — full prefill simulation for the
+//! Table III workloads on the three platforms (prints batch-1 TTFT once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skip_core::ProfileReport;
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_11_prefill");
+    for model in zoo::table_iii() {
+        for platform in Platform::paper_trio() {
+            let engine = Engine::new(platform.clone());
+            let wl = Workload::new(model.clone(), Phase::Prefill, 1, 512);
+            let r = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
+            println!(
+                "{} on {}: TTFT={:.2}ms TKLQT={:.3}ms",
+                model.name,
+                platform.name,
+                r.inference_latency.as_millis_f64(),
+                r.tklqt.as_millis_f64()
+            );
+            g.bench_function(format!("{}/{}", model.name, platform.name), |b| {
+                b.iter(|| black_box(engine.run(black_box(&wl), ExecMode::Eager)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: the SKIP profiler itself — dependency-graph
+//! construction and metric evaluation on a realistic trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skip_core::{top_kernels, DependencyGraph, ProfileReport};
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let trace = Engine::new(Platform::gh200()).run(
+        &Workload::new(zoo::llama32_1b(), Phase::Prefill, 8, 512),
+        ExecMode::Eager,
+    );
+    let mut g = c.benchmark_group("skip_profiler");
+    g.bench_function("dependency_graph", |b| {
+        b.iter(|| black_box(DependencyGraph::build(black_box(&trace))))
+    });
+    g.bench_function("full_report", |b| {
+        b.iter(|| black_box(ProfileReport::analyze(black_box(&trace))))
+    });
+    g.bench_function("top_kernels", |b| {
+        b.iter(|| black_box(top_kernels(black_box(&trace), 10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

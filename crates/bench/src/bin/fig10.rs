@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig10 (see `skip_bench::experiments::fig10`).
+fn main() {
+    let results = skip_bench::experiments::fig10::run();
+    println!("{}", skip_bench::experiments::fig10::render(&results));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 (see `skip_bench::experiments::fig11`).
+fn main() {
+    let results = skip_bench::experiments::fig11::run();
+    println!("{}", skip_bench::experiments::fig11::render(&results));
+}

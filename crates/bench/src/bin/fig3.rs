@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 (see `skip_bench::experiments::fig3`).
+fn main() {
+    let results = skip_bench::experiments::fig3::run();
+    println!("{}", skip_bench::experiments::fig3::render(&results));
+}

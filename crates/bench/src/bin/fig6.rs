@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6 (see `skip_bench::experiments::fig6`).
+fn main() {
+    let results = skip_bench::experiments::fig6::run();
+    println!("{}", skip_bench::experiments::fig6::render(&results));
+}

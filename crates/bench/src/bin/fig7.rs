@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 (see `skip_bench::experiments::fig7`).
+fn main() {
+    let results = skip_bench::experiments::fig7::run();
+    println!("{}", skip_bench::experiments::fig7::render(&results));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 (see `skip_bench::experiments::fig8`).
+fn main() {
+    let results = skip_bench::experiments::fig8::run();
+    println!("{}", skip_bench::experiments::fig8::render(&results));
+}

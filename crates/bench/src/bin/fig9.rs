@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 9 (see `skip_bench::experiments::fig9`).
+fn main() {
+    let results = skip_bench::experiments::fig9::run();
+    println!("{}", skip_bench::experiments::fig9::render(&results));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 (see `skip_bench::experiments::table1`).
+fn main() {
+    let results = skip_bench::experiments::table1::run();
+    println!("{}", skip_bench::experiments::table1::render(&results));
+}

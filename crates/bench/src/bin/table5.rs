@@ -1,0 +1,5 @@
+//! Regenerates the paper's table5 (see `skip_bench::experiments::table5`).
+fn main() {
+    let results = skip_bench::experiments::table5::run();
+    println!("{}", skip_bench::experiments::table5::render(&results));
+}

@@ -1,0 +1,183 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! The paper's figures are log-x (batch size) latency/TKLQT curves with
+//! one series per platform. [`AsciiChart`] renders exactly that shape in
+//! plain text so `cargo run --bin fig6` & co. show the *curves*, not just
+//! the numbers.
+
+use std::fmt::Write as _;
+
+/// A multi-series scatter/line chart rendered with unicode-free ASCII.
+///
+/// X values are plotted on a log₂ axis (batch sizes), Y on either a linear
+/// or log₁₀ axis. Each series gets a single marker character.
+///
+/// # Example
+///
+/// ```
+/// use skip_bench::AsciiChart;
+///
+/// let mut c = AsciiChart::new(40, 10, true);
+/// c.series('a', &[(1.0, 10.0), (2.0, 12.0), (4.0, 30.0), (8.0, 100.0)]);
+/// let s = c.render();
+/// assert!(s.contains('a'));
+/// assert!(s.lines().count() >= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+}
+
+impl AsciiChart {
+    /// Creates a chart of the given plot-area size. `log_y` selects a
+    /// log₁₀ Y axis (use for TKLQT's orders-of-magnitude ramps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is below 2.
+    #[must_use]
+    pub fn new(width: usize, height: usize, log_y: bool) -> Self {
+        assert!(width >= 2 && height >= 2, "chart must be at least 2x2");
+        AsciiChart {
+            width,
+            height,
+            log_y,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series plotted with `marker`. Non-positive values are
+    /// dropped on log axes.
+    pub fn series(&mut self, marker: char, points: &[(f64, f64)]) {
+        self.series.push((marker, points.to_vec()));
+    }
+
+    /// Renders the chart with Y-axis labels and an X-axis legend line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|p| p.0))
+            .filter(|v| *v > 0.0)
+            .collect();
+        let ys: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().map(|p| p.1))
+            .filter(|v| !self.log_y || *v > 0.0)
+            .collect();
+        if xs.is_empty() || ys.is_empty() {
+            return String::from("(no data)\n");
+        }
+        let fx = |v: f64| v.log2();
+        let fy = |v: f64| if self.log_y { v.log10() } else { v };
+        let (x_min, x_max) = min_max(&xs.iter().map(|&v| fx(v)).collect::<Vec<_>>());
+        let (y_min, y_max) = min_max(&ys.iter().map(|&v| fy(v)).collect::<Vec<_>>());
+        let x_span = (x_max - x_min).max(1e-9);
+        let y_span = (y_max - y_min).max(1e-9);
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (marker, pts) in &self.series {
+            for &(x, y) in pts {
+                if x <= 0.0 || (self.log_y && y <= 0.0) {
+                    continue;
+                }
+                let cx = ((fx(x) - x_min) / x_span * (self.width - 1) as f64).round() as usize;
+                let cy = ((fy(y) - y_min) / y_span * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy;
+                grid[row][cx.min(self.width - 1)] = *marker;
+            }
+        }
+
+        let label = |v: f64| -> String {
+            let raw = if self.log_y { 10f64.powf(v) } else { v };
+            if raw >= 100.0 {
+                format!("{raw:>9.0}")
+            } else {
+                format!("{raw:>9.2}")
+            }
+        };
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let frac = 1.0 - i as f64 / (self.height - 1) as f64;
+            let yv = y_min + frac * y_span;
+            let tick = i == 0 || i == self.height - 1 || i == self.height / 2;
+            let _ = writeln!(
+                out,
+                "{} |{}",
+                if tick { label(yv) } else { " ".repeat(9) },
+                row.iter().collect::<String>()
+            );
+        }
+        let _ = writeln!(out, "{}+{}", " ".repeat(9), "-".repeat(self.width));
+        let _ = writeln!(
+            out,
+            "{} {:<10.0}{:>w$.0}  (log2 x)",
+            " ".repeat(9),
+            2f64.powf(x_min),
+            2f64.powf(x_max),
+            w = self.width - 10
+        );
+        out
+    }
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_markers() {
+        let mut c = AsciiChart::new(30, 8, false);
+        c.series('i', &[(1.0, 1.0), (128.0, 100.0)]);
+        c.series('g', &[(1.0, 3.0), (128.0, 50.0)]);
+        let s = c.render();
+        assert!(s.contains('i'));
+        assert!(s.contains('g'));
+    }
+
+    #[test]
+    fn log_y_handles_wide_ranges() {
+        let mut c = AsciiChart::new(30, 8, true);
+        c.series('x', &[(1.0, 0.5), (64.0, 50_000.0)]);
+        let s = c.render();
+        assert!(s.contains('x'));
+        // Extremes land on the top and bottom rows.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains('x') || lines[1].contains('x'));
+    }
+
+    #[test]
+    fn empty_chart_degrades_gracefully() {
+        let c = AsciiChart::new(10, 4, true);
+        assert_eq!(c.render(), "(no data)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_chart_rejected() {
+        let _ = AsciiChart::new(1, 1, false);
+    }
+
+    #[test]
+    fn non_positive_points_skipped_on_log_axis() {
+        let mut c = AsciiChart::new(10, 4, true);
+        c.series('z', &[(1.0, 0.0), (2.0, 5.0)]);
+        let s = c.render();
+        assert!(s.contains('z'));
+    }
+}

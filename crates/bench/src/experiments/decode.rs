@@ -1,0 +1,143 @@
+//! **Extension (paper §II-A / §VI)** — decode-phase characterization.
+//!
+//! The paper's figures measure the prefill phase (TTFT); §II-A notes that
+//! the decode phase pressures the memory subsystem instead, and §VI plans
+//! broader phase coverage. This experiment sweeps time-per-output-token
+//! (TPOT) across batch sizes for the decoder workloads on the three
+//! platforms — showing that the paper's low-batch story carries over:
+//! decode steps are almost pure launch tax at small batch, so the Grace
+//! CPU makes the GH200 the slowest *decoder* too, until the KV-cache
+//! bandwidth advantage takes over at scale.
+
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig};
+use skip_runtime::{Engine, ExecMode};
+
+use crate::TextTable;
+
+/// Batch sizes swept for decoding.
+pub const DECODE_BATCHES: [u32; 6] = [1, 4, 16, 64, 128, 256];
+
+/// Prompt length preceding the decode steps.
+pub const PROMPT_LEN: u32 = 512;
+
+/// Decode steps simulated per measurement.
+pub const STEPS: u32 = 8;
+
+/// One (model, platform, batch) decode measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeRow {
+    /// Model name.
+    pub model: String,
+    /// Platform name.
+    pub platform: String,
+    /// Batch size.
+    pub batch: u32,
+    /// Mean time per output token, milliseconds.
+    pub tpot_ms: f64,
+    /// Generation throughput, tokens/second across the batch.
+    pub tokens_per_s: f64,
+}
+
+fn sweep(model: &ModelConfig) -> Vec<DecodeRow> {
+    let mut out = Vec::new();
+    for platform in Platform::paper_trio() {
+        let engine = Engine::new(platform.clone());
+        for &bs in &DECODE_BATCHES {
+            let r = engine.generate(model, bs, PROMPT_LEN, STEPS, ExecMode::Eager);
+            let tpot_ms = r.tpot().as_millis_f64();
+            out.push(DecodeRow {
+                model: model.name.clone(),
+                platform: platform.name.clone(),
+                batch: bs,
+                tpot_ms,
+                tokens_per_s: f64::from(bs) / (tpot_ms / 1e3),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the decode sweep for both decoder workloads.
+#[must_use]
+pub fn run() -> Vec<DecodeRow> {
+    let mut out = sweep(&zoo::gpt2());
+    out.extend(sweep(&zoo::llama32_1b()));
+    out
+}
+
+/// Renders the TPOT panels.
+#[must_use]
+pub fn render(rows: &[DecodeRow]) -> String {
+    let mut out = String::from(
+        "Decode extension: TPOT (ms) and throughput, prompt=512, 8 decode steps\n",
+    );
+    for model in ["gpt2", "llama-3.2-1b"] {
+        out.push_str(&format!("\n{model}\n"));
+        let mut t = TextTable::new(vec![
+            "batch",
+            "amd_tpot",
+            "intel_tpot",
+            "gh200_tpot",
+            "gh200_tok/s",
+        ]);
+        for &bs in &DECODE_BATCHES {
+            let get = |p: &str| {
+                rows.iter()
+                    .find(|r| r.model == model && r.platform == p && r.batch == bs)
+                    .expect("row exists")
+            };
+            t.row(vec![
+                bs.to_string(),
+                format!("{:.3}", get("amd_a100").tpot_ms),
+                format!("{:.3}", get("intel_h100").tpot_ms),
+                format!("{:.3}", get("gh200").tpot_ms),
+                format!("{:.0}", get("gh200").tokens_per_s),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(rows: &'a [DecodeRow], m: &str, p: &str, b: u32) -> &'a DecodeRow {
+        rows.iter()
+            .find(|r| r.model == m && r.platform == p && r.batch == b)
+            .expect("row")
+    }
+
+    #[test]
+    fn low_batch_decode_is_cpu_ranked() {
+        // Batch-1 TPOT ordering mirrors single-thread CPU performance.
+        let rows = run();
+        for model in ["gpt2", "llama-3.2-1b"] {
+            let intel = get(&rows, model, "intel_h100", 1).tpot_ms;
+            let amd = get(&rows, model, "amd_a100", 1).tpot_ms;
+            let gh = get(&rows, model, "gh200", 1).tpot_ms;
+            assert!(intel < amd && amd < gh, "{model}: {intel} {amd} {gh}");
+        }
+    }
+
+    #[test]
+    fn high_batch_decode_favors_gh200_bandwidth() {
+        // Decode is memory-bound at scale: the GH200's HBM3 wins big.
+        let rows = run();
+        let gh = get(&rows, "llama-3.2-1b", "gh200", 256).tpot_ms;
+        let intel = get(&rows, "llama-3.2-1b", "intel_h100", 256).tpot_ms;
+        assert!(gh < intel, "gh {gh} vs intel {intel}");
+    }
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        let rows = run();
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            let t1 = get(&rows, "llama-3.2-1b", p, 1).tokens_per_s;
+            let t256 = get(&rows, "llama-3.2-1b", p, 256).tokens_per_s;
+            assert!(t256 > 10.0 * t1, "{p}: {t1} -> {t256}");
+        }
+    }
+}

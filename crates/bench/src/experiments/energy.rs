@@ -1,0 +1,155 @@
+//! **Extension** — energy per request across coupling paradigms.
+//!
+//! The paper's introduction frames inference cost in datacenter terms and
+//! its Table IV lists each platform's power envelope; this experiment
+//! closes the loop by integrating the SKIP busy/idle decomposition against
+//! a two-state power model. The result sharpens the batch-size story:
+//! at batch 1 the GH200 burns *more* energy per request than the LC
+//! systems (longer latency × bigger module), while at large batch its
+//! faster completion makes it the most energy-efficient platform — so the
+//! latency crossover (Fig. 10) is also an energy crossover.
+
+use skip_core::ProfileReport;
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+
+use crate::{TextTable, BATCH_SWEEP, SEQ_LEN};
+
+/// One energy measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyRow {
+    /// Model name.
+    pub model: String,
+    /// Platform name.
+    pub platform: String,
+    /// Batch size.
+    pub batch: u32,
+    /// Energy per forward pass, joules.
+    pub energy_j: f64,
+    /// Energy per sequence, joules.
+    pub energy_per_seq_j: f64,
+}
+
+fn energy_of(platform: &Platform, report: &ProfileReport) -> f64 {
+    let gpu_busy = report.total_kernel_time;
+    let gpu_idle = report.gpu_idle;
+    let cpu_idle = report.cpu_idle;
+    let cpu_busy = report.inference_latency.saturating_sub(cpu_idle);
+    platform
+        .power()
+        .energy_joules(gpu_busy, gpu_idle, cpu_busy, cpu_idle)
+}
+
+fn sweep(model: &ModelConfig) -> Vec<EnergyRow> {
+    let mut out = Vec::new();
+    for platform in Platform::paper_trio() {
+        let engine = Engine::new(platform.clone());
+        for &bs in &BATCH_SWEEP {
+            let wl = Workload::new(model.clone(), Phase::Prefill, bs, SEQ_LEN);
+            let r = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
+            let e = energy_of(&platform, &r);
+            out.push(EnergyRow {
+                model: model.name.clone(),
+                platform: platform.name.clone(),
+                batch: bs,
+                energy_j: e,
+                energy_per_seq_j: e / f64::from(bs),
+            });
+        }
+    }
+    out
+}
+
+/// Runs the energy sweep for one encoder and one decoder.
+#[must_use]
+pub fn run() -> Vec<EnergyRow> {
+    let mut out = sweep(&zoo::bert_base_uncased());
+    out.extend(sweep(&zoo::llama32_1b()));
+    out
+}
+
+/// Renders the energy panels.
+#[must_use]
+pub fn render(rows: &[EnergyRow]) -> String {
+    let mut out = String::from("Energy extension: joules per sequence, prefill seq=512\n");
+    for model in ["bert-base-uncased", "llama-3.2-1b"] {
+        out.push_str(&format!("\n{model}\n"));
+        let mut t = TextTable::new(vec!["batch", "amd_a100", "intel_h100", "gh200"]);
+        for &bs in &BATCH_SWEEP {
+            let get = |p: &str| {
+                rows.iter()
+                    .find(|r| r.model == model && r.platform == p && r.batch == bs)
+                    .expect("row")
+                    .energy_per_seq_j
+            };
+            t.row(vec![
+                bs.to_string(),
+                format!("{:.3}", get("amd_a100")),
+                format!("{:.3}", get("intel_h100")),
+                format!("{:.3}", get("gh200")),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+/// Convenience: the energy of one workload on one platform.
+#[must_use]
+pub fn energy_per_request(
+    platform: &Platform,
+    model: &ModelConfig,
+    batch: u32,
+) -> (SimDuration, f64) {
+    let wl = Workload::new(model.clone(), Phase::Prefill, batch, SEQ_LEN);
+    let r = ProfileReport::analyze(&Engine::new(platform.clone()).run(&wl, ExecMode::Eager));
+    (r.inference_latency, energy_of(platform, &r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(rows: &'a [EnergyRow], m: &str, p: &str, b: u32) -> &'a EnergyRow {
+        rows.iter()
+            .find(|r| r.model == m && r.platform == p && r.batch == b)
+            .expect("row")
+    }
+
+    #[test]
+    fn energy_crossover_mirrors_latency_crossover() {
+        let rows = run();
+        // BERT batch 1: GH200 pays for Grace-stretched latency under a
+        // 900 W module.
+        let lo_gh = get(&rows, "bert-base-uncased", "gh200", 1).energy_per_seq_j;
+        let lo_intel = get(&rows, "bert-base-uncased", "intel_h100", 1).energy_per_seq_j;
+        assert!(lo_gh > lo_intel, "{lo_gh} !> {lo_intel}");
+        // BERT batch 128: finishing 1.8x sooner beats the bigger envelope.
+        let hi_gh = get(&rows, "bert-base-uncased", "gh200", 128).energy_per_seq_j;
+        let hi_intel = get(&rows, "bert-base-uncased", "intel_h100", 128).energy_per_seq_j;
+        assert!(hi_gh < hi_intel, "{hi_gh} !< {hi_intel}");
+    }
+
+    #[test]
+    fn energy_per_sequence_decreases_with_batch() {
+        let rows = run();
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            let e1 = get(&rows, "llama-3.2-1b", p, 1).energy_per_seq_j;
+            let e128 = get(&rows, "llama-3.2-1b", p, 128).energy_per_seq_j;
+            assert!(e128 < e1, "{p}: {e128} !< {e1}");
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded_by_peak_power() {
+        let rows = run();
+        for r in &rows {
+            assert!(r.energy_j > 0.0);
+        }
+        // Energy never exceeds peak power × latency.
+        let (lat, e) = energy_per_request(&Platform::gh200(), &zoo::llama32_1b(), 8);
+        assert!(e <= Platform::gh200().power().peak_w() * lat.as_secs_f64() * 1.0001);
+    }
+}

@@ -1,0 +1,95 @@
+//! **Fig. 11a–c** — prefill inference latency (TTFT), GPU idle time and
+//! CPU idle time for the decoder models (GPT2, Llama-3.2-1B) across batch
+//! sizes on the three platforms.
+//!
+//! Paper headline (§V-D): Llama-3.2-1B reaches 1.9×/2.7× GH200 speedup
+//! over Intel/AMD at batch 16; GPT2's crossover comes earlier than the
+//! encoders'.
+
+use skip_llm::zoo;
+
+use super::fig10::{render_sweep, sweep_model, SweepRow};
+
+/// Runs the Fig. 11 experiment (both decoder models).
+#[must_use]
+pub fn run() -> Vec<SweepRow> {
+    let mut out = sweep_model(&zoo::gpt2());
+    out.extend(sweep_model(&zoo::llama32_1b()));
+    out
+}
+
+/// Renders the paper-style panels.
+#[must_use]
+pub fn render(rows: &[SweepRow]) -> String {
+    render_sweep(
+        "Fig. 11: decoder prefill latency / GPU idle / CPU idle (seq=512)",
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fig10::find;
+    use super::*;
+
+    #[test]
+    fn llama_batch16_speedups_match_paper() {
+        // Paper: 1.9x / 2.7x over Intel+H100 / AMD+A100 at batch 16. Our
+        // simulator lands slightly lower on the Intel side (documented in
+        // EXPERIMENTS.md); we require the band that preserves the claim
+        // "GH200 wins clearly, and by more over the A100 system".
+        let rows = sweep_model(&zoo::llama32_1b());
+        let gh = find(&rows, "llama-3.2-1b", "gh200", 16).ttft_ms;
+        let intel = find(&rows, "llama-3.2-1b", "intel_h100", 16).ttft_ms;
+        let amd = find(&rows, "llama-3.2-1b", "amd_a100", 16).ttft_ms;
+        let vs_intel = intel / gh;
+        let vs_amd = amd / gh;
+        assert!((1.4..2.2).contains(&vs_intel), "vs Intel: {vs_intel:.2}");
+        assert!((2.2..3.0).contains(&vs_amd), "vs AMD: {vs_amd:.2}");
+        assert!(vs_amd > vs_intel);
+    }
+
+    #[test]
+    fn decoder_crossovers_precede_encoder_crossovers() {
+        // GPT2's LM-head GEMM adds GPU work, pulling its crossover earlier
+        // than the encoders' (paper: CP=4 for GPT2 vs CP=16 encoders; our
+        // simulator: ≤16 vs >16).
+        let gpt2 = sweep_model(&zoo::gpt2());
+        let bert = sweep_model(&zoo::bert_base_uncased());
+        let cp = |rows: &[SweepRow], model: &str| {
+            crate::BATCH_SWEEP
+                .iter()
+                .find(|&&b| {
+                    find(rows, model, "gh200", b).ttft_ms
+                        < find(rows, model, "intel_h100", b).ttft_ms
+                })
+                .copied()
+        };
+        let cp_gpt2 = cp(&gpt2, "gpt2").expect("gpt2 crossover exists");
+        let cp_bert = cp(&bert, "bert-base-uncased").expect("bert crossover exists");
+        assert!(cp_gpt2 <= cp_bert, "gpt2 CP {cp_gpt2} vs bert CP {cp_bert}");
+    }
+
+    #[test]
+    fn llama_is_gpu_bound_by_batch_16_everywhere() {
+        let rows = sweep_model(&zoo::llama32_1b());
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            let r = find(&rows, "llama-3.2-1b", p, 16);
+            assert!(
+                r.cpu_idle_ms > r.gpu_idle_ms,
+                "{p}: llama not GPU-bound at 16"
+            );
+        }
+    }
+
+    #[test]
+    fn ttft_scales_linearly_deep_in_gpu_bound_region() {
+        let rows = sweep_model(&zoo::llama32_1b());
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            let a = find(&rows, "llama-3.2-1b", p, 64).ttft_ms;
+            let b = find(&rows, "llama-3.2-1b", p, 128).ttft_ms;
+            let ratio = b / a;
+            assert!((1.8..2.2).contains(&ratio), "{p}: {ratio:.2}");
+        }
+    }
+}

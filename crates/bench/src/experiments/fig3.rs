@@ -1,0 +1,100 @@
+//! **Fig. 3** — TTFT speedups of FlashAttention-2 and `torch.compile`
+//! max-autotune over eager execution for popular 7B decoder models, batch
+//! 1, sequence 1024, on the Intel+H100 platform.
+
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{CompileMode, ExecMode};
+
+use crate::{ttft_ms, TextTable};
+
+/// One Fig. 3 model group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpeedups {
+    /// Model name.
+    pub model: String,
+    /// Eager TTFT, ms (the 1.0× baseline).
+    pub eager_ttft_ms: f64,
+    /// FlashAttention-2 speedup over eager.
+    pub flash_attention_2: f64,
+    /// torch.compile max-autotune speedup over eager.
+    pub max_autotune: f64,
+}
+
+/// Runs the Fig. 3 experiment.
+#[must_use]
+pub fn run() -> Vec<ModelSpeedups> {
+    let platform = Platform::intel_h100();
+    zoo::seven_b_models()
+        .into_iter()
+        .map(|m| {
+            let wl = Workload::new(m.clone(), Phase::Prefill, 1, 1024);
+            let eager = ttft_ms(&platform, &wl, ExecMode::Eager);
+            let fa2 = ttft_ms(&platform, &wl, ExecMode::FlashAttention2);
+            let ma = ttft_ms(
+                &platform,
+                &wl,
+                ExecMode::TorchCompile(CompileMode::MaxAutotune),
+            );
+            ModelSpeedups {
+                model: m.name,
+                eager_ttft_ms: eager,
+                flash_attention_2: eager / fa2,
+                max_autotune: eager / ma,
+            }
+        })
+        .collect()
+}
+
+/// Renders the paper-style series.
+#[must_use]
+pub fn render(rows: &[ModelSpeedups]) -> String {
+    let mut t = TextTable::new(vec!["model", "eager_ttft_ms", "fa2_speedup", "max_autotune"]);
+    for r in rows {
+        t.row(vec![
+            r.model.clone(),
+            format!("{:.2}", r.eager_ttft_ms),
+            format!("{:.3}", r.flash_attention_2),
+            format!("{:.3}", r.max_autotune),
+        ]);
+    }
+    format!(
+        "Fig. 3: TTFT speedups over eager, 7B decoders, BS=1, seq=1024, Intel+H100\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_speeds_up_under_both_fusions() {
+        for r in run() {
+            assert!(
+                r.flash_attention_2 > 1.0,
+                "{}: FA2 {} ≤ 1",
+                r.model,
+                r.flash_attention_2
+            );
+            assert!(
+                r.max_autotune > 1.0,
+                "{}: max-autotune {} ≤ 1",
+                r.model,
+                r.max_autotune
+            );
+            // Fig. 3 speedups are modest (fractions of 2×), not orders of
+            // magnitude: these are GPU-bound workloads.
+            assert!(r.flash_attention_2 < 2.5, "{}", r.model);
+            assert!(r.max_autotune < 2.5, "{}", r.model);
+        }
+    }
+
+    #[test]
+    fn covers_the_four_paper_models() {
+        let names: Vec<String> = run().into_iter().map(|r| r.model).collect();
+        for expect in ["llama-2-7b", "mistral-7b", "qwen-7b", "gemma-7b"] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! **Fig. 6** — TKLQT versus batch size for the encoder models
+//! (Bert-Base-Uncased, XLM-Roberta-Base) on the three platforms, with the
+//! star markers locating the CPU-bound → GPU-bound transition.
+//!
+//! The paper's headline: the transition sits around batch 8 on the LC
+//! systems but is delayed to around batch 32 on the GH200 — a 4× wider
+//! CPU-bound region, courtesy of the GH200's doubled HBM bandwidth.
+
+use skip_core::{classify_sweep, SweepPoint};
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_runtime::ExecMode;
+
+use crate::{profile, AsciiChart, TextTable, BATCH_SWEEP, SEQ_LEN};
+
+/// One (model, platform) TKLQT sweep with its classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TklqtSweep {
+    /// Model name.
+    pub model: String,
+    /// Platform name.
+    pub platform: String,
+    /// `(batch, tklqt_ms)` series.
+    pub points: Vec<(u32, f64)>,
+    /// The star marker: first GPU-bound batch size.
+    pub transition_batch: Option<u32>,
+}
+
+fn sweep(model: &ModelConfig, platform: &Platform) -> TklqtSweep {
+    let mut points = Vec::new();
+    let mut sweep_points = Vec::new();
+    for &bs in &BATCH_SWEEP {
+        let wl = Workload::new(model.clone(), Phase::Prefill, bs, SEQ_LEN);
+        let report = profile(platform, &wl, ExecMode::Eager);
+        points.push((bs, report.tklqt.as_millis_f64()));
+        sweep_points.push(SweepPoint {
+            batch_size: bs,
+            tklqt: report.tklqt,
+        });
+    }
+    let class = classify_sweep(&sweep_points);
+    TklqtSweep {
+        model: model.name.clone(),
+        platform: platform.name.clone(),
+        points,
+        transition_batch: class.transition_batch,
+    }
+}
+
+/// Runs the Fig. 6 experiment: both encoders × three platforms.
+#[must_use]
+pub fn run() -> Vec<TklqtSweep> {
+    let mut out = Vec::new();
+    for model in [zoo::bert_base_uncased(), zoo::xlm_roberta_base()] {
+        for platform in Platform::paper_trio() {
+            out.push(sweep(&model, &platform));
+        }
+    }
+    out
+}
+
+/// Renders the paper-style series (one row per batch size, a `*` marking
+/// the transition) plus an ASCII rendition of the figure itself.
+#[must_use]
+pub fn render(sweeps: &[TklqtSweep]) -> String {
+    let mut out = String::from("Fig. 6: TKLQT vs batch size, encoder models (seq=512)\n");
+    for model in ["bert-base-uncased", "xlm-roberta-base"] {
+        out.push_str(&format!(
+            "\n{model} — TKLQT ms vs batch (a=amd_a100, i=intel_h100, g=gh200, log y)\n"
+        ));
+        let mut chart = AsciiChart::new(56, 12, true);
+        for (marker, platform) in [('a', "amd_a100"), ('i', "intel_h100"), ('g', "gh200")] {
+            if let Some(s) = sweeps
+                .iter()
+                .find(|s| s.model == model && s.platform == platform)
+            {
+                let pts: Vec<(f64, f64)> =
+                    s.points.iter().map(|&(b, v)| (f64::from(b), v)).collect();
+                chart.series(marker, &pts);
+            }
+        }
+        out.push_str(&chart.render());
+    }
+    for s in sweeps {
+        out.push_str(&format!(
+            "\n{} on {} (transition ≈ {})\n",
+            s.model,
+            s.platform,
+            s.transition_batch
+                .map_or("none".into(), |b| b.to_string())
+        ));
+        let mut t = TextTable::new(vec!["batch", "tklqt_ms", "region"]);
+        for &(bs, v) in &s.points {
+            let star = match s.transition_batch {
+                Some(tb) if bs == tb => "* GPU-bound from here",
+                Some(tb) if bs > tb => "GPU-bound",
+                _ => "CPU-bound",
+            };
+            t.row(vec![bs.to_string(), format!("{v:.3}"), star.into()]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gh200_is_four_times_more_cpu_bound() {
+        // The paper's headline claim for encoders: LC transition ≈ 8,
+        // GH200 ≈ 32.
+        let sweeps = run();
+        for model in ["bert-base-uncased", "xlm-roberta-base"] {
+            let get = |platform: &str| {
+                sweeps
+                    .iter()
+                    .find(|s| s.model == model && s.platform == platform)
+                    .and_then(|s| s.transition_batch)
+                    .unwrap_or_else(|| panic!("{model}/{platform} never transitions"))
+            };
+            let intel = get("intel_h100");
+            let amd = get("amd_a100");
+            let gh = get("gh200");
+            assert_eq!(intel, 8, "{model}: Intel+H100 star");
+            assert_eq!(amd, 8, "{model}: AMD+A100 star");
+            assert_eq!(gh, 32, "{model}: GH200 star");
+            assert_eq!(gh / intel, 4, "{model}: 4x wider CPU-bound region");
+        }
+    }
+
+    #[test]
+    fn tklqt_is_flat_then_ramps() {
+        for s in run() {
+            let first = s.points[0].1;
+            let last = s.points.last().unwrap().1;
+            // Plateau: batch 2 within 2x of batch 1; ramp: last ≫ first.
+            assert!(s.points[1].1 < first * 2.0 + 1e-9, "{}/{}", s.model, s.platform);
+            assert!(last > first * 100.0, "{}/{}", s.model, s.platform);
+        }
+    }
+}

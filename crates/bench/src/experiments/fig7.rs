@@ -1,0 +1,155 @@
+//! **Fig. 7a–d** — scalable kernel-fusion recommendation metrics from SKIP
+//! during prefill on Intel+H100, for the two CPU-bound models GPT2 and
+//! XLM-Roberta-Base:
+//!
+//! * (a) unique fusion chains per (batch, chain length),
+//! * (b) total instances of those chains,
+//! * (c) kernels fused at proximity score 1,
+//! * (d) eager launch count `K_eager` per batch.
+
+use skip_fusion::{FusionAnalysis, KernelSequences};
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+
+use crate::{TextTable, CHAIN_LENGTHS, SEQ_LEN};
+
+/// Batch sizes shown in the Fig. 7 heatmaps.
+pub const FIG7_BATCHES: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// One heatmap cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatmapCell {
+    /// Batch size (heatmap row).
+    pub batch: u32,
+    /// Chain length (heatmap column).
+    pub chain_len: usize,
+    /// Fig. 7a value.
+    pub unique_chains: usize,
+    /// Fig. 7b value.
+    pub total_instances: usize,
+    /// Fig. 7c value.
+    pub kernels_fused_ps1: usize,
+}
+
+/// One model's Fig. 7 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelHeatmaps {
+    /// Model name.
+    pub model: String,
+    /// All heatmap cells, batch-major.
+    pub cells: Vec<HeatmapCell>,
+    /// Fig. 7d: `(batch, K_eager)`.
+    pub k_eager: Vec<(u32, usize)>,
+}
+
+fn analyze(model: &ModelConfig) -> ModelHeatmaps {
+    let engine = Engine::new(Platform::intel_h100());
+    let mut cells = Vec::new();
+    let mut k_eager = Vec::new();
+    for &bs in &FIG7_BATCHES {
+        let wl = Workload::new(model.clone(), Phase::Prefill, bs, SEQ_LEN);
+        let trace = engine.run(&wl, ExecMode::Eager);
+        let seqs = KernelSequences::from_trace(&trace);
+        k_eager.push((bs, seqs.total_kernels()));
+        for &l in &CHAIN_LENGTHS {
+            let a = FusionAnalysis::of_sequences(&seqs, l);
+            cells.push(HeatmapCell {
+                batch: bs,
+                chain_len: l,
+                unique_chains: a.unique_chains,
+                total_instances: a.total_instances,
+                kernels_fused_ps1: a.kernels_fused,
+            });
+        }
+    }
+    ModelHeatmaps {
+        model: model.name.clone(),
+        cells,
+        k_eager,
+    }
+}
+
+/// Runs the Fig. 7 experiment for GPT2 and XLM-Roberta-Base.
+#[must_use]
+pub fn run() -> Vec<ModelHeatmaps> {
+    vec![analyze(&zoo::gpt2()), analyze(&zoo::xlm_roberta_base())]
+}
+
+/// Renders all four panels.
+#[must_use]
+pub fn render(models: &[ModelHeatmaps]) -> String {
+    let mut out = String::from("Fig. 7: fusion recommendation metrics (Intel+H100, prefill)\n");
+    for m in models {
+        for (panel, field) in [
+            ("7a unique chains", 0usize),
+            ("7b total instances", 1),
+            ("7c kernels fused (PS=1)", 2),
+        ] {
+            out.push_str(&format!("\n{} — {}\n", m.model, panel));
+            let mut header: Vec<String> = vec!["batch\\L".into()];
+            header.extend(CHAIN_LENGTHS.iter().map(ToString::to_string));
+            let mut t = TextTable::new(header);
+            for &bs in &FIG7_BATCHES {
+                let mut row = vec![bs.to_string()];
+                for &l in &CHAIN_LENGTHS {
+                    let c = m
+                        .cells
+                        .iter()
+                        .find(|c| c.batch == bs && c.chain_len == l)
+                        .expect("cell exists");
+                    let v = match field {
+                        0 => c.unique_chains,
+                        1 => c.total_instances,
+                        _ => c.kernels_fused_ps1,
+                    };
+                    row.push(v.to_string());
+                }
+                t.row(row);
+            }
+            out.push_str(&t.render());
+        }
+        out.push_str(&format!("\n{} — 7d K_eager per batch\n", m.model));
+        let mut t = TextTable::new(vec!["batch", "k_eager"]);
+        for &(bs, k) in &m.k_eager {
+            t.row(vec![bs.to_string(), k.to_string()]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_eager_is_batch_independent_and_paper_scaled() {
+        for m in run() {
+            let first = m.k_eager[0].1;
+            assert!(m.k_eager.iter().all(|&(_, k)| k == first));
+            match m.model.as_str() {
+                "gpt2" => assert_eq!(first, 402),
+                "xlm-roberta-base" => assert_eq!(first, 299),
+                other => panic!("unexpected model {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn short_chains_have_more_instances() {
+        // Paper: shorter chain lengths exhibit more unique candidates and
+        // total instances.
+        for m in run() {
+            let inst = |l: usize| {
+                m.cells
+                    .iter()
+                    .find(|c| c.batch == 1 && c.chain_len == l)
+                    .unwrap()
+                    .total_instances
+            };
+            assert!(inst(2) > inst(64));
+            assert!(inst(64) > inst(256));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! **Fig. 8** — the potential ideal speedup from pure kernel-launch
+//! savings via proximity-score fusion, for GPT2 and XLM-Roberta-Base
+//! prefill on Intel+H100 across chain lengths.
+//!
+//! Paper headline: up to ~2.7× for GPT2 and ~6.8× for XLM-Roberta-Base at
+//! chain length 256.
+
+use skip_fusion::{FusionAnalysis, KernelSequences};
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+
+use crate::{TextTable, CHAIN_LENGTHS, SEQ_LEN};
+
+/// One model's speedup-vs-chain-length series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupSeries {
+    /// Model name.
+    pub model: String,
+    /// `K_eager` of the analyzed trace.
+    pub k_eager: usize,
+    /// `(chain length, C_fused, K_fused, ideal speedup)`.
+    pub points: Vec<(usize, usize, usize, f64)>,
+}
+
+fn series(model: &ModelConfig) -> SpeedupSeries {
+    let engine = Engine::new(Platform::intel_h100());
+    let wl = Workload::new(model.clone(), Phase::Prefill, 1, SEQ_LEN);
+    let trace = engine.run(&wl, ExecMode::Eager);
+    let seqs = KernelSequences::from_trace(&trace);
+    let points = CHAIN_LENGTHS
+        .iter()
+        .map(|&l| {
+            let a = FusionAnalysis::of_sequences(&seqs, l);
+            (l, a.fused_chains, a.k_fused, a.ideal_speedup())
+        })
+        .collect();
+    SpeedupSeries {
+        model: model.name.clone(),
+        k_eager: seqs.total_kernels(),
+        points,
+    }
+}
+
+/// Runs the Fig. 8 experiment.
+#[must_use]
+pub fn run() -> Vec<SpeedupSeries> {
+    vec![series(&zoo::gpt2()), series(&zoo::xlm_roberta_base())]
+}
+
+/// Renders the paper-style series.
+#[must_use]
+pub fn render(rows: &[SpeedupSeries]) -> String {
+    let mut out =
+        String::from("Fig. 8: ideal fusion speedup vs chain length (Intel+H100, prefill, BS=1)\n");
+    for s in rows {
+        out.push_str(&format!("\n{} (K_eager = {})\n", s.model, s.k_eager));
+        let mut t = TextTable::new(vec!["chain_len", "c_fused", "k_fused", "ideal_speedup"]);
+        for &(l, c, k, sp) in &s.points {
+            t.row(vec![
+                l.to_string(),
+                c.to_string(),
+                k.to_string(),
+                format!("{sp:.2}"),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peak(s: &SpeedupSeries) -> f64 {
+        s.points.iter().map(|p| p.3).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn peak_speedups_match_paper() {
+        let rows = run();
+        let gpt2 = rows.iter().find(|s| s.model == "gpt2").unwrap();
+        let xlmr = rows
+            .iter()
+            .find(|s| s.model == "xlm-roberta-base")
+            .unwrap();
+        // Paper: up to 2.7x GPT2, up to 6.8x XLM-R.
+        assert!(
+            (peak(gpt2) - 2.7).abs() < 0.15,
+            "GPT2 peak {}",
+            peak(gpt2)
+        );
+        assert!(
+            (peak(xlmr) - 6.8).abs() < 0.25,
+            "XLM-R peak {}",
+            peak(xlmr)
+        );
+        // And the peak is at the longest chain length.
+        assert_eq!(gpt2.points.last().unwrap().3, peak(gpt2));
+        assert_eq!(xlmr.points.last().unwrap().3, peak(xlmr));
+    }
+
+    #[test]
+    fn short_chains_are_modest() {
+        // Paper: 1.05x–1.09x for short chains; we accept up to ~1.5x.
+        for s in run() {
+            let l2 = s.points.iter().find(|p| p.0 == 2).unwrap().3;
+            assert!((1.0..1.6).contains(&l2), "{}: L=2 gives {l2}", s.model);
+        }
+    }
+
+    #[test]
+    fn speedup_grows_from_mid_to_long_chains() {
+        for s in run() {
+            let at = |l: usize| s.points.iter().find(|p| p.0 == l).unwrap().3;
+            assert!(at(16) <= at(64));
+            assert!(at(64) <= at(128));
+            assert!(at(128) <= at(256));
+        }
+    }
+}

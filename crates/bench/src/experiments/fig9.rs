@@ -1,0 +1,90 @@
+//! **Fig. 9** — relative to eager execution: the idealized proximity-score
+//! fusion speedups (blue bars, one per chain length) versus the measured
+//! `torch.compile` reduce-overhead speedup (orange bar) for GPT-2 prefill
+//! at batch 1 on Intel+H100.
+//!
+//! Paper headline: at chain length 256 the idealized PS fusion is ~1.3×
+//! better than reduce-overhead CUDA-graph execution.
+//!
+//! **Known deviation** (recorded in EXPERIMENTS.md): our simulated
+//! CUDA-graph path removes nearly all per-forward CPU overhead, so the
+//! orange bar lands *above* the PS-ideal bar (~6× vs 2.7×). The paper's
+//! measured reduce-overhead runs retain real-world overheads (Dynamo graph
+//! breaks, static-input copies) that the simulator does not model. The
+//! claims that survive: the PS-fusion blue bars match Fig. 8, and
+//! reduce-overhead strongly accelerates the CPU-bound GPT-2 workload.
+
+use skip_fusion::FusionAnalysis;
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{CompileMode, Engine, ExecMode};
+
+use crate::{ttft_ms, TextTable, CHAIN_LENGTHS, SEQ_LEN};
+
+/// The Fig. 9 data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9 {
+    /// `(chain length, idealized PS-fusion speedup)` — the blue bars.
+    pub ps_fusion: Vec<(usize, f64)>,
+    /// Measured `torch.compile` reduce-overhead speedup — the orange bar.
+    pub torch_compile_ro: f64,
+}
+
+/// Runs the Fig. 9 experiment.
+#[must_use]
+pub fn run() -> Fig9 {
+    let platform = Platform::intel_h100();
+    let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, SEQ_LEN);
+    let trace = Engine::new(platform.clone()).run(&wl, ExecMode::Eager);
+    let ps_fusion = CHAIN_LENGTHS
+        .iter()
+        .map(|&l| (l, FusionAnalysis::of_trace(&trace, l).ideal_speedup()))
+        .collect();
+    let eager = ttft_ms(&platform, &wl, ExecMode::Eager);
+    let ro = ttft_ms(
+        &platform,
+        &wl,
+        ExecMode::TorchCompile(CompileMode::ReduceOverhead),
+    );
+    Fig9 {
+        ps_fusion,
+        torch_compile_ro: eager / ro,
+    }
+}
+
+/// Renders the paper-style bars.
+#[must_use]
+pub fn render(f: &Fig9) -> String {
+    let mut t = TextTable::new(vec!["bar", "speedup_vs_eager"]);
+    for &(l, s) in &f.ps_fusion {
+        t.row(vec![format!("PS fusion L={l}"), format!("{s:.2}")]);
+    }
+    t.row(vec![
+        "torch.compile reduce-overhead".into(),
+        format!("{:.2}", f.torch_compile_ro),
+    ]);
+    format!(
+        "Fig. 9: PS fusion (ideal) vs torch.compile reduce-overhead, GPT-2 prefill BS=1, Intel+H100\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_fusion_bars_match_fig8_peak() {
+        let f = run();
+        let best_ps = f.ps_fusion.iter().map(|p| p.1).fold(0.0, f64::max);
+        // The blue bars are the Fig. 8 GPT2 series: peak ≈ 2.7x at L=256.
+        assert!((best_ps - 2.7).abs() < 0.15, "PS best {best_ps:.2}");
+        assert_eq!(f.ps_fusion.last().unwrap().0, 256);
+    }
+
+    #[test]
+    fn reduce_overhead_itself_speeds_up_cpu_bound_gpt2() {
+        let f = run();
+        assert!(f.torch_compile_ro > 1.3, "{}", f.torch_compile_ro);
+    }
+}

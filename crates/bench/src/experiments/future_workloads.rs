@@ -1,0 +1,222 @@
+//! **Extension (paper §VI)** — apply the paper's boundedness methodology
+//! to the future-work workload classes: recommendation models (DLRM) and
+//! graph neural networks (GCN).
+//!
+//! The interesting hypothesis the paper implies: RMs, with dozens of tiny
+//! embedding lookups per request, should be far *more* CPU-bound than the
+//! LLMs it studied, making the Grace CPU penalty even larger and launch
+//! minimization even more valuable on CC systems. GNN serving sits in
+//! between (SpMM is bandwidth-hungry but launch counts are tiny).
+
+use skip_core::{classify_sweep, ProfileReport, SweepPoint};
+use skip_hw::Platform;
+use skip_llm::gnn::GcnConfig;
+use skip_llm::rm::DlrmConfig;
+use skip_runtime::Engine;
+use skip_trace::TraceMeta;
+
+use crate::TextTable;
+
+/// Batch sizes swept for the DLRM characterization.
+pub const RM_BATCHES: [u32; 8] = [1, 8, 64, 256, 1024, 4096, 16384, 65536];
+
+/// One DLRM measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RmRow {
+    /// Platform name.
+    pub platform: String,
+    /// Batch size.
+    pub batch: u32,
+    /// Forward latency, ms.
+    pub latency_ms: f64,
+    /// TKLQT, ms.
+    pub tklqt_ms: f64,
+    /// GPU utilization.
+    pub gpu_util: f64,
+}
+
+/// Sweeps the MLPerf-style DLRM over batch sizes on all platforms.
+#[must_use]
+pub fn run_rm() -> Vec<RmRow> {
+    let cfg = DlrmConfig::mlperf_dlrm();
+    let mut out = Vec::new();
+    for platform in Platform::paper_trio() {
+        let engine = Engine::new(platform.clone());
+        for &bs in &RM_BATCHES {
+            let meta = TraceMeta {
+                model: cfg.name.clone(),
+                platform: platform.name.clone(),
+                exec_mode: "eager".into(),
+                phase: "forward".into(),
+                batch_size: bs,
+                seq_len: 1,
+            };
+            let trace = engine.run_graph(&cfg.graph(bs), cfg.input_bytes(bs), meta);
+            let r = ProfileReport::analyze(&trace);
+            out.push(RmRow {
+                platform: platform.name.clone(),
+                batch: bs,
+                latency_ms: r.inference_latency.as_millis_f64(),
+                tklqt_ms: r.tklqt.as_millis_f64(),
+                gpu_util: r.gpu_utilization(),
+            });
+        }
+    }
+    out
+}
+
+/// The DLRM CPU-bound→GPU-bound transition batch per platform.
+#[must_use]
+pub fn rm_transitions(rows: &[RmRow]) -> Vec<(String, Option<u32>)> {
+    Platform::paper_trio()
+        .into_iter()
+        .map(|p| {
+            let points: Vec<SweepPoint> = rows
+                .iter()
+                .filter(|r| r.platform == p.name)
+                .map(|r| SweepPoint {
+                    batch_size: r.batch,
+                    tklqt: skip_des::SimDuration::from_nanos_f64(r.tklqt_ms * 1e6),
+                })
+                .collect();
+            (p.name, classify_sweep(&points).transition_batch)
+        })
+        .collect()
+}
+
+/// One GCN measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnRow {
+    /// Model name.
+    pub model: String,
+    /// Platform name.
+    pub platform: String,
+    /// Forward latency, ms.
+    pub latency_ms: f64,
+    /// GPU utilization.
+    pub gpu_util: f64,
+}
+
+/// Runs the two GCN graphs on all platforms.
+#[must_use]
+pub fn run_gnn() -> Vec<GnnRow> {
+    let mut out = Vec::new();
+    for cfg in [GcnConfig::cora(), GcnConfig::ogbn_arxiv()] {
+        for platform in Platform::paper_trio() {
+            let engine = Engine::new(platform.clone());
+            let meta = TraceMeta {
+                model: cfg.name.clone(),
+                platform: platform.name.clone(),
+                exec_mode: "eager".into(),
+                phase: "forward".into(),
+                batch_size: 1,
+                seq_len: 1,
+            };
+            let trace = engine.run_graph(&cfg.graph(), cfg.input_bytes(), meta);
+            let r = ProfileReport::analyze(&trace);
+            out.push(GnnRow {
+                model: cfg.name.clone(),
+                platform: platform.name.clone(),
+                latency_ms: r.inference_latency.as_millis_f64(),
+                gpu_util: r.gpu_utilization(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders both characterizations.
+#[must_use]
+pub fn render_all() -> String {
+    let mut out = String::from("Future-workload characterization (paper §VI): DLRM and GCN\n");
+
+    let rm = run_rm();
+    out.push_str("\nDLRM (MLPerf-scale) forward latency (ms)\n");
+    let mut t = TextTable::new(vec!["batch", "amd_a100", "intel_h100", "gh200"]);
+    for &bs in &RM_BATCHES {
+        let get = |p: &str| {
+            rm.iter()
+                .find(|r| r.platform == p && r.batch == bs)
+                .expect("row")
+                .latency_ms
+        };
+        t.row(vec![
+            bs.to_string(),
+            format!("{:.3}", get("amd_a100")),
+            format!("{:.3}", get("intel_h100")),
+            format!("{:.3}", get("gh200")),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nDLRM boundedness transition (TKLQT star):\n");
+    for (p, star) in rm_transitions(&rm) {
+        out.push_str(&format!(
+            "  {p}: {}\n",
+            star.map_or("none in sweep".into(), |b| b.to_string())
+        ));
+    }
+
+    let gnn = run_gnn();
+    out.push_str("\nGCN full-graph forward latency (ms)\n");
+    let mut t = TextTable::new(vec!["model", "platform", "latency_ms", "gpu_util"]);
+    for r in &gnn {
+        t.row(vec![
+            r.model.clone(),
+            r.platform.clone(),
+            format!("{:.3}", r.latency_ms),
+            format!("{:.0}%", r.gpu_util * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dlrm_is_more_cpu_bound_than_the_llms() {
+        // The paper's encoders transition at 8 (LC) / 32 (CC); DLRM's tiny
+        // kernels keep it CPU-bound to *far* larger batches.
+        let rows = run_rm();
+        for (platform, star) in rm_transitions(&rows) {
+            // `None` means it never leaves the CPU-bound region in-sweep.
+            if let Some(b) = star {
+                assert!(b >= 256, "{platform}: transition {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dlrm_low_batch_ranking_follows_cpu_performance() {
+        let rows = run_rm();
+        let get = |p: &str| {
+            rows.iter()
+                .find(|r| r.platform == p && r.batch == 1)
+                .unwrap()
+                .latency_ms
+        };
+        assert!(get("intel_h100") < get("amd_a100"));
+        assert!(get("amd_a100") < get("gh200"));
+    }
+
+    #[test]
+    fn tiny_gnn_is_latency_bound_by_cpu_large_gnn_by_bandwidth() {
+        let rows = run_gnn();
+        let get = |m: &str, p: &str| {
+            rows.iter()
+                .find(|r| r.model == m && r.platform == p)
+                .unwrap()
+        };
+        // Cora: a handful of launches → CPU-ranked (GH200 slowest).
+        assert!(
+            get("gcn-cora", "gh200").latency_ms > get("gcn-cora", "intel_h100").latency_ms
+        );
+        // ogbn-arxiv: SpMM bandwidth → GH200's HBM3 wins.
+        assert!(
+            get("gcn-ogbn-arxiv", "gh200").latency_ms
+                < get("gcn-ogbn-arxiv", "intel_h100").latency_ms
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! One module per table/figure of the paper.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — torch.compile compile time & TTFT speedup |
+//! | [`fig3`] | Fig. 3 — FA2 / max-autotune TTFT speedups, 7B decoders |
+//! | [`table5`] | Table V — nullKernel launch overhead & duration |
+//! | [`fig6`] | Fig. 6 — TKLQT vs batch size, encoder models, star markers |
+//! | [`fig7`] | Fig. 7a–d — fusion-chain heatmaps and K_eager |
+//! | [`fig8`] | Fig. 8 — idealized fusion speedup vs chain length |
+//! | [`fig9`] | Fig. 9 — PS fusion vs torch.compile reduce-overhead, GPT-2 |
+//! | [`fig10`] | Fig. 10a–c — encoder TTFT / GPU idle / CPU idle sweeps |
+//! | [`fig11`] | Fig. 11a–c — decoder TTFT / GPU idle / CPU idle sweeps |
+//!
+//! Extensions beyond the paper's figures:
+//!
+//! | Module | Extension |
+//! |---|---|
+//! | [`fusion_applied`] | §VI future work: apply recommendations, measure vs Eq. 8 |
+//! | [`decode`] | decode-phase (TPOT) characterization |
+//! | [`ablations`] | CPU / bandwidth / launch-overhead / coupling ablations |
+//! | [`future_workloads`] | §VI workload scope: DLRM and GCN characterization |
+//! | [`energy`] | joules-per-request across coupling paradigms (Table IV envelopes) |
+//! | [`serving`] | online serving: load vs p95 TTFT, static vs continuous batching |
+//! | [`seqlen`] | sequence-length sensitivity: the Fig. 6 transition along the seq axis |
+
+pub mod ablations;
+pub mod decode;
+pub mod energy;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fusion_applied;
+pub mod future_workloads;
+pub mod seqlen;
+pub mod serving;
+pub mod fig9;
+pub mod table1;
+pub mod table5;

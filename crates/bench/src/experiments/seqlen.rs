@@ -1,0 +1,152 @@
+//! **Extension** — sequence-length sensitivity.
+//!
+//! The paper fixes the input length at 512 tokens (§IV-B) and notes in
+//! §II-A that "longer inputs necessitate increased GPU parallelism,
+//! resulting in extended prefill phases". This experiment sweeps the
+//! prompt length at batch 1 and asks where the *sequence length alone*
+//! pushes a workload out of the CPU-bound region — the same transition
+//! Fig. 6 finds along the batch axis, found along the sequence axis.
+
+use skip_core::{classify_sweep, ProfileReport, SweepPoint};
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+
+use crate::TextTable;
+
+/// Prompt lengths swept.
+pub const SEQ_LENS: [u32; 7] = [64, 128, 256, 512, 1024, 2048, 4096];
+
+/// One (model, platform) sequence sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqSweep {
+    /// Model name.
+    pub model: String,
+    /// Platform name.
+    pub platform: String,
+    /// `(seq_len, ttft_ms, tklqt_ms)` series at batch 1.
+    pub points: Vec<(u32, f64, f64)>,
+    /// First sequence length classified GPU-bound, if any.
+    pub transition_seq: Option<u32>,
+}
+
+fn sweep(model: &ModelConfig, platform: &Platform) -> SeqSweep {
+    let engine = Engine::new(platform.clone());
+    let mut points = Vec::new();
+    let mut cls = Vec::new();
+    for &seq in &SEQ_LENS {
+        let wl = Workload::new(model.clone(), Phase::Prefill, 1, seq);
+        let r = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
+        points.push((
+            seq,
+            r.inference_latency.as_millis_f64(),
+            r.tklqt.as_millis_f64(),
+        ));
+        // Reuse the TKLQT classifier with seq standing in for batch.
+        cls.push(SweepPoint {
+            batch_size: seq,
+            tklqt: r.tklqt,
+        });
+    }
+    SeqSweep {
+        model: model.name.clone(),
+        platform: platform.name.clone(),
+        points,
+        transition_seq: classify_sweep(&cls).transition_batch,
+    }
+}
+
+/// Runs the sweep for BERT and Llama-3.2-1B on the three platforms.
+#[must_use]
+pub fn run() -> Vec<SeqSweep> {
+    let mut out = Vec::new();
+    for model in [zoo::bert_base_uncased(), zoo::llama32_1b()] {
+        for platform in Platform::paper_trio() {
+            out.push(sweep(&model, &platform));
+        }
+    }
+    out
+}
+
+/// Renders the sweep.
+#[must_use]
+pub fn render(sweeps: &[SeqSweep]) -> String {
+    let mut out =
+        String::from("Sequence-length extension: batch-1 TTFT (ms) vs prompt length\n");
+    for s in sweeps {
+        out.push_str(&format!(
+            "\n{} on {} (GPU-bound from seq ≈ {})\n",
+            s.model,
+            s.platform,
+            s.transition_seq
+                .map_or("beyond sweep".into(), |v| v.to_string())
+        ));
+        let mut t = TextTable::new(vec!["seq_len", "ttft_ms", "tklqt_ms"]);
+        for &(seq, ttft, tklqt) in &s.points {
+            t.row(vec![
+                seq.to_string(),
+                format!("{ttft:.2}"),
+                format!("{tklqt:.3}"),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_prompts_leave_the_cpu_bound_region() {
+        // Even at batch 1, a long enough prompt saturates the GPU.
+        let sweeps = run();
+        for s in &sweeps {
+            assert!(
+                s.transition_seq.is_some(),
+                "{}/{} stayed CPU-bound through {} tokens",
+                s.model,
+                s.platform,
+                SEQ_LENS.last().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn gh200_transitions_at_longer_sequences_than_lc() {
+        // The Fig. 6 bandwidth mechanism, replayed along the seq axis.
+        let sweeps = run();
+        for model in ["bert-base-uncased", "llama-3.2-1b"] {
+            let t = |p: &str| {
+                sweeps
+                    .iter()
+                    .find(|s| s.model == model && s.platform == p)
+                    .and_then(|s| s.transition_seq)
+                    .expect("transitions in-sweep")
+            };
+            assert!(
+                t("gh200") >= t("intel_h100"),
+                "{model}: gh200 {} vs intel {}",
+                t("gh200"),
+                t("intel_h100")
+            );
+        }
+    }
+
+    #[test]
+    fn ttft_grows_monotonically_with_seq() {
+        for s in run() {
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].1 >= w[0].1 * 0.999,
+                    "{}/{}: {} -> {}",
+                    s.model,
+                    s.platform,
+                    w[0].1,
+                    w[1].1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! **Extension** — online serving under SLO: offered load vs tail latency
+//! across platforms and batching policies.
+//!
+//! The paper frames its entire batch-size analysis in serving terms
+//! (§II-A: ~200 ms SLOs, vLLM/Orca batching). This experiment makes the
+//! connection operational: Poisson arrivals against a GPT2 endpoint,
+//! measuring p95 TTFT as a function of offered load, for static vs
+//! continuous batching on each platform. The offline crossover story
+//! reappears online: the GH200 has the worst light-load latency
+//! (Grace-dispatch-bound iterations) but sustains the highest load before
+//! SLO collapse (its balanced region sits at larger batches).
+
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::zoo;
+use skip_serve::{simulate, Policy, ServingConfig, ServingReport};
+
+use crate::TextTable;
+
+/// Offered loads swept, requests/second.
+pub const LOADS: [f64; 5] = [5.0, 20.0, 50.0, 100.0, 200.0];
+
+/// One serving measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingRow {
+    /// Platform name.
+    pub platform: String,
+    /// Policy label (`"static"` / `"continuous"`).
+    pub policy: String,
+    /// Offered load, req/s.
+    pub load: f64,
+    /// The measured report.
+    pub report: ServingReport,
+}
+
+fn run_one(platform: &Platform, policy: Policy, load: f64) -> ServingRow {
+    let report = simulate(&ServingConfig {
+        platform: platform.clone(),
+        model: zoo::gpt2(),
+        policy,
+        requests: 120,
+        arrival_rate_per_s: load,
+        prompt_len: 128,
+        new_tokens: 8,
+        seed: 2026,
+    });
+    ServingRow {
+        platform: platform.name.clone(),
+        policy: match policy {
+            Policy::Static { .. } => "static".into(),
+            Policy::Continuous { .. } => "continuous".into(),
+        },
+        load,
+        report,
+    }
+}
+
+/// Runs the serving sweep.
+#[must_use]
+pub fn run() -> Vec<ServingRow> {
+    let policies = [
+        Policy::Static {
+            batch_size: 8,
+            max_wait: SimDuration::from_millis(50),
+        },
+        Policy::Continuous { max_batch: 16 },
+    ];
+    let mut out = Vec::new();
+    for platform in Platform::paper_trio() {
+        for policy in policies {
+            for load in LOADS {
+                out.push(run_one(&platform, policy, load));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the load-vs-tail-latency panels.
+#[must_use]
+pub fn render(rows: &[ServingRow]) -> String {
+    let mut out = String::from(
+        "Serving extension: GPT2 endpoint, p95 TTFT (ms) vs offered load (req/s)\n",
+    );
+    for policy in ["static", "continuous"] {
+        out.push_str(&format!("\npolicy: {policy}\n"));
+        let mut t = TextTable::new(vec!["load", "amd_a100", "intel_h100", "gh200"]);
+        for load in LOADS {
+            let get = |p: &str| {
+                rows.iter()
+                    .find(|r| r.platform == p && r.policy == policy && r.load == load)
+                    .expect("row")
+                    .report
+                    .ttft_p95
+                    .as_millis_f64()
+            };
+            t.row(vec![
+                format!("{load:.0}"),
+                format!("{:.1}", get("amd_a100")),
+                format!("{:.1}", get("intel_h100")),
+                format!("{:.1}", get("gh200")),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p95(rows: &[ServingRow], platform: &str, policy: &str, load: f64) -> f64 {
+        rows.iter()
+            .find(|r| r.platform == platform && r.policy == policy && r.load == load)
+            .expect("row")
+            .report
+            .ttft_p95
+            .as_millis_f64()
+    }
+
+    #[test]
+    fn light_load_latency_ranked_by_cpu() {
+        let rows = run();
+        assert!(
+            p95(&rows, "intel_h100", "continuous", 5.0)
+                < p95(&rows, "gh200", "continuous", 5.0)
+        );
+    }
+
+    #[test]
+    fn tail_latency_grows_with_load() {
+        let rows = run();
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            assert!(
+                p95(&rows, p, "continuous", 200.0) >= p95(&rows, p, "continuous", 5.0),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn continuous_batching_dominates_static_at_scale() {
+        let rows = run();
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            assert!(
+                p95(&rows, p, "continuous", 100.0) <= p95(&rows, p, "static", 100.0),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_simulation_completes_all_requests() {
+        for r in run() {
+            assert_eq!(r.report.completed, 120, "{}/{}", r.platform, r.policy);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! **Table V** — `cudaLaunchKernel` + nullKernel launch overhead and
+//! nullKernel duration across the three evaluation platforms.
+
+use skip_hw::Platform;
+use skip_runtime::nullkernel_microbench;
+
+use crate::TextTable;
+
+/// One Table V row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformRow {
+    /// Platform name.
+    pub platform: String,
+    /// nullKernel launch overhead, ns.
+    pub launch_overhead_ns: f64,
+    /// nullKernel duration, ns.
+    pub duration_ns: f64,
+}
+
+/// Runs the Table V microbenchmark (10 000 launches per platform).
+#[must_use]
+pub fn run() -> Vec<PlatformRow> {
+    Platform::paper_trio()
+        .into_iter()
+        .map(|p| {
+            let s = nullkernel_microbench(&p, 10_000);
+            PlatformRow {
+                platform: p.name,
+                launch_overhead_ns: s.launch_overhead_ns,
+                duration_ns: s.duration_ns,
+            }
+        })
+        .collect()
+}
+
+/// Renders the paper-style table.
+#[must_use]
+pub fn render(rows: &[PlatformRow]) -> String {
+    let mut t = TextTable::new(vec![
+        "platform",
+        "nullKernel_launch_overhead_ns",
+        "nullKernel_duration_ns",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.platform.clone(),
+            format!("{:.1}", r.launch_overhead_ns),
+            format!("{:.1}", r.duration_ns),
+        ]);
+    }
+    format!("Table V: nullKernel microbenchmark\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_values_exactly() {
+        let rows = run();
+        let expect = [
+            ("amd_a100", 2260.5, 1440.0),
+            ("intel_h100", 2374.6, 1235.2),
+            ("gh200", 2771.6, 1171.2),
+        ];
+        for (row, (name, overhead, dur)) in rows.iter().zip(expect) {
+            assert_eq!(row.platform, name);
+            assert!((row.launch_overhead_ns - overhead).abs() < 2.0);
+            assert!((row.duration_ns - dur).abs() < 2.0);
+        }
+    }
+
+    #[test]
+    fn gh200_tradeoff_holds() {
+        // Highest launch overhead, lowest duration (the paper's takeaway).
+        let rows = run();
+        let gh = rows.iter().find(|r| r.platform == "gh200").unwrap();
+        for other in rows.iter().filter(|r| r.platform != "gh200") {
+            assert!(gh.launch_overhead_ns > other.launch_overhead_ns);
+            assert!(gh.duration_ns < other.duration_ns);
+        }
+    }
+}

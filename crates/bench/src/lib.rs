@@ -1,0 +1,60 @@
+//! # skip-bench — the experiment harness
+//!
+//! Regenerates **every table and figure** of the paper's evaluation
+//! (§II-C Table I & Fig. 3; §V Table V and Figs. 6–11). Each experiment
+//! lives in [`experiments`] as a `run()` function returning structured
+//! results plus a `render()` producing the paper-style text table, and has
+//! a companion binary (`cargo run -p skip-bench --bin table1`, `--bin
+//! fig6`, …). The `all` binary runs the whole evaluation.
+//!
+//! The mapping from experiment to paper artifact is recorded in
+//! `DESIGN.md` §3; `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use skip_bench::experiments::table5;
+//!
+//! let rows = table5::run();
+//! println!("{}", table5::render(&rows));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+pub mod experiments;
+mod table;
+
+pub use chart::AsciiChart;
+pub use table::TextTable;
+
+use skip_core::ProfileReport;
+use skip_hw::Platform;
+use skip_llm::Workload;
+use skip_runtime::{Engine, ExecMode};
+
+/// The batch sizes swept throughout the paper's figures.
+pub const BATCH_SWEEP: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+
+/// The input sequence length used for all prefill benchmarks (§IV-B).
+pub const SEQ_LEN: u32 = 512;
+
+/// Chain lengths analyzed in the fusion figures (Figs. 7–9).
+pub const CHAIN_LENGTHS: [usize; 8] = [2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Runs one workload on one platform and profiles it with SKIP.
+#[must_use]
+pub fn profile(platform: &Platform, workload: &Workload, mode: ExecMode) -> ProfileReport {
+    let trace = Engine::new(platform.clone()).run(workload, mode);
+    ProfileReport::analyze(&trace)
+}
+
+/// Time-to-first-token in milliseconds (the SKIP inference latency of the
+/// prefill pass).
+#[must_use]
+pub fn ttft_ms(platform: &Platform, workload: &Workload, mode: ExecMode) -> f64 {
+    profile(platform, workload, mode)
+        .inference_latency
+        .as_millis_f64()
+}

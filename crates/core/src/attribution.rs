@@ -1,0 +1,215 @@
+//! Operator-level attribution: roll kernel time and launch overhead up to
+//! the root ATen operators that caused them.
+//!
+//! Top-k kernel tracking (§III-A-5) answers "which *kernels* dominate";
+//! this module answers the companion question a user of SKIP asks next:
+//! "which *operators* should I optimize?" Every kernel is attributed —
+//! through its launch call and the dependency graph — to the root
+//! (top-level) operator containing the launch, aggregating GPU time,
+//! launch+queue time, and counts per operator name.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+use skip_trace::Trace;
+
+use crate::depgraph::DependencyGraph;
+
+/// Aggregate statistics for one root-operator name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStat {
+    /// Root operator name (e.g. `"aten::linear"`).
+    pub name: String,
+    /// Number of root-operator instances that launched at least one kernel.
+    pub instances: usize,
+    /// Kernels launched from under this operator.
+    pub kernels: usize,
+    /// Total GPU execution time of those kernels.
+    pub gpu_time: SimDuration,
+    /// Total launch + queuing time of those kernels (this operator's
+    /// contribution to TKLQT).
+    pub launch_queue_time: SimDuration,
+}
+
+/// Attributes every kernel of `trace` to its root operator, returning
+/// per-operator aggregates sorted by GPU time (descending, ties broken by
+/// name for determinism).
+///
+/// Kernels whose launch call has no containing operator (e.g. a bare
+/// `cudaGraphLaunch` replay) are aggregated under `"<no operator>"`.
+///
+/// # Example
+///
+/// ```
+/// use skip_hw::Platform;
+/// use skip_llm::{zoo, Phase, Workload};
+/// use skip_runtime::{Engine, ExecMode};
+///
+/// let trace = Engine::new(Platform::intel_h100())
+///     .run(&Workload::new(zoo::gpt2(), Phase::Prefill, 8, 512), ExecMode::Eager);
+/// let stats = skip_core::attribute_to_operators(&trace);
+/// // Every kernel is accounted for exactly once.
+/// let attributed: usize = stats.iter().map(|s| s.kernels).sum();
+/// assert_eq!(attributed, trace.kernels().len());
+/// // The heaviest operator is first.
+/// assert!(stats[0].gpu_time >= stats.last().unwrap().gpu_time);
+/// ```
+#[must_use]
+pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
+    let graph = DependencyGraph::build(trace);
+    let ops = trace.cpu_ops();
+    let launches = trace.launches();
+    let kernels = trace.kernels();
+
+    struct Acc {
+        instances: std::collections::BTreeSet<usize>,
+        kernels: usize,
+        gpu_time: SimDuration,
+        lq_time: SimDuration,
+    }
+    let mut agg: BTreeMap<String, Acc> = BTreeMap::new();
+
+    for link in graph.launches() {
+        let Some(kidx) = link.kernel_idx else {
+            continue;
+        };
+        let kernel = &kernels[kidx];
+        let launch = &launches[link.launch_idx];
+        let (name, instance) = match link.parent_op {
+            Some(op) => {
+                let root = graph.root_ancestor(op);
+                (ops[root].name.clone(), root)
+            }
+            None => ("<no operator>".to_owned(), usize::MAX),
+        };
+        let acc = agg.entry(name).or_insert_with(|| Acc {
+            instances: std::collections::BTreeSet::new(),
+            kernels: 0,
+            gpu_time: SimDuration::ZERO,
+            lq_time: SimDuration::ZERO,
+        });
+        acc.instances.insert(instance);
+        acc.kernels += 1;
+        acc.gpu_time += kernel.duration();
+        acc.lq_time += kernel.begin.saturating_duration_since(launch.begin);
+    }
+
+    let mut stats: Vec<OpStat> = agg
+        .into_iter()
+        .map(|(name, a)| OpStat {
+            name,
+            instances: a.instances.len(),
+            kernels: a.kernels,
+            gpu_time: a.gpu_time,
+            launch_queue_time: a.lq_time,
+        })
+        .collect();
+    stats.sort_by(|a, b| b.gpu_time.cmp(&a.gpu_time).then_with(|| a.name.cmp(&b.name)));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_des::SimTime;
+    use skip_trace::{
+        CorrelationId, CpuOpEvent, KernelEvent, OpId, RuntimeLaunchEvent, StreamId, ThreadId,
+        TraceMeta,
+    };
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    /// Two roots: "aten::linear" (with nested addmm launching 2 kernels)
+    /// and "aten::softmax" (1 kernel).
+    fn sample() -> Trace {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push_cpu_op(CpuOpEvent {
+            id: OpId::new(0),
+            name: "aten::linear".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(0),
+            end: ns(100),
+        });
+        t.push_cpu_op(CpuOpEvent {
+            id: OpId::new(1),
+            name: "aten::addmm".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(10),
+            end: ns(90),
+        });
+        t.push_cpu_op(CpuOpEvent {
+            id: OpId::new(2),
+            name: "aten::softmax".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(100),
+            end: ns(200),
+        });
+        let mut launch = |begin: u64, corr: u64, kb: u64, ke: u64| {
+            t.push_launch(RuntimeLaunchEvent {
+                name: "cudaLaunchKernel".into(),
+                thread: ThreadId::MAIN,
+                begin: ns(begin),
+                end: ns(begin + 5),
+                correlation: CorrelationId::new(corr),
+            });
+            t.push_kernel(KernelEvent {
+                name: format!("k{corr}"),
+                stream: StreamId::DEFAULT,
+                begin: ns(kb),
+                end: ns(ke),
+                correlation: CorrelationId::new(corr),
+            });
+        };
+        launch(20, 1, 40, 70); // under addmm → root linear, 30ns GPU
+        launch(30, 2, 70, 90); // under addmm → root linear, 20ns GPU
+        launch(110, 3, 130, 140); // under softmax, 10ns GPU
+        t
+    }
+
+    #[test]
+    fn kernels_roll_up_to_root_operators() {
+        let stats = attribute_to_operators(&sample());
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "aten::linear");
+        assert_eq!(stats[0].kernels, 2);
+        assert_eq!(stats[0].instances, 1);
+        assert_eq!(stats[0].gpu_time, SimDuration::from_nanos(50));
+        // launch→kernel: (40-20) + (70-30) = 60.
+        assert_eq!(stats[0].launch_queue_time, SimDuration::from_nanos(60));
+        assert_eq!(stats[1].name, "aten::softmax");
+        assert_eq!(stats[1].gpu_time, SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn orphan_launches_bucket_separately() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push_launch(RuntimeLaunchEvent {
+            name: "cudaGraphLaunch".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(0),
+            end: ns(5),
+            correlation: CorrelationId::new(1),
+        });
+        t.push_kernel(KernelEvent {
+            name: "k".into(),
+            stream: StreamId::DEFAULT,
+            begin: ns(10),
+            end: ns(20),
+            correlation: CorrelationId::new(1),
+        });
+        let stats = attribute_to_operators(&t);
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "<no operator>");
+    }
+
+    #[test]
+    fn attribution_covers_every_kernel() {
+        let t = sample();
+        let stats = attribute_to_operators(&t);
+        let attributed: usize = stats.iter().map(|s| s.kernels).sum();
+        assert_eq!(attributed, t.kernels().len());
+    }
+}

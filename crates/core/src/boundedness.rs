@@ -1,0 +1,196 @@
+//! CPU-bound vs GPU-bound classification from TKLQT sweeps (§III-B, §V-B).
+//!
+//! Across a batch-size sweep, TKLQT is constant while every kernel starts
+//! exactly one launch-overhead after its launch call (the GPU keeps up —
+//! CPU-bound), and ramps once kernel queuing dominates (GPU-bound). The
+//! inflection point — the paper's star markers in Fig. 6 — is the first
+//! batch size where TKLQT exceeds the launch-overhead plateau by a
+//! threshold factor.
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+
+/// Which processing unit bounds the workload at a given batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Boundedness {
+    /// Launch-overhead-dominated: the GPU is under-utilized and latency is
+    /// set by CPU dispatch performance.
+    CpuBound,
+    /// Queue-dominated: the GPU is saturated and kernels wait on each
+    /// other.
+    GpuBound,
+}
+
+/// One point of a TKLQT-vs-batch-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Batch size.
+    pub batch_size: u32,
+    /// Measured TKLQT at that batch size.
+    pub tklqt: SimDuration,
+}
+
+/// The classification of a full sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepClassification {
+    /// Per-point labels, in ascending batch-size order.
+    pub labels: Vec<(u32, Boundedness)>,
+    /// The first GPU-bound batch size (the Fig. 6 star marker), or `None`
+    /// if the sweep never leaves the CPU-bound region.
+    pub transition_batch: Option<u32>,
+    /// The launch-overhead plateau TKLQT the classification is relative to.
+    pub plateau: SimDuration,
+}
+
+/// Default threshold factor: a point is GPU-bound once its TKLQT exceeds
+/// the launch-overhead plateau 5-fold — i.e. once at least ~80% of TKLQT is
+/// queuing rather than launch cost, queuing clearly dominates. (Small
+/// amounts of intra-operator queuing exist even at batch 1 — kernels
+/// launched back-to-back inside one operator briefly wait on each other —
+/// so a lower threshold would trip on launch-burst noise rather than GPU
+/// saturation.)
+pub const DEFAULT_THRESHOLD: f64 = 5.0;
+
+/// Classifies a TKLQT sweep with the default threshold.
+///
+/// Points are sorted by batch size internally. The plateau is the TKLQT of
+/// the smallest batch size (by construction launch-dominated: larger batch
+/// sizes launch the same number of kernels, so any TKLQT growth is queuing).
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+///
+/// # Example
+///
+/// ```
+/// use skip_core::{classify_sweep, Boundedness, SweepPoint};
+/// use skip_des::SimDuration;
+///
+/// let sweep: Vec<SweepPoint> = [(1u32, 100u64), (2, 102), (4, 180), (8, 900), (16, 4000)]
+///     .into_iter()
+///     .map(|(b, t)| SweepPoint { batch_size: b, tklqt: SimDuration::from_micros(t) })
+///     .collect();
+/// let c = classify_sweep(&sweep);
+/// assert_eq!(c.transition_batch, Some(8));
+/// assert_eq!(c.labels[0], (1, Boundedness::CpuBound));
+/// ```
+#[must_use]
+pub fn classify_sweep(points: &[SweepPoint]) -> SweepClassification {
+    classify_sweep_with_threshold(points, DEFAULT_THRESHOLD)
+}
+
+/// Classifies with an explicit threshold factor (> 1).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `threshold <= 1.0`.
+#[must_use]
+pub fn classify_sweep_with_threshold(points: &[SweepPoint], threshold: f64) -> SweepClassification {
+    assert!(!points.is_empty(), "sweep must contain at least one point");
+    assert!(threshold > 1.0, "threshold must exceed 1.0");
+    let mut sorted = points.to_vec();
+    sorted.sort_by_key(|p| p.batch_size);
+
+    let plateau = sorted[0].tklqt;
+    let cutoff = plateau.as_nanos_f64() * threshold;
+
+    let mut labels = Vec::with_capacity(sorted.len());
+    let mut transition_batch = None;
+    let mut crossed = false;
+    for p in &sorted {
+        // Once the sweep crosses, it stays GPU-bound: TKLQT queuing grows
+        // monotonically with batch in a saturated regime, and hysteresis
+        // avoids flapping on noisy plateaus.
+        let bound = if crossed || p.tklqt.as_nanos_f64() > cutoff {
+            if !crossed {
+                transition_batch = Some(p.batch_size);
+                crossed = true;
+            }
+            Boundedness::GpuBound
+        } else {
+            Boundedness::CpuBound
+        };
+        labels.push((p.batch_size, bound));
+    }
+
+    SweepClassification {
+        labels,
+        transition_batch,
+        plateau,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(b: u32, us: u64) -> SweepPoint {
+        SweepPoint {
+            batch_size: b,
+            tklqt: SimDuration::from_micros(us),
+        }
+    }
+
+    #[test]
+    fn flat_sweep_never_transitions() {
+        let sweep = vec![pt(1, 100), pt(2, 101), pt(4, 99), pt(8, 100)];
+        let c = classify_sweep(&sweep);
+        assert_eq!(c.transition_batch, None);
+        assert!(c.labels.iter().all(|&(_, b)| b == Boundedness::CpuBound));
+    }
+
+    #[test]
+    fn ramp_transitions_at_first_crossing() {
+        let sweep = vec![pt(1, 100), pt(2, 100), pt(4, 600), pt(8, 4000), pt(16, 16000)];
+        let c = classify_sweep(&sweep);
+        assert_eq!(c.transition_batch, Some(4));
+        assert_eq!(c.labels[2].1, Boundedness::GpuBound);
+        assert_eq!(c.labels[1].1, Boundedness::CpuBound);
+    }
+
+    #[test]
+    fn classification_is_monotone_after_crossing() {
+        // A dip after crossing stays GPU-bound (hysteresis).
+        let sweep = vec![pt(1, 100), pt(2, 900), pt(4, 300)];
+        let c = classify_sweep(&sweep);
+        assert_eq!(
+            c.labels,
+            vec![
+                (1, Boundedness::CpuBound),
+                (2, Boundedness::GpuBound),
+                (4, Boundedness::GpuBound)
+            ]
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let sweep = vec![pt(8, 4000), pt(1, 100), pt(4, 100), pt(2, 100)];
+        let c = classify_sweep(&sweep);
+        let batches: Vec<u32> = c.labels.iter().map(|&(b, _)| b).collect();
+        assert_eq!(batches, vec![1, 2, 4, 8]);
+        assert_eq!(c.transition_batch, Some(8));
+    }
+
+    #[test]
+    fn custom_threshold_moves_the_star() {
+        let sweep = vec![pt(1, 100), pt(2, 130), pt(4, 210)];
+        let strict = classify_sweep_with_threshold(&sweep, 1.25);
+        assert_eq!(strict.transition_batch, Some(2));
+        let loose = classify_sweep_with_threshold(&sweep, 2.5);
+        assert_eq!(loose.transition_batch, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep must contain at least one point")]
+    fn empty_sweep_panics() {
+        let _ = classify_sweep(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must exceed 1.0")]
+    fn bad_threshold_panics() {
+        let _ = classify_sweep_with_threshold(&[pt(1, 1)], 0.9);
+    }
+}

@@ -1,0 +1,121 @@
+//! Comparing two profile reports — speedups and bottleneck shifts.
+//!
+//! Every optimization question in the paper reduces to "what changed
+//! between these two runs?": eager vs fused, platform A vs platform B,
+//! batch b vs batch 2b. [`ReportDelta`] captures the comparison the way
+//! the paper's prose states results: a latency speedup plus where the
+//! time went (launch/queue vs GPU execution vs idleness).
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+
+use crate::metrics::ProfileReport;
+
+/// The difference between a baseline and a candidate profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportDelta {
+    /// `baseline IL / candidate IL` — >1 means the candidate is faster.
+    pub speedup: f64,
+    /// TKLQT change, candidate − baseline (negative = less launch/queue).
+    pub tklqt_delta: f64,
+    /// GPU-idle change in nanoseconds, candidate − baseline.
+    pub gpu_idle_delta: f64,
+    /// Kernel-count change, candidate − baseline.
+    pub kernel_count_delta: i64,
+    /// GPU-utilization change, candidate − baseline, in [−1, 1].
+    pub gpu_utilization_delta: f64,
+}
+
+impl ReportDelta {
+    /// Compares `candidate` against `baseline`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use skip_core::{ProfileReport, ReportDelta};
+    /// use skip_hw::Platform;
+    /// use skip_llm::{zoo, Phase, Workload};
+    /// use skip_runtime::{Engine, ExecMode};
+    ///
+    /// let engine = Engine::new(Platform::intel_h100());
+    /// let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512);
+    /// let eager = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
+    /// let flash = ProfileReport::analyze(&engine.run(&wl, ExecMode::FlashAttention2));
+    /// let delta = ReportDelta::between(&eager, &flash);
+    /// // FlashAttention launches fewer kernels and is no slower.
+    /// assert!(delta.kernel_count_delta < 0);
+    /// assert!(delta.speedup >= 1.0);
+    /// ```
+    #[must_use]
+    pub fn between(baseline: &ProfileReport, candidate: &ProfileReport) -> Self {
+        let b_il = baseline.inference_latency.as_nanos_f64().max(1.0);
+        let c_il = candidate.inference_latency.as_nanos_f64().max(1.0);
+        ReportDelta {
+            speedup: b_il / c_il,
+            tklqt_delta: candidate.tklqt.as_nanos_f64() - baseline.tklqt.as_nanos_f64(),
+            gpu_idle_delta: candidate.gpu_idle.as_nanos_f64() - baseline.gpu_idle.as_nanos_f64(),
+            kernel_count_delta: candidate.kernel_count as i64 - baseline.kernel_count as i64,
+            gpu_utilization_delta: candidate.gpu_utilization() - baseline.gpu_utilization(),
+        }
+    }
+
+    /// The latency saved by the candidate (zero if it is slower).
+    #[must_use]
+    pub fn latency_saved(&self, baseline: &ProfileReport) -> SimDuration {
+        if self.speedup <= 1.0 {
+            return SimDuration::ZERO;
+        }
+        let b = baseline.inference_latency.as_nanos_f64();
+        SimDuration::from_nanos_f64(b - b / self.speedup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_des::SimDuration;
+
+    fn report(il_ns: u64, tklqt_ns: u64, kernels: usize) -> ProfileReport {
+        ProfileReport {
+            tklqt: SimDuration::from_nanos(tklqt_ns),
+            akd: SimDuration::from_nanos(100),
+            inference_latency: SimDuration::from_nanos(il_ns),
+            gpu_idle: SimDuration::from_nanos(il_ns / 2),
+            cpu_idle: SimDuration::ZERO,
+            mean_launch_overhead_ns: 0.0,
+            kernel_count: kernels,
+            launch_count: kernels,
+            cpu_op_count: kernels,
+            total_kernel_time: SimDuration::from_nanos(il_ns / 2),
+        }
+    }
+
+    #[test]
+    fn speedup_is_baseline_over_candidate() {
+        let d = ReportDelta::between(&report(1000, 100, 10), &report(500, 40, 4));
+        assert!((d.speedup - 2.0).abs() < 1e-12);
+        assert_eq!(d.kernel_count_delta, -6);
+        assert!((d.tklqt_delta + 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_saved_clamps_for_slowdowns() {
+        let base = report(1000, 100, 10);
+        let slower = report(2000, 100, 10);
+        let d = ReportDelta::between(&base, &slower);
+        assert!(d.speedup < 1.0);
+        assert_eq!(d.latency_saved(&base), SimDuration::ZERO);
+        let faster = report(500, 100, 10);
+        let d2 = ReportDelta::between(&base, &faster);
+        assert_eq!(d2.latency_saved(&base), SimDuration::from_nanos(500));
+    }
+
+    #[test]
+    fn identical_reports_are_neutral() {
+        let r = report(1000, 100, 10);
+        let d = ReportDelta::between(&r, &r);
+        assert!((d.speedup - 1.0).abs() < 1e-12);
+        assert_eq!(d.kernel_count_delta, 0);
+        assert_eq!(d.gpu_utilization_delta, 0.0);
+    }
+}

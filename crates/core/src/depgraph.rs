@@ -1,0 +1,315 @@
+//! Operator–kernel dependency graph construction (paper §IV-A).
+//!
+//! Reconstructs the hierarchy a real profiler trace flattens away:
+//!
+//! * an operator `p` is the parent of operator `c` (or launch call `l`) if
+//!   `c` starts within `p`'s `[begin, end)` on the same thread, with the
+//!   *tightest* containing operator winning;
+//! * kernel `k` links to launch `l` through the CUDA correlation ID.
+//!
+//! The construction is a per-thread interval sweep: events sorted by
+//! `(begin asc, end desc)` visit parents before their children, so a stack
+//! of currently-open operators yields each node's innermost parent in
+//! O(n log n).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use skip_trace::{CorrelationId, OpId, ThreadId, Trace};
+
+/// Index of an operator within [`DependencyGraph::ops`] order (the trace's
+/// CPU-op order).
+pub type OpRef = usize;
+
+/// A launch call resolved against the graph: which operator issued it and
+/// which kernel it triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchLink {
+    /// Index into [`Trace::launches`].
+    pub launch_idx: usize,
+    /// The innermost operator containing the launch call, if any.
+    pub parent_op: Option<OpRef>,
+    /// Index into [`Trace::kernels`] of the kernel with the same
+    /// correlation ID, if one executed.
+    pub kernel_idx: Option<usize>,
+}
+
+/// The reconstructed operator–kernel dependency graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DependencyGraph {
+    /// `parent[i]` is the innermost operator containing operator `i`.
+    parent: Vec<Option<OpRef>>,
+    /// `children[i]` lists operators directly nested in operator `i`.
+    children: Vec<Vec<OpRef>>,
+    /// Root operators (no parent), in trace order.
+    roots: Vec<OpRef>,
+    /// Launch calls resolved to parent operators and kernels.
+    launches: Vec<LaunchLink>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph for `trace`.
+    ///
+    /// Operators with identical `(thread, begin)` are disambiguated by
+    /// longer-duration-first, so a parent whose first child starts at the
+    /// same instant still contains it — matching how SKIP treats zero-skew
+    /// profiler timestamps.
+    #[must_use]
+    pub fn build(trace: &Trace) -> Self {
+        let ops = trace.cpu_ops();
+        let n = ops.len();
+        let mut parent: Vec<Option<OpRef>> = vec![None; n];
+        let mut children: Vec<Vec<OpRef>> = vec![Vec::new(); n];
+        let mut roots = Vec::new();
+
+        // Group op indices per thread.
+        let mut per_thread: BTreeMap<ThreadId, Vec<OpRef>> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            per_thread.entry(op.thread).or_default().push(i);
+        }
+
+        for indices in per_thread.values() {
+            let mut sorted = indices.clone();
+            // Parents before children: earlier begin first; on ties the
+            // longer (outer) interval first.
+            sorted.sort_by(|&a, &b| {
+                (ops[a].begin, std::cmp::Reverse(ops[a].end))
+                    .cmp(&(ops[b].begin, std::cmp::Reverse(ops[b].end)))
+            });
+            let mut stack: Vec<OpRef> = Vec::new();
+            for &i in &sorted {
+                while let Some(&top) = stack.last() {
+                    // `top` contains `i` if i begins before top ends.
+                    if ops[i].begin < ops[top].end && ops[i].end <= ops[top].end {
+                        break;
+                    }
+                    stack.pop();
+                }
+                match stack.last() {
+                    Some(&p) => {
+                        parent[i] = Some(p);
+                        children[p].push(i);
+                    }
+                    None => roots.push(i),
+                }
+                stack.push(i);
+            }
+        }
+        roots.sort_unstable();
+        for ch in &mut children {
+            ch.sort_unstable();
+        }
+
+        // Kernel lookup by correlation.
+        let kernel_by_corr: BTreeMap<CorrelationId, usize> = trace
+            .kernels()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.correlation, i))
+            .collect();
+
+        // Attach launches to the innermost containing operator.
+        let launches = trace
+            .launches()
+            .iter()
+            .enumerate()
+            .map(|(launch_idx, l)| {
+                let mut best: Option<OpRef> = None;
+                for (i, op) in ops.iter().enumerate() {
+                    if op.thread == l.thread && op.contains(l.begin) {
+                        best = match best {
+                            Some(b) if ops[b].begin >= op.begin => Some(b),
+                            _ => Some(i),
+                        };
+                    }
+                }
+                LaunchLink {
+                    launch_idx,
+                    parent_op: best,
+                    kernel_idx: kernel_by_corr.get(&l.correlation).copied(),
+                }
+            })
+            .collect();
+
+        DependencyGraph {
+            parent,
+            children,
+            roots,
+            launches,
+        }
+    }
+
+    /// The innermost operator containing operator `i`.
+    #[must_use]
+    pub fn parent_of(&self, i: OpRef) -> Option<OpRef> {
+        self.parent.get(i).copied().flatten()
+    }
+
+    /// Operators directly nested in operator `i`.
+    #[must_use]
+    pub fn children_of(&self, i: OpRef) -> &[OpRef] {
+        &self.children[i]
+    }
+
+    /// Root (top-level) operators in trace order.
+    #[must_use]
+    pub fn roots(&self) -> &[OpRef] {
+        &self.roots
+    }
+
+    /// Resolved launch calls.
+    #[must_use]
+    pub fn launches(&self) -> &[LaunchLink] {
+        &self.launches
+    }
+
+    /// The operator ID of the root ancestor of operator `i` — useful for
+    /// attributing a kernel to the top-level ATen operator that caused it.
+    #[must_use]
+    pub fn root_ancestor(&self, mut i: OpRef) -> OpRef {
+        while let Some(p) = self.parent_of(i) {
+            i = p;
+        }
+        i
+    }
+
+    /// Looks up the trace [`OpId`] for a graph node.
+    #[must_use]
+    pub fn op_id(&self, trace: &Trace, i: OpRef) -> OpId {
+        trace.cpu_ops()[i].id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_des::SimTime;
+    use skip_trace::{CpuOpEvent, KernelEvent, RuntimeLaunchEvent, StreamId, TraceMeta};
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    fn op(id: u64, name: &str, begin: u64, end: u64) -> CpuOpEvent {
+        CpuOpEvent {
+            id: OpId::new(id),
+            name: name.into(),
+            thread: ThreadId::MAIN,
+            begin: ns(begin),
+            end: ns(end),
+        }
+    }
+
+    /// aten::linear [0,100) contains aten::t [5,10) and aten::addmm
+    /// [10,90), which contains the launch at [20,25) → kernel corr 7.
+    fn nested_trace() -> Trace {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push_cpu_op(op(0, "aten::linear", 0, 100));
+        t.push_cpu_op(op(1, "aten::t", 5, 10));
+        t.push_cpu_op(op(2, "aten::addmm", 10, 90));
+        t.push_launch(RuntimeLaunchEvent {
+            name: "cudaLaunchKernel".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(20),
+            end: ns(25),
+            correlation: CorrelationId::new(7),
+        });
+        t.push_kernel(KernelEvent {
+            name: "gemm".into(),
+            stream: StreamId::DEFAULT,
+            begin: ns(40),
+            end: ns(80),
+            correlation: CorrelationId::new(7),
+        });
+        t
+    }
+
+    #[test]
+    fn containment_produces_expected_hierarchy() {
+        let t = nested_trace();
+        let g = DependencyGraph::build(&t);
+        assert_eq!(g.roots(), &[0]);
+        assert_eq!(g.parent_of(1), Some(0));
+        assert_eq!(g.parent_of(2), Some(0));
+        assert_eq!(g.children_of(0), &[1, 2]);
+        assert_eq!(g.parent_of(0), None);
+    }
+
+    #[test]
+    fn launch_attaches_to_innermost_op_and_kernel() {
+        let t = nested_trace();
+        let g = DependencyGraph::build(&t);
+        let l = &g.launches()[0];
+        assert_eq!(l.parent_op, Some(2), "addmm is the innermost container");
+        assert_eq!(l.kernel_idx, Some(0));
+    }
+
+    #[test]
+    fn root_ancestor_walks_to_top() {
+        let t = nested_trace();
+        let g = DependencyGraph::build(&t);
+        assert_eq!(g.root_ancestor(2), 0);
+        assert_eq!(g.root_ancestor(1), 0);
+        assert_eq!(g.root_ancestor(0), 0);
+    }
+
+    #[test]
+    fn sibling_ops_do_not_nest() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push_cpu_op(op(0, "a", 0, 10));
+        t.push_cpu_op(op(1, "b", 10, 20));
+        t.push_cpu_op(op(2, "c", 20, 30));
+        let g = DependencyGraph::build(&t);
+        assert_eq!(g.roots(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn different_threads_never_nest() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push_cpu_op(op(0, "outer", 0, 100));
+        let mut other = op(1, "elsewhere", 10, 20);
+        other.thread = ThreadId::new(5);
+        t.push_cpu_op(other);
+        let g = DependencyGraph::build(&t);
+        assert_eq!(g.parent_of(1), None);
+        assert_eq!(g.roots().len(), 2);
+    }
+
+    #[test]
+    fn equal_begin_ties_resolve_outer_first() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push_cpu_op(op(0, "inner", 0, 10)); // same begin, shorter
+        t.push_cpu_op(op(1, "outer", 0, 50));
+        let g = DependencyGraph::build(&t);
+        assert_eq!(g.parent_of(0), Some(1));
+        assert_eq!(g.roots(), &[1]);
+    }
+
+    #[test]
+    fn orphan_launch_has_no_parent() {
+        let mut t = Trace::new(TraceMeta::default());
+        t.push_launch(RuntimeLaunchEvent {
+            name: "cudaMemcpyAsync".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(5),
+            end: ns(6),
+            correlation: CorrelationId::new(1),
+        });
+        let g = DependencyGraph::build(&t);
+        assert_eq!(g.launches()[0].parent_op, None);
+        assert_eq!(g.launches()[0].kernel_idx, None);
+    }
+
+    #[test]
+    fn deep_nesting_chain() {
+        let mut t = Trace::new(TraceMeta::default());
+        for i in 0..10u64 {
+            t.push_cpu_op(op(i, "level", i, 100 - i));
+        }
+        let g = DependencyGraph::build(&t);
+        for i in 1..10usize {
+            assert_eq!(g.parent_of(i), Some(i - 1));
+        }
+        assert_eq!(g.root_ancestor(9), 0);
+    }
+}

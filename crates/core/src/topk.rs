@@ -1,0 +1,138 @@
+//! Top-k kernel tracking (§III-A-5): the most frequently invoked kernels,
+//! for focusing micro-optimization on the highest aggregate offload tax.
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+use skip_trace::Trace;
+use std::collections::BTreeMap;
+
+/// Aggregate statistics for one kernel name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStat {
+    /// Kernel name.
+    pub name: String,
+    /// Number of invocations.
+    pub count: usize,
+    /// Total execution time across invocations.
+    pub total_time: SimDuration,
+}
+
+impl KernelStat {
+    /// Mean duration per invocation.
+    #[must_use]
+    pub fn mean_duration(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_time / self.count as u64
+        }
+    }
+}
+
+/// The `k` most frequently invoked kernels in `trace`, ties broken by
+/// total time then name (deterministic).
+///
+/// # Example
+///
+/// ```
+/// use skip_hw::Platform;
+/// use skip_llm::{zoo, Phase, Workload};
+/// use skip_runtime::{Engine, ExecMode};
+///
+/// let trace = Engine::new(Platform::intel_h100())
+///     .run(&Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512), ExecMode::Eager);
+/// let top = skip_core::top_kernels(&trace, 5);
+/// assert_eq!(top.len(), 5);
+/// assert!(top[0].count >= top[4].count);
+/// ```
+#[must_use]
+pub fn top_kernels(trace: &Trace, k: usize) -> Vec<KernelStat> {
+    let mut agg: BTreeMap<&str, (usize, SimDuration)> = BTreeMap::new();
+    for kernel in trace.kernels() {
+        let e = agg
+            .entry(kernel.name.as_str())
+            .or_insert((0, SimDuration::ZERO));
+        e.0 += 1;
+        e.1 += kernel.duration();
+    }
+    let mut stats: Vec<KernelStat> = agg
+        .into_iter()
+        .map(|(name, (count, total_time))| KernelStat {
+            name: name.to_owned(),
+            count,
+            total_time,
+        })
+        .collect();
+    stats.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then(b.total_time.cmp(&a.total_time))
+            .then(a.name.cmp(&b.name))
+    });
+    stats.truncate(k);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_des::SimTime;
+    use skip_trace::{
+        CorrelationId, KernelEvent, RuntimeLaunchEvent, StreamId, ThreadId, TraceMeta,
+    };
+
+    fn trace_with(names: &[&str]) -> Trace {
+        let mut t = Trace::new(TraceMeta::default());
+        let mut clock = 0u64;
+        for (i, name) in names.iter().enumerate() {
+            t.push_launch(RuntimeLaunchEvent {
+                name: "cudaLaunchKernel".into(),
+                thread: ThreadId::MAIN,
+                begin: SimTime::from_nanos(clock),
+                end: SimTime::from_nanos(clock + 1),
+                correlation: CorrelationId::new(i as u64),
+            });
+            t.push_kernel(KernelEvent {
+                name: (*name).into(),
+                stream: StreamId::DEFAULT,
+                begin: SimTime::from_nanos(clock + 2),
+                end: SimTime::from_nanos(clock + 12),
+                correlation: CorrelationId::new(i as u64),
+            });
+            clock += 20;
+        }
+        t
+    }
+
+    #[test]
+    fn counts_and_orders_by_frequency() {
+        let t = trace_with(&["a", "b", "a", "c", "a", "b"]);
+        let top = top_kernels(&t, 2);
+        assert_eq!(top[0].name, "a");
+        assert_eq!(top[0].count, 3);
+        assert_eq!(top[1].name, "b");
+        assert_eq!(top[1].count, 2);
+    }
+
+    #[test]
+    fn mean_duration_divides_total() {
+        let t = trace_with(&["x", "x"]);
+        let top = top_kernels(&t, 1);
+        assert_eq!(top[0].mean_duration(), SimDuration::from_nanos(10));
+    }
+
+    #[test]
+    fn k_larger_than_distinct_names_is_fine() {
+        let t = trace_with(&["only"]);
+        assert_eq!(top_kernels(&t, 10).len(), 1);
+        assert!(top_kernels(&Trace::default(), 3).is_empty());
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_name() {
+        let t = trace_with(&["b", "a"]);
+        let top = top_kernels(&t, 2);
+        assert_eq!(top[0].name, "a");
+        assert_eq!(top[1].name, "b");
+    }
+}

@@ -1,0 +1,192 @@
+//! K-server resources: FIFO admission onto the first-free of `k` lanes.
+//!
+//! Where [`FifoResource`](crate::FifoResource) models a single serial lane
+//! (one CUDA stream), `CapacityResource` models `k` interchangeable lanes —
+//! replica fleets, multi-stream copy engines, SM partitions. Work is
+//! admitted in submission order onto whichever lane frees first.
+
+use serde::{Deserialize, Serialize};
+
+use crate::resource::Busy;
+use crate::time::{SimDuration, SimTime};
+
+/// A pool of `k` identical serial lanes with FIFO admission.
+///
+/// # Example
+///
+/// ```
+/// use skip_des::{CapacityResource, SimDuration, SimTime};
+///
+/// let mut pool = CapacityResource::new(2);
+/// let a = pool.admit(SimTime::ZERO, SimDuration::from_nanos(100));
+/// let b = pool.admit(SimTime::ZERO, SimDuration::from_nanos(100));
+/// // Two lanes: both start immediately.
+/// assert_eq!(a.busy.start, b.busy.start);
+/// // A third job queues behind the earliest-finishing lane.
+/// let c = pool.admit(SimTime::ZERO, SimDuration::from_nanos(10));
+/// assert_eq!(c.busy.start, SimTime::from_nanos(100));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityResource {
+    free_at: Vec<SimTime>,
+    busy_total: SimDuration,
+    admitted: u64,
+}
+
+/// The placement a [`CapacityResource`] assigned to one admitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Index of the lane the job ran on.
+    pub lane: usize,
+    /// The busy interval occupied.
+    pub busy: Busy,
+}
+
+impl CapacityResource {
+    /// Creates a pool of `lanes` lanes, all free from the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "a resource needs at least one lane");
+        CapacityResource {
+            free_at: vec![SimTime::ZERO; lanes],
+            busy_total: SimDuration::ZERO,
+            admitted: 0,
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Admits a job available at `available` with the given duration onto
+    /// the earliest-free lane (ties broken by lowest index —
+    /// deterministic).
+    pub fn admit(&mut self, available: SimTime, duration: SimDuration) -> Placement {
+        let (lane, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .expect("at least one lane");
+        let start = available.max(free);
+        let end = start + duration;
+        self.free_at[lane] = end;
+        self.busy_total += duration;
+        self.admitted += 1;
+        Placement {
+            lane,
+            busy: Busy { start, end },
+        }
+    }
+
+    /// The instant at which *some* lane is next free.
+    #[must_use]
+    pub fn next_free(&self) -> SimTime {
+        self.free_at.iter().copied().min().expect("non-empty")
+    }
+
+    /// The instant at which *all* lanes are free.
+    #[must_use]
+    pub fn all_free(&self) -> SimTime {
+        self.free_at.iter().copied().max().expect("non-empty")
+    }
+
+    /// Total busy time across all lanes.
+    #[must_use]
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Jobs admitted so far.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Mean lane utilization over `[0, horizon)`.
+    #[must_use]
+    pub fn utilization_until(&self, horizon: SimTime) -> f64 {
+        let total = horizon.as_nanos() as f64 * self.lanes() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        // busy_total may exceed the horizon portion if jobs run past it;
+        // clamp for a [0, 1] answer.
+        (self.busy_total.as_nanos_f64() / total).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+    fn d(v: u64) -> SimDuration {
+        SimDuration::from_nanos(v)
+    }
+
+    #[test]
+    fn jobs_spread_across_lanes() {
+        let mut pool = CapacityResource::new(3);
+        let lanes: Vec<usize> = (0..3).map(|_| pool.admit(ns(0), d(50)).lane).collect();
+        let mut sorted = lanes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fourth_job_queues_behind_earliest_finisher() {
+        let mut pool = CapacityResource::new(2);
+        pool.admit(ns(0), d(100));
+        pool.admit(ns(0), d(30));
+        let p = pool.admit(ns(0), d(10));
+        assert_eq!(p.busy.start, ns(30), "joins the lane freeing at 30");
+        assert_eq!(p.lane, 1);
+    }
+
+    #[test]
+    fn single_lane_behaves_like_fifo_resource() {
+        let mut pool = CapacityResource::new(1);
+        let a = pool.admit(ns(0), d(10));
+        let b = pool.admit(ns(0), d(10));
+        assert_eq!(a.busy.end, b.busy.start);
+        assert_eq!(pool.next_free(), ns(20));
+        assert_eq!(pool.all_free(), ns(20));
+    }
+
+    #[test]
+    fn k_lanes_give_k_fold_throughput() {
+        let run = |lanes: usize| {
+            let mut pool = CapacityResource::new(lanes);
+            for _ in 0..32 {
+                pool.admit(ns(0), d(10));
+            }
+            pool.all_free()
+        };
+        assert_eq!(run(1), ns(320));
+        assert_eq!(run(4), ns(80));
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let mut pool = CapacityResource::new(2);
+        pool.admit(ns(0), d(50));
+        let u = pool.utilization_until(ns(100));
+        assert!((u - 0.25).abs() < 1e-12);
+        assert_eq!(pool.utilization_until(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = CapacityResource::new(0);
+    }
+}

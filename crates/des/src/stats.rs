@@ -1,0 +1,140 @@
+//! Small statistics helpers shared across the stack.
+//!
+//! The profiler and the experiment harness repeatedly need means,
+//! percentiles and min/max summaries of nanosecond samples; centralizing
+//! them here keeps the implementations consistent (nearest-rank percentile,
+//! empty-input behaviour) everywhere a figure is produced.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean of `samples`; `0.0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(skip_des::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(skip_des::mean(&[]), 0.0);
+/// ```
+#[must_use]
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Nearest-rank percentile of `samples` (``p`` in ``[0, 100]``).
+///
+/// Sorts a copy; `0.0` for an empty slice. `p = 0` yields the minimum and
+/// `p = 100` the maximum.
+///
+/// # Example
+///
+/// ```
+/// let xs = [10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(skip_des::percentile(&xs, 50.0), 20.0);
+/// assert_eq!(skip_des::percentile(&xs, 100.0), 40.0);
+/// ```
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+    let p = p.clamp(0.0, 100.0);
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1)]
+}
+
+/// A five-number-ish summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples`; all fields zero for an empty slice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use skip_des::Summary;
+    ///
+    /// let s = Summary::of(&[3.0, 1.0, 2.0]);
+    /// assert_eq!(s.count, 3);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 3.0);
+    /// assert_eq!(s.p50, 2.0);
+    /// ```
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        Summary {
+            count: samples.len(),
+            mean: mean(samples),
+            min: percentile(samples, 0.0),
+            p50: percentile(samples, 50.0),
+            p99: percentile(samples, 99.0),
+            max: percentile(samples, 100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let xs = [5.0, 1.0, 9.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 9.0);
+        assert_eq!(percentile(&xs, 50.0), 5.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let xs = [1.0, 2.0];
+        assert_eq!(percentile(&xs, -10.0), 1.0);
+        assert_eq!(percentile(&xs, 400.0), 2.0);
+    }
+
+    #[test]
+    fn summary_consistency() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_default() {
+        assert_eq!(Summary::of(&[]), Summary::default());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the DES core invariants.
+
+use proptest::prelude::*;
+use skip_des::{EventQueue, FifoResource, SimDuration, SimTime, Simulator};
+
+proptest! {
+    /// Events always pop in non-decreasing time order regardless of
+    /// insertion order, and FIFO among ties.
+    #[test]
+    fn queue_pops_in_time_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, u64)> = None;
+        while let Some(s) = q.pop() {
+            if let Some((lt, lseq)) = last {
+                prop_assert!(s.at > lt || (s.at == lt && s.seq > lseq),
+                    "ordering violated: {:?} after {:?}", (s.at, s.seq), (lt, lseq));
+            }
+            last = Some((s.at, s.seq));
+        }
+    }
+
+    /// The simulator clock is monotone for any event cascade.
+    #[test]
+    fn simulator_clock_monotone(delays in proptest::collection::vec(0u64..100, 1..100)) {
+        let mut sim = Simulator::new();
+        for (i, &d) in delays.iter().enumerate() {
+            sim.schedule(SimTime::from_nanos(d), i);
+        }
+        let mut last = SimTime::ZERO;
+        sim.run(|ctx, _| {
+            assert!(ctx.now() >= last);
+            last = ctx.now();
+        });
+    }
+
+    /// FIFO resource invariants: intervals are disjoint, ordered, start no
+    /// earlier than availability, and busy_total equals the interval sum.
+    #[test]
+    fn fifo_resource_invariants(
+        work in proptest::collection::vec((0u64..10_000, 0u64..500), 1..100)
+    ) {
+        let mut r = FifoResource::new();
+        let mut last_avail = 0u64;
+        for (gap, dur) in work {
+            // Availability must be non-decreasing (serial submitter).
+            last_avail += gap;
+            let busy = r.admit(SimTime::from_nanos(last_avail), SimDuration::from_nanos(dur));
+            prop_assert!(busy.start >= SimTime::from_nanos(last_avail));
+            prop_assert_eq!(busy.end.duration_since(busy.start), SimDuration::from_nanos(dur));
+        }
+        let sum: SimDuration = r.intervals().iter().map(|iv| iv.duration()).sum();
+        prop_assert_eq!(sum, r.busy_total());
+        for w in r.intervals().windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    /// idle + busy within a horizon equals the horizon length.
+    #[test]
+    fn idle_busy_partition(
+        work in proptest::collection::vec((0u64..1_000, 1u64..200), 1..50)
+    ) {
+        let mut r = FifoResource::new();
+        let mut avail = 0u64;
+        for (gap, dur) in work {
+            avail += gap;
+            r.admit(SimTime::from_nanos(avail), SimDuration::from_nanos(dur));
+        }
+        let horizon = r.free_at();
+        let idle = r.idle_until(horizon);
+        prop_assert_eq!(idle + r.busy_total(), horizon.duration_since(SimTime::ZERO));
+    }
+
+    /// Percentile is always an element of the input and bounded by min/max.
+    #[test]
+    fn percentile_within_bounds(
+        xs in proptest::collection::vec(0u64..1_000_000, 1..100),
+        p in 0.0f64..100.0
+    ) {
+        let xs: Vec<f64> = xs.into_iter().map(|v| v as f64).collect();
+        let v = skip_des::percentile(&xs, p);
+        prop_assert!(xs.contains(&v));
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min && v <= max);
+    }
+}

@@ -1,0 +1,268 @@
+//! Chain statistics and the idealized fusion payoff (paper Eqs. 6–8,
+//! Figs. 7–8).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use skip_trace::Trace;
+
+use crate::sequence::KernelSequences;
+
+/// Full chain analysis of a kernel stream at one chain length `L` — one
+/// cell of each Fig. 7 heatmap, plus the Fig. 8 speedup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionAnalysis {
+    /// The chain length `L` analyzed.
+    pub chain_len: usize,
+    /// Number of distinct length-`L` chains in the stream (Fig. 7a).
+    pub unique_chains: usize,
+    /// Total chain instances, overlapping occurrences included (Fig. 7b).
+    pub total_instances: usize,
+    /// Non-overlapping deterministic (PS = 1) chains fused by the greedy
+    /// cover — the paper's `C_fused`.
+    pub fused_chains: usize,
+    /// Kernels participating in fused chains: `C_fused · L` (Fig. 7c).
+    pub kernels_fused: usize,
+    /// Total eager kernel launches, `K_eager` (Fig. 7d).
+    pub k_eager: usize,
+    /// Launches after fusion, `K_fused = K_eager − C_fused · (L−1)`
+    /// (Eq. 7).
+    pub k_fused: usize,
+}
+
+impl FusionAnalysis {
+    /// Analyzes the kernel stream of `trace` at chain length `chain_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain_len < 2` (a chain of one kernel is not a fusion).
+    #[must_use]
+    pub fn of_trace(trace: &Trace, chain_len: usize) -> Self {
+        Self::of_sequences(&KernelSequences::from_trace(trace), chain_len)
+    }
+
+    /// Analyzes pre-extracted sequences at chain length `chain_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain_len < 2`.
+    #[must_use]
+    pub fn of_sequences(seqs: &KernelSequences, chain_len: usize) -> Self {
+        assert!(chain_len >= 2, "a fusion chain needs at least two kernels");
+        let l = chain_len;
+        let k_eager = seqs.total_kernels();
+
+        // f(C): occurrences of each distinct window (overlap allowed).
+        let mut chain_freq: BTreeMap<&[u32], usize> = BTreeMap::new();
+        // f(k_i): *every* occurrence of the kernel in the stream (Eq. 6).
+        // An occurrence too close to the end of its sequence cannot start
+        // the chain, so it automatically counts against determinism.
+        let mut anchor_freq: BTreeMap<u32, usize> = BTreeMap::new();
+        for seq in seqs.sequences() {
+            for &k in seq {
+                *anchor_freq.entry(k).or_insert(0) += 1;
+            }
+            for w in seq.windows(l) {
+                *chain_freq.entry(w).or_insert(0) += 1;
+            }
+        }
+        let unique_chains = chain_freq.len();
+        let total_instances: usize = chain_freq.values().sum();
+
+        // A window is deterministic iff *every* occurrence of its anchor
+        // kernel is followed by exactly this window: f(C) == f(k_i).
+        let deterministic = |w: &[u32]| -> bool {
+            let fc = chain_freq.get(w).copied().unwrap_or(0);
+            let fk = anchor_freq.get(&w[0]).copied().unwrap_or(0);
+            fk > 0 && fc == fk
+        };
+
+        // Greedy left-to-right non-overlapping cover by deterministic
+        // chains (the paper: "actual fusions are limited to a few
+        // non-overlapping chains").
+        let mut fused_chains = 0usize;
+        for seq in seqs.sequences() {
+            let mut i = 0;
+            while i + l <= seq.len() {
+                if deterministic(&seq[i..i + l]) {
+                    fused_chains += 1;
+                    i += l;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        let k_fused = k_eager - fused_chains * (l - 1);
+        FusionAnalysis {
+            chain_len: l,
+            unique_chains,
+            total_instances,
+            fused_chains,
+            kernels_fused: fused_chains * l,
+            k_eager,
+            k_fused,
+        }
+    }
+
+    /// The idealized speedup from pure launch savings, `K_eager / K_fused`
+    /// (Eq. 8). `1.0` when nothing fused or the stream is empty.
+    #[must_use]
+    pub fn ideal_speedup(&self) -> f64 {
+        if self.k_fused == 0 || self.k_eager == 0 {
+            1.0
+        } else {
+            self.k_eager as f64 / self.k_fused as f64
+        }
+    }
+
+    /// Runs the analysis across several chain lengths (one Fig. 8 series).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length is below 2.
+    #[must_use]
+    pub fn sweep(seqs: &KernelSequences, chain_lens: &[usize]) -> Vec<FusionAnalysis> {
+        chain_lens
+            .iter()
+            .map(|&l| FusionAnalysis::of_sequences(seqs, l))
+            .collect()
+    }
+}
+
+/// Computes the proximity score of the specific chain starting at
+/// `position` in `sequence_idx` (Eq. 6). Returns `None` if the window runs
+/// off the end of the sequence.
+#[must_use]
+pub fn proximity_score_at(
+    seqs: &KernelSequences,
+    sequence_idx: usize,
+    position: usize,
+    chain_len: usize,
+) -> Option<f64> {
+    let seq = seqs.sequences().get(sequence_idx)?;
+    if position + chain_len > seq.len() {
+        return None;
+    }
+    let target = &seq[position..position + chain_len];
+    let anchor = target[0];
+    let mut fc = 0usize;
+    let mut fk = 0usize;
+    for s in seqs.sequences() {
+        fk += s.iter().filter(|&&k| k == anchor).count();
+        for w in s.windows(chain_len) {
+            if w == target {
+                fc += 1;
+            }
+        }
+    }
+    (fk > 0).then(|| fc as f64 / fk as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(names: &[&str]) -> KernelSequences {
+        KernelSequences::from_name_sequences(&[names.to_vec()])
+    }
+
+    #[test]
+    fn fully_periodic_stream_fuses_everything() {
+        // abcabcabcabc (4 periods), L=3: "abc" is deterministic; greedy
+        // fuses 4 non-overlapping chains.
+        let s = seqs(&["a", "b", "c"].repeat(4));
+        let a = FusionAnalysis::of_sequences(&s, 3);
+        assert_eq!(a.k_eager, 12);
+        assert_eq!(a.fused_chains, 4);
+        assert_eq!(a.k_fused, 12 - 4 * 2);
+        assert_eq!(a.kernels_fused, 12);
+        assert!((a.ideal_speedup() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_deterministic_anchor_blocks_fusion() {
+        // "ab" sometimes continues "abx", sometimes "aby" → PS(abx) = 0.5,
+        // so no chain anchored at "a" fuses. The chain "xab" anchored at
+        // the unique "x" *is* deterministic.
+        let s = seqs(&["a", "b", "x", "a", "b", "y"]);
+        let a = FusionAnalysis::of_sequences(&s, 3);
+        assert_eq!(a.fused_chains, 1);
+        // L=2: "ab" is deterministic (both a-anchored windows are "ab").
+        let a2 = FusionAnalysis::of_sequences(&s, 2);
+        assert!(a2.fused_chains >= 2);
+    }
+
+    #[test]
+    fn unique_and_total_instances_count_windows() {
+        let s = seqs(&["a", "b", "a", "b", "a"]);
+        let a = FusionAnalysis::of_sequences(&s, 2);
+        // Windows: ab, ba, ab, ba → 2 unique, 4 total.
+        assert_eq!(a.unique_chains, 2);
+        assert_eq!(a.total_instances, 4);
+    }
+
+    #[test]
+    fn chain_longer_than_stream_fuses_nothing() {
+        let s = seqs(&["a", "b", "c"]);
+        let a = FusionAnalysis::of_sequences(&s, 8);
+        assert_eq!(a.unique_chains, 0);
+        assert_eq!(a.fused_chains, 0);
+        assert_eq!(a.k_fused, a.k_eager);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two kernels")]
+    fn chain_len_one_rejected() {
+        let s = seqs(&["a"]);
+        let _ = FusionAnalysis::of_sequences(&s, 1);
+    }
+
+    #[test]
+    fn tail_breaks_chains_anchored_before_it() {
+        // Periodic body with a distinct tail (decoder LM-head analogue).
+        let mut names = ["a", "b", "c"].repeat(4);
+        names.push("T");
+        let s = seqs(&names);
+        // L=4: chains anchored at 'a' see mixed continuations (a b c a)
+        // vs (a b c T); chains anchored at 'b'/'c' have final occurrences
+        // too close to the end to complete — under strict Eq. 6 both count
+        // against determinism, so nothing fuses.
+        let a4 = FusionAnalysis::of_sequences(&s, 4);
+        assert_eq!(a4.fused_chains, 0);
+        // L=3 is deterministic at anchor 'a' (every occurrence completes
+        // as "abc", including the one just before the tail).
+        let a3 = FusionAnalysis::of_sequences(&s, 3);
+        assert_eq!(a3.fused_chains, 4);
+    }
+
+    #[test]
+    fn proximity_score_at_positions() {
+        let s = seqs(&["a", "b", "x", "a", "b", "y"]);
+        let ps = proximity_score_at(&s, 0, 0, 3).unwrap();
+        assert!((ps - 0.5).abs() < 1e-12);
+        assert_eq!(proximity_score_at(&s, 0, 5, 3), None);
+        let ps2 = proximity_score_at(&s, 0, 0, 2).unwrap();
+        assert!((ps2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strict_ps_requires_every_occurrence_to_complete() {
+        let s = seqs(&["a", "b", "c", "d"].repeat(16));
+        let sweep = FusionAnalysis::sweep(&s, &[2, 4, 8, 16, 32]);
+        for a in &sweep {
+            assert_eq!(a.k_eager, 64);
+            assert!(a.ideal_speedup() >= 1.0);
+        }
+        // L=2: both (a b) and (c d) are deterministic → 32 fused pairs.
+        assert_eq!(sweep[0].fused_chains, 32);
+        assert!((sweep[0].ideal_speedup() - 2.0).abs() < 1e-12);
+        // L=4: the full period is deterministic → 16 fused chains.
+        assert_eq!(sweep[1].fused_chains, 16);
+        assert!((sweep[1].ideal_speedup() - 4.0).abs() < 1e-12);
+        // L≥8: the final period's anchors cannot complete an 8-chain, so
+        // under strict Eq. 6 no chain is deterministic.
+        assert_eq!(sweep[2].fused_chains, 0);
+        assert_eq!(sweep[4].ideal_speedup(), 1.0);
+    }
+}

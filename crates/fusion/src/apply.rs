@@ -1,0 +1,172 @@
+//! Applying fusion recommendations — the paper's §VI future work.
+//!
+//! §V-C computes only the *idealized* payoff of fusing deterministic
+//! chains (Eqs. 7–8: pure launch-count arithmetic). This module actually
+//! *performs* the fusion on a kernel stream: it finds the greedy
+//! non-overlapping deterministic cover at a chain length and merges each
+//! covered window into a single [`KernelClass::FusedChain`] kernel whose
+//! work is the sum of its members. Replaying the fused stream through the
+//! execution engine then yields a *measured* speedup to compare against
+//! Eq. 8 — including the second-order effects the idealized number
+//! ignores (per-kernel device overhead collapsing, CPU dispatch that is
+//! not per-launch, queuing interactions).
+//!
+//! [`KernelClass::FusedChain`]: skip_hw::KernelClass::FusedChain
+
+use serde::{Deserialize, Serialize};
+use skip_hw::{KernelClass, KernelWork};
+use skip_llm::KernelSpec;
+
+use crate::sequence::KernelSequences;
+
+/// The result of applying fusion to a kernel stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedStream {
+    /// The transformed stream: fused chains replaced by single kernels.
+    pub kernels: Vec<KernelSpec>,
+    /// Number of chains fused (`C_fused`).
+    pub chains_fused: usize,
+    /// Launches eliminated (`C_fused · (L − 1)`).
+    pub launches_saved: usize,
+    /// The chain length used.
+    pub chain_len: usize,
+}
+
+impl FusedStream {
+    /// `K_fused` of the transformed stream.
+    #[must_use]
+    pub fn launch_count(&self) -> usize {
+        self.kernels.len()
+    }
+}
+
+/// Applies proximity-score fusion at `chain_len` to `kernels` (a launch
+/// stream with work annotations, e.g. from
+/// [`OperatorGraph::kernels_in_order`]).
+///
+/// Deterministic chains are identified exactly as in
+/// [`FusionAnalysis`](crate::FusionAnalysis) (strict Eq. 6 over the name
+/// stream) and covered greedily left-to-right without overlap. Each
+/// covered window becomes one fused kernel:
+///
+/// * FLOPs and bytes are the member sums (the work still happens);
+/// * the class becomes [`KernelClass::FusedChain`], so the device pays the
+///   fixed kernel overhead *once* instead of `L` times.
+///
+/// # Panics
+///
+/// Panics if `chain_len < 2`.
+///
+/// [`OperatorGraph::kernels_in_order`]: skip_llm::OperatorGraph::kernels_in_order
+#[must_use]
+pub fn apply_fusion(kernels: &[KernelSpec], chain_len: usize) -> FusedStream {
+    assert!(chain_len >= 2, "a fusion chain needs at least two kernels");
+    let l = chain_len;
+    let names: Vec<Vec<&str>> = vec![kernels.iter().map(|k| k.name.as_str()).collect()];
+    let seqs = KernelSequences::from_name_sequences(&names);
+    let seq = &seqs.sequences()[0];
+
+    // Strict Eq. 6 determinism, as in FusionAnalysis.
+    let mut anchor_freq = std::collections::BTreeMap::new();
+    let mut chain_freq = std::collections::BTreeMap::new();
+    for &k in seq {
+        *anchor_freq.entry(k).or_insert(0usize) += 1;
+    }
+    for w in seq.windows(l) {
+        *chain_freq.entry(w).or_insert(0usize) += 1;
+    }
+    let deterministic = |w: &[u32]| chain_freq.get(w) == anchor_freq.get(&w[0]);
+
+    let mut out = Vec::with_capacity(kernels.len());
+    let mut chains_fused = 0usize;
+    let mut i = 0;
+    while i < kernels.len() {
+        if i + l <= kernels.len() && deterministic(&seq[i..i + l]) {
+            let members = &kernels[i..i + l];
+            let flops: f64 = members.iter().map(|k| k.work.flops).sum();
+            let bytes: f64 = members.iter().map(|k| k.work.bytes).sum();
+            out.push(KernelSpec::new(
+                format!("fused_chain_{}_{l}", members[0].name),
+                KernelWork {
+                    class: KernelClass::FusedChain,
+                    flops,
+                    bytes,
+                },
+            ));
+            chains_fused += 1;
+            i += l;
+        } else {
+            out.push(kernels[i].clone());
+            i += 1;
+        }
+    }
+
+    FusedStream {
+        kernels: out,
+        chains_fused,
+        launches_saved: chains_fused * (l - 1),
+        chain_len: l,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> KernelSpec {
+        KernelSpec::new(
+            name,
+            KernelWork {
+                class: KernelClass::Elementwise,
+                flops: 10.0,
+                bytes: 100.0,
+            },
+        )
+    }
+
+    #[test]
+    fn periodic_stream_fuses_and_preserves_work() {
+        let kernels: Vec<KernelSpec> = ["a", "b", "c"]
+            .repeat(4)
+            .into_iter()
+            .map(spec)
+            .collect();
+        let fused = apply_fusion(&kernels, 3);
+        assert_eq!(fused.chains_fused, 4);
+        assert_eq!(fused.launch_count(), 4);
+        assert_eq!(fused.launches_saved, 8);
+        let flops: f64 = fused.kernels.iter().map(|k| k.work.flops).sum();
+        assert_eq!(flops, 120.0);
+        assert!(fused
+            .kernels
+            .iter()
+            .all(|k| k.work.class == KernelClass::FusedChain));
+    }
+
+    #[test]
+    fn launch_arithmetic_matches_eq7() {
+        let kernels: Vec<KernelSpec> = ["x", "y"].repeat(8).into_iter().map(spec).collect();
+        let fused = apply_fusion(&kernels, 2);
+        assert_eq!(
+            fused.launch_count() + fused.launches_saved,
+            kernels.len(),
+            "Eq. 7 bookkeeping"
+        );
+    }
+
+    #[test]
+    fn non_deterministic_streams_pass_through() {
+        let kernels: Vec<KernelSpec> =
+            ["a", "b", "x", "a", "b", "y"].into_iter().map(spec).collect();
+        let fused = apply_fusion(&kernels, 3);
+        // Only the x-anchored chain is deterministic.
+        assert_eq!(fused.chains_fused, 1);
+        assert_eq!(fused.launch_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two kernels")]
+    fn rejects_unit_chains() {
+        let _ = apply_fusion(&[spec("a")], 1);
+    }
+}

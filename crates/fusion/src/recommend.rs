@@ -1,0 +1,188 @@
+//! Threshold-based fusion recommendation (paper §III-C: "to recommend
+//! fusion based on a proximity score threshold T, we suggest PS(C) ≥ T").
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use skip_trace::Trace;
+
+use crate::sequence::KernelSequences;
+
+/// One recommended kernel chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusionRecommendation {
+    /// The kernel names of the chain, in launch order.
+    pub chain: Vec<String>,
+    /// The chain's proximity score (Eq. 6).
+    pub proximity_score: f64,
+    /// Occurrences of the chain in the stream (overlap allowed).
+    pub occurrences: usize,
+    /// Launches saved if every *non-overlapping* occurrence is fused:
+    /// `⌊occurrences-per-cover⌋ · (L−1)` approximated by greedy cover count.
+    pub est_launch_savings: usize,
+}
+
+/// Recommends chains of length `chain_len` with `PS(C) ≥ threshold`,
+/// ordered by estimated launch savings (descending), then lexicographically
+/// (deterministic output).
+///
+/// # Panics
+///
+/// Panics if `chain_len < 2` or `threshold` is not within `(0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use skip_hw::Platform;
+/// use skip_llm::{zoo, Phase, Workload};
+/// use skip_runtime::{Engine, ExecMode};
+///
+/// let trace = Engine::new(Platform::intel_h100())
+///     .run(&Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512), ExecMode::Eager);
+/// let recs = skip_fusion::recommend(&trace, 8, 1.0);
+/// assert!(!recs.is_empty());
+/// assert!(recs.iter().all(|r| r.proximity_score >= 1.0));
+/// ```
+#[must_use]
+pub fn recommend(trace: &Trace, chain_len: usize, threshold: f64) -> Vec<FusionRecommendation> {
+    recommend_sequences(&KernelSequences::from_trace(trace), chain_len, threshold)
+}
+
+/// [`recommend`] over pre-extracted sequences.
+///
+/// # Panics
+///
+/// Panics if `chain_len < 2` or `threshold` is not within `(0, 1]`.
+#[must_use]
+pub fn recommend_sequences(
+    seqs: &KernelSequences,
+    chain_len: usize,
+    threshold: f64,
+) -> Vec<FusionRecommendation> {
+    assert!(chain_len >= 2, "a fusion chain needs at least two kernels");
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "threshold must be in (0, 1]"
+    );
+    let l = chain_len;
+
+    let mut chain_freq: BTreeMap<&[u32], usize> = BTreeMap::new();
+    // Strict Eq. 6: f(k_i) counts every occurrence of the anchor kernel.
+    let mut anchor_freq: BTreeMap<u32, usize> = BTreeMap::new();
+    for seq in seqs.sequences() {
+        for &k in seq {
+            *anchor_freq.entry(k).or_insert(0) += 1;
+        }
+        for w in seq.windows(l) {
+            *chain_freq.entry(w).or_insert(0) += 1;
+        }
+    }
+
+    let mut recs: Vec<FusionRecommendation> = chain_freq
+        .iter()
+        .filter_map(|(&w, &fc)| {
+            let fk = anchor_freq[&w[0]];
+            let ps = fc as f64 / fk as f64;
+            if ps + 1e-12 < threshold {
+                return None;
+            }
+            // Greedy non-overlapping occurrences of this specific chain.
+            let mut covers = 0usize;
+            for seq in seqs.sequences() {
+                let mut i = 0;
+                while i + l <= seq.len() {
+                    if &seq[i..i + l] == w {
+                        covers += 1;
+                        i += l;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            Some(FusionRecommendation {
+                chain: w.iter().map(|&id| seqs.name(id).to_owned()).collect(),
+                proximity_score: ps,
+                occurrences: fc,
+                est_launch_savings: covers * (l - 1),
+            })
+        })
+        .collect();
+
+    recs.sort_by(|a, b| {
+        b.est_launch_savings
+            .cmp(&a.est_launch_savings)
+            .then_with(|| a.chain.cmp(&b.chain))
+    });
+    recs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(names: &[&str]) -> KernelSequences {
+        KernelSequences::from_name_sequences(&[names.to_vec()])
+    }
+
+    #[test]
+    fn deterministic_chain_is_recommended_at_threshold_one() {
+        let s = seqs(&["a", "b", "c"].repeat(3));
+        let recs = recommend_sequences(&s, 3, 1.0);
+        assert!(recs
+            .iter()
+            .any(|r| r.chain == vec!["a".to_owned(), "b".into(), "c".into()]));
+        for r in &recs {
+            assert!((r.proximity_score - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn threshold_filters_probabilistic_chains() {
+        // "ab" continues to x twice, to y once → PS(abx)=2/3, PS(aby)=1/3.
+        let s = seqs(&["a", "b", "x", "a", "b", "y", "a", "b", "x"]);
+        let strict = recommend_sequences(&s, 3, 1.0);
+        assert!(strict.iter().all(|r| r.chain[0] != "a"));
+        let loose = recommend_sequences(&s, 3, 0.6);
+        assert!(loose
+            .iter()
+            .any(|r| r.chain == vec!["a".to_owned(), "b".into(), "x".into()]));
+    }
+
+    #[test]
+    fn recommendations_sorted_by_savings() {
+        let mut names = vec![];
+        for _ in 0..8 {
+            names.extend(["p", "q"]); // frequent deterministic pair
+        }
+        names.extend(["r", "s"]); // rare deterministic pair
+        let recs = recommend_sequences(&seqs(&names), 2, 1.0);
+        assert!(recs[0].est_launch_savings >= recs.last().unwrap().est_launch_savings);
+        assert_eq!(recs[0].chain, vec!["p".to_owned(), "q".into()]);
+    }
+
+    #[test]
+    fn savings_use_non_overlapping_occurrences() {
+        // "aaaa": windows of "aa" occur 3 times overlapping, but only 2
+        // non-overlapping fusions are possible. Under strict Eq. 6 the
+        // final 'a' cannot complete a pair, so PS = 3/4 — recommended only
+        // below threshold 1.
+        let s = seqs(&["a", "a", "a", "a"]);
+        assert!(recommend_sequences(&s, 2, 1.0).is_empty());
+        let recs = recommend_sequences(&s, 2, 0.7);
+        assert_eq!(recs[0].occurrences, 3);
+        assert!((recs[0].proximity_score - 0.75).abs() < 1e-12);
+        assert_eq!(recs[0].est_launch_savings, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in (0, 1]")]
+    fn threshold_out_of_range_panics() {
+        let _ = recommend_sequences(&seqs(&["a", "b"]), 2, 1.5);
+    }
+
+    #[test]
+    fn empty_stream_yields_no_recommendations() {
+        let s = KernelSequences::from_name_sequences::<&str>(&[]);
+        assert!(recommend_sequences(&s, 2, 1.0).is_empty());
+    }
+}

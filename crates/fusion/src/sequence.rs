@@ -1,0 +1,122 @@
+//! Kernel-launch sequence extraction and name interning.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use skip_trace::Trace;
+
+/// The kernel streams of a trace, one per GPU stream, with kernel names
+/// interned to dense IDs for fast chain analysis.
+///
+/// Kernels within a stream are ordered by execution begin time (identical
+/// to launch order under FIFO semantics). The paper's "kernel execution
+/// sequences separated by intervening CPU operator dependency" map to one
+/// sequence per stream here: within one eager forward pass the CPU only
+/// synchronizes at the very end, so each stream's launch order forms a
+/// single unbroken sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSequences {
+    names: Vec<String>,
+    sequences: Vec<Vec<u32>>,
+}
+
+impl KernelSequences {
+    /// Extracts sequences from `trace`.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Self {
+        let seqs: Vec<Vec<&str>> = trace
+            .streams()
+            .into_iter()
+            .map(|s| {
+                trace
+                    .kernels_on(s)
+                    .into_iter()
+                    .map(|k| k.name.as_str())
+                    .collect()
+            })
+            .collect();
+        Self::from_name_sequences(&seqs)
+    }
+
+    /// Builds sequences directly from name lists (useful for tests and for
+    /// analyzing streams that did not come from a trace).
+    #[must_use]
+    pub fn from_name_sequences<S: AsRef<str>>(seqs: &[Vec<S>]) -> Self {
+        let mut intern: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut names: Vec<String> = Vec::new();
+        let mut sequences = Vec::with_capacity(seqs.len());
+        for seq in seqs {
+            let mut ids = Vec::with_capacity(seq.len());
+            for name in seq {
+                let name = name.as_ref();
+                let id = *intern.entry(name).or_insert_with(|| {
+                    names.push(name.to_owned());
+                    (names.len() - 1) as u32
+                });
+                ids.push(id);
+            }
+            sequences.push(ids);
+        }
+        KernelSequences { names, sequences }
+    }
+
+    /// The interned sequences.
+    #[must_use]
+    pub fn sequences(&self) -> &[Vec<u32>] {
+        &self.sequences
+    }
+
+    /// Resolves an interned ID back to its kernel name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this instance.
+    #[must_use]
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Total number of kernel launches across all sequences — the paper's
+    /// `K_eager` when the trace was eager.
+    #[must_use]
+    pub fn total_kernels(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Number of distinct kernel names.
+    #[must_use]
+    pub fn distinct_names(&self) -> usize {
+        self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_reversible() {
+        let ks = KernelSequences::from_name_sequences(&[vec!["a", "b", "a", "c"]]);
+        let seq = &ks.sequences()[0];
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq[0], seq[2]);
+        assert_eq!(ks.name(seq[0]), "a");
+        assert_eq!(ks.name(seq[3]), "c");
+        assert_eq!(ks.distinct_names(), 3);
+        assert_eq!(ks.total_kernels(), 4);
+    }
+
+    #[test]
+    fn multiple_sequences_share_the_intern_table() {
+        let ks = KernelSequences::from_name_sequences(&[vec!["x", "y"], vec!["y", "z"]]);
+        assert_eq!(ks.distinct_names(), 3);
+        assert_eq!(ks.sequences()[0][1], ks.sequences()[1][0]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let ks = KernelSequences::from_name_sequences::<&str>(&[]);
+        assert_eq!(ks.total_kernels(), 0);
+        assert_eq!(ks.distinct_names(), 0);
+    }
+}

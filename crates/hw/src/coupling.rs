@@ -1,0 +1,82 @@
+//! CPU-GPU coupling paradigms (paper Fig. 1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The degree of CPU-GPU integration — the paper's central architectural
+/// axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Coupling {
+    /// *Loosely-coupled*: discrete CPU and GPU over PCIe, separate memory
+    /// pools (traditional datacenter node; AMD+A100, Intel+H100).
+    Loose,
+    /// *Closely-coupled*: CPU and GPU on one board with a high-speed
+    /// chip-to-chip interconnect and unified *virtual* memory, but
+    /// physically separate memories (GH200).
+    Close,
+    /// *Tightly-coupled*: CPU and GPU in one package sharing unified
+    /// *physical* memory (MI300A).
+    Tight,
+}
+
+impl Coupling {
+    /// The conventional two-letter abbreviation used throughout the paper.
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Coupling::Loose => "LC",
+            Coupling::Close => "CC",
+            Coupling::Tight => "TC",
+        }
+    }
+
+    /// Whether input tensors must be explicitly copied host→device before
+    /// kernels can consume them. Tightly-coupled unified physical memory
+    /// eliminates the copy (paper §II-B on MI300A).
+    #[must_use]
+    pub fn requires_h2d_copy(self) -> bool {
+        !matches!(self, Coupling::Tight)
+    }
+}
+
+impl fmt::Display for Coupling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Coupling::Loose => "loosely-coupled",
+            Coupling::Close => "closely-coupled",
+            Coupling::Tight => "tightly-coupled",
+        };
+        write!(f, "{name} ({})", self.abbrev())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(Coupling::Loose.abbrev(), "LC");
+        assert_eq!(Coupling::Close.abbrev(), "CC");
+        assert_eq!(Coupling::Tight.abbrev(), "TC");
+    }
+
+    #[test]
+    fn only_tight_coupling_skips_copies() {
+        assert!(Coupling::Loose.requires_h2d_copy());
+        assert!(Coupling::Close.requires_h2d_copy());
+        assert!(!Coupling::Tight.requires_h2d_copy());
+    }
+
+    #[test]
+    fn ordering_reflects_integration_degree() {
+        assert!(Coupling::Loose < Coupling::Close);
+        assert!(Coupling::Close < Coupling::Tight);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(Coupling::Close.to_string(), "closely-coupled (CC)");
+    }
+}

@@ -1,0 +1,159 @@
+//! CPU↔GPU interconnect models.
+//!
+//! The coupling paradigm (paper Fig. 1) is realized physically by the
+//! interconnect: PCIe links for loosely-coupled systems, NVLink-C2C for the
+//! closely-coupled GH200 (900 GB/s bidirectional, ~7× PCIe Gen5 — paper
+//! §II-B), and on-package Infinity Fabric for the tightly-coupled MI300A.
+//! Two quantities matter to inference latency:
+//!
+//! * **launch-path latency** — the wire/driver segment of the kernel launch
+//!   overhead (the remainder after the CPU-side `cudaLaunchKernel` cost),
+//!   calibrated jointly with [`CpuModel::launch_call_ns`] so the per-platform
+//!   totals reproduce the paper's Table V;
+//! * **copy bandwidth/latency** — host↔device bulk transfer performance for
+//!   input tensors.
+//!
+//! [`CpuModel::launch_call_ns`]: crate::CpuModel
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+
+/// Interconnect families evaluated or discussed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InterconnectKind {
+    /// PCI Express Gen4 ×16 (AMD+A100 platform).
+    PcieGen4,
+    /// PCI Express Gen5 ×16 (Intel+H100 platform).
+    PcieGen5,
+    /// NVLink Chip-to-Chip (GH200).
+    NvlinkC2c,
+    /// On-package Infinity Fabric with physically unified memory (MI300A).
+    InfinityFabric,
+}
+
+/// An interconnect between CPU and GPU memory domains.
+///
+/// # Example
+///
+/// ```
+/// use skip_hw::Interconnect;
+///
+/// let pcie = Interconnect::pcie_gen5();
+/// let c2c = Interconnect::nvlink_c2c();
+/// // NVLink-C2C is ~7x PCIe Gen5 in bandwidth (paper §II-B).
+/// assert!(c2c.bandwidth_gbps / pcie.bandwidth_gbps > 6.0);
+/// // Copying 1 MiB is faster over C2C.
+/// assert!(c2c.transfer_time(1 << 20) < pcie.transfer_time(1 << 20));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Human-readable name.
+    pub name: String,
+    /// Family.
+    pub kind: InterconnectKind,
+    /// Per-direction bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Base latency of a small message (doorbell/DMA setup), ns.
+    pub base_latency_ns: f64,
+    /// The wire/driver segment of kernel-launch overhead, ns.
+    pub launch_latency_ns: f64,
+}
+
+impl Interconnect {
+    /// PCIe Gen4 ×16: 32 GB/s per direction.
+    #[must_use]
+    pub fn pcie_gen4() -> Self {
+        Interconnect {
+            name: "PCIe Gen4 x16".into(),
+            kind: InterconnectKind::PcieGen4,
+            bandwidth_gbps: 32.0,
+            base_latency_ns: 1_000.0,
+            launch_latency_ns: 860.0,
+        }
+    }
+
+    /// PCIe Gen5 ×16: 64 GB/s per direction.
+    #[must_use]
+    pub fn pcie_gen5() -> Self {
+        Interconnect {
+            name: "PCIe Gen5 x16".into(),
+            kind: InterconnectKind::PcieGen5,
+            bandwidth_gbps: 64.0,
+            base_latency_ns: 900.0,
+            launch_latency_ns: 800.0,
+        }
+    }
+
+    /// NVLink-C2C: 450 GB/s per direction (900 GB/s bidirectional).
+    #[must_use]
+    pub fn nvlink_c2c() -> Self {
+        Interconnect {
+            name: "NVLink-C2C".into(),
+            kind: InterconnectKind::NvlinkC2c,
+            bandwidth_gbps: 450.0,
+            base_latency_ns: 400.0,
+            launch_latency_ns: 500.0,
+        }
+    }
+
+    /// On-package Infinity Fabric (MI300A): 1 TB/s aggregate, and no copy is
+    /// ever required because memory is physically unified.
+    #[must_use]
+    pub fn infinity_fabric() -> Self {
+        Interconnect {
+            name: "Infinity Fabric (on-package)".into(),
+            kind: InterconnectKind::InfinityFabric,
+            bandwidth_gbps: 1_000.0,
+            base_latency_ns: 150.0,
+            launch_latency_ns: 300.0,
+        }
+    }
+
+    /// Time to move `bytes` across the link: base latency + bytes/bandwidth.
+    #[must_use]
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let ns = self.base_latency_ns + bytes as f64 / (self.bandwidth_gbps * 1e9) * 1e9;
+        SimDuration::from_nanos_f64(ns)
+    }
+
+    /// The wire/driver segment of one kernel launch.
+    #[must_use]
+    pub fn launch_latency(&self) -> SimDuration {
+        SimDuration::from_nanos_f64(self.launch_latency_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_ordering_matches_generations() {
+        let g4 = Interconnect::pcie_gen4().bandwidth_gbps;
+        let g5 = Interconnect::pcie_gen5().bandwidth_gbps;
+        let c2c = Interconnect::nvlink_c2c().bandwidth_gbps;
+        let ifab = Interconnect::infinity_fabric().bandwidth_gbps;
+        assert!(g4 < g5 && g5 < c2c && c2c < ifab);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let ic = Interconnect::pcie_gen4();
+        let small = ic.transfer_time(1 << 10);
+        let large = ic.transfer_time(1 << 24);
+        assert!(large > small);
+        // 16 MiB over 32 GB/s ≈ 524 µs (plus 1 µs base).
+        let expect_ns = 1_000.0 + (1u64 << 24) as f64 / 32.0e9 * 1e9;
+        assert!((large.as_nanos_f64() - expect_ns).abs() < 2.0);
+    }
+
+    #[test]
+    fn zero_bytes_costs_base_latency() {
+        let ic = Interconnect::nvlink_c2c();
+        assert_eq!(
+            ic.transfer_time(0),
+            SimDuration::from_nanos_f64(ic.base_latency_ns)
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! The unit of GPU work: what a kernel has to compute and move.
+
+use serde::{Deserialize, Serialize};
+
+/// Broad kernel families with distinct performance behaviour.
+///
+/// The taxonomy mirrors what dominates LLM inference traces: dense GEMMs,
+/// memory-bound elementwise/reduction kernels, gather-style embedding
+/// lookups, data-movement kernels, fused attention kernels, and the null
+/// kernel used for launch-overhead microbenchmarking (paper Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum KernelClass {
+    /// Dense matrix multiply (tensor-core eligible).
+    Gemm,
+    /// Pointwise map over tensors (add, GELU, scale, dropout-mask…).
+    Elementwise,
+    /// Row-wise reduction (softmax, layer-norm statistics).
+    Reduction,
+    /// Gather/scatter (embedding lookup).
+    Gather,
+    /// Pure data movement (copy, transpose, concat).
+    Memory,
+    /// A fused attention kernel (FlashAttention-style).
+    FusedAttention,
+    /// A fused chain of arbitrary kernels (proximity-score fusion).
+    FusedChain,
+    /// An empty kernel — executes no work; used to expose launch overhead.
+    Null,
+}
+
+impl KernelClass {
+    /// Short lowercase label used in kernel names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelClass::Gemm => "gemm",
+            KernelClass::Elementwise => "elementwise",
+            KernelClass::Reduction => "reduction",
+            KernelClass::Gather => "gather",
+            KernelClass::Memory => "memcpy",
+            KernelClass::FusedAttention => "fused_attention",
+            KernelClass::FusedChain => "fused_chain",
+            KernelClass::Null => "null",
+        }
+    }
+}
+
+/// The work one kernel performs: floating-point operations and bytes moved
+/// to/from device memory. [`GpuModel::kernel_duration`] turns this into a
+/// duration via the roofline model.
+///
+/// [`GpuModel::kernel_duration`]: crate::GpuModel::kernel_duration
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelWork {
+    /// Kernel family (chooses the efficiency ramp).
+    pub class: KernelClass,
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes read from plus written to device memory.
+    pub bytes: f64,
+}
+
+impl KernelWork {
+    /// A kernel that does nothing (launch-overhead microbenchmark).
+    #[must_use]
+    pub const fn null() -> Self {
+        KernelWork {
+            class: KernelClass::Null,
+            flops: 0.0,
+            bytes: 0.0,
+        }
+    }
+
+    /// Work of an `M×K · K×N` GEMM with `elem_bytes`-byte elements
+    /// (2 for FP16): `2MNK` FLOPs, `(MK + KN + MN)` elements of traffic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let w = skip_hw::KernelWork::gemm(512, 768, 768, 2);
+    /// assert_eq!(w.flops, 2.0 * 512.0 * 768.0 * 768.0);
+    /// ```
+    #[must_use]
+    pub fn gemm(m: u64, n: u64, k: u64, elem_bytes: u64) -> Self {
+        let (m, n, k, eb) = (m as f64, n as f64, k as f64, elem_bytes as f64);
+        KernelWork {
+            class: KernelClass::Gemm,
+            flops: 2.0 * m * n * k,
+            bytes: eb * (m * k + k * n + m * n),
+        }
+    }
+
+    /// Work of a batched GEMM: `batch` independent `M×K · K×N` products
+    /// (the shape of attention score/context matmuls, one per head).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let w = skip_hw::KernelWork::batched_gemm(12, 512, 512, 64, 2);
+    /// assert_eq!(w.flops, 12.0 * 2.0 * 512.0 * 512.0 * 64.0);
+    /// ```
+    #[must_use]
+    pub fn batched_gemm(batch: u64, m: u64, n: u64, k: u64, elem_bytes: u64) -> Self {
+        let single = KernelWork::gemm(m, n, k, elem_bytes);
+        KernelWork {
+            class: KernelClass::Gemm,
+            flops: single.flops * batch as f64,
+            bytes: single.bytes * batch as f64,
+        }
+    }
+
+    /// Work of an elementwise map over `elems` elements with `reads` input
+    /// tensors and one output, `ops_per_elem` FLOPs each.
+    #[must_use]
+    pub fn elementwise(elems: u64, reads: u64, ops_per_elem: f64, elem_bytes: u64) -> Self {
+        let e = elems as f64;
+        KernelWork {
+            class: KernelClass::Elementwise,
+            flops: e * ops_per_elem,
+            bytes: e * elem_bytes as f64 * (reads as f64 + 1.0),
+        }
+    }
+
+    /// Work of a row-wise reduction (softmax, norm statistics) over `elems`
+    /// elements: reads input once, writes output once, ~`ops_per_elem`
+    /// FLOPs per element.
+    #[must_use]
+    pub fn reduction(elems: u64, ops_per_elem: f64, elem_bytes: u64) -> Self {
+        let e = elems as f64;
+        KernelWork {
+            class: KernelClass::Reduction,
+            flops: e * ops_per_elem,
+            bytes: e * elem_bytes as f64 * 2.0,
+        }
+    }
+
+    /// Work of an embedding gather: `rows` rows of `width` elements read
+    /// and written (index traffic is negligible).
+    #[must_use]
+    pub fn gather(rows: u64, width: u64, elem_bytes: u64) -> Self {
+        let moved = (rows * width * elem_bytes) as f64;
+        KernelWork {
+            class: KernelClass::Gather,
+            flops: 0.0,
+            bytes: 2.0 * moved,
+        }
+    }
+
+    /// Work of a pure copy/transpose of `bytes_moved` bytes (counted once
+    /// read, once written).
+    #[must_use]
+    pub fn memory(bytes_moved: f64) -> Self {
+        KernelWork {
+            class: KernelClass::Memory,
+            flops: 0.0,
+            bytes: 2.0 * bytes_moved,
+        }
+    }
+
+    /// Combines two pieces of work into one fused kernel of class
+    /// [`KernelClass::FusedChain`], summing FLOPs and bytes.
+    ///
+    /// Fusing in reality also *saves* intermediate traffic; callers that
+    /// model IO-aware fusion (e.g. FlashAttention) construct the fused
+    /// [`KernelWork`] directly with reduced byte counts instead.
+    #[must_use]
+    pub fn fuse(self, other: KernelWork) -> KernelWork {
+        KernelWork {
+            class: KernelClass::FusedChain,
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+
+    /// Arithmetic intensity in FLOPs per byte (`0` for zero-byte kernels).
+    #[must_use]
+    pub fn intensity(&self) -> f64 {
+        if self.bytes <= 0.0 {
+            0.0
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_work_formula() {
+        let w = KernelWork::gemm(4, 5, 6, 2);
+        assert_eq!(w.flops, 240.0);
+        assert_eq!(w.bytes, 2.0 * ((4 * 6 + 6 * 5 + 4 * 5) as f64));
+        assert_eq!(w.class, KernelClass::Gemm);
+    }
+
+    #[test]
+    fn elementwise_counts_reads_plus_write() {
+        let w = KernelWork::elementwise(100, 2, 1.0, 2);
+        assert_eq!(w.bytes, 100.0 * 2.0 * 3.0);
+        assert_eq!(w.flops, 100.0);
+    }
+
+    #[test]
+    fn null_kernel_has_no_work() {
+        let w = KernelWork::null();
+        assert_eq!(w.flops, 0.0);
+        assert_eq!(w.bytes, 0.0);
+        assert_eq!(w.intensity(), 0.0);
+    }
+
+    #[test]
+    fn fuse_sums_work() {
+        let a = KernelWork::elementwise(10, 1, 1.0, 2);
+        let b = KernelWork::reduction(10, 4.0, 2);
+        let f = a.fuse(b);
+        assert_eq!(f.flops, a.flops + b.flops);
+        assert_eq!(f.bytes, a.bytes + b.bytes);
+        assert_eq!(f.class, KernelClass::FusedChain);
+    }
+
+    #[test]
+    fn intensity_is_flops_per_byte() {
+        let w = KernelWork::gemm(512, 768, 768, 2);
+        assert!((w.intensity() - w.flops / w.bytes).abs() < 1e-12);
+        assert!(w.intensity() > 100.0, "large GEMMs are compute-dense");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(KernelClass::Gemm.label(), "gemm");
+        assert_eq!(KernelClass::Null.label(), "null");
+    }
+}

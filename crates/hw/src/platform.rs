@@ -1,0 +1,280 @@
+//! Assembled evaluation platforms (paper Table IV).
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+
+use crate::coupling::Coupling;
+use crate::cpu::CpuModel;
+use crate::gpu::GpuModel;
+use crate::interconnect::Interconnect;
+
+/// A complete CPU-GPU system: the unit the paper benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use skip_hw::Platform;
+///
+/// // Launch overheads reproduce Table V exactly.
+/// assert!((Platform::amd_a100().launch_overhead().as_nanos_f64() - 2260.5).abs() < 1.0);
+/// assert!((Platform::intel_h100().launch_overhead().as_nanos_f64() - 2374.6).abs() < 1.0);
+/// assert!((Platform::gh200().launch_overhead().as_nanos_f64() - 2771.6).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Short machine identifier used in figures, e.g. `"intel_h100"`.
+    pub name: String,
+    /// The host CPU.
+    pub cpu: CpuModel,
+    /// The accelerator.
+    pub gpu: GpuModel,
+    /// The CPU↔GPU link.
+    pub interconnect: Interconnect,
+    /// Coupling paradigm.
+    pub coupling: Coupling,
+}
+
+impl Platform {
+    /// LC platform 1 (Table IV): AMD EPYC 7313 + A100-SXM4-80GB over PCIe
+    /// Gen4.
+    #[must_use]
+    pub fn amd_a100() -> Self {
+        Platform {
+            name: "amd_a100".into(),
+            cpu: CpuModel::epyc_7313(),
+            gpu: GpuModel::a100_sxm4(),
+            interconnect: Interconnect::pcie_gen4(),
+            coupling: Coupling::Loose,
+        }
+    }
+
+    /// LC platform 2 (Table IV): 2P Intel Xeon Platinum 8468V + H100 PCIe
+    /// over PCIe Gen5.
+    #[must_use]
+    pub fn intel_h100() -> Self {
+        Platform {
+            name: "intel_h100".into(),
+            cpu: CpuModel::xeon_8468v(),
+            gpu: GpuModel::h100_pcie(),
+            interconnect: Interconnect::pcie_gen5(),
+            coupling: Coupling::Loose,
+        }
+    }
+
+    /// CC platform (Table IV): NVIDIA Grace Hopper Superchip — Grace CPU +
+    /// Hopper GPU over NVLink-C2C with unified virtual memory.
+    #[must_use]
+    pub fn gh200() -> Self {
+        Platform {
+            name: "gh200".into(),
+            cpu: CpuModel::grace(),
+            gpu: GpuModel::h100_gh200(),
+            interconnect: Interconnect::nvlink_c2c(),
+            coupling: Coupling::Close,
+        }
+    }
+
+    /// TC platform (paper §VI future work): AMD Instinct MI300A APU with
+    /// physically unified HBM3.
+    #[must_use]
+    pub fn mi300a() -> Self {
+        Platform {
+            name: "mi300a".into(),
+            cpu: CpuModel::zen4_mi300a(),
+            gpu: GpuModel::mi300a_cdna3(),
+            interconnect: Interconnect::infinity_fabric(),
+            coupling: Coupling::Tight,
+        }
+    }
+
+    /// The three platforms the paper evaluates, in Table IV order.
+    #[must_use]
+    pub fn paper_trio() -> Vec<Platform> {
+        vec![
+            Platform::amd_a100(),
+            Platform::intel_h100(),
+            Platform::gh200(),
+        ]
+    }
+
+    /// End-to-end kernel launch overhead on an idle GPU: the CPU-side
+    /// `cudaLaunchKernel` cost plus the interconnect's launch-path latency.
+    /// This is the quantity the paper's nullKernel microbenchmark measures
+    /// (Table V) and the constant floor of TKLQT in the CPU-bound region.
+    #[must_use]
+    pub fn launch_overhead(&self) -> SimDuration {
+        self.cpu.launch_call_cost() + self.interconnect.launch_latency()
+    }
+
+    /// The platform's power model (for the energy-efficiency extension).
+    /// Preset platforms get their Table IV envelopes; custom builds fall
+    /// back to the Intel+H100 model.
+    #[must_use]
+    pub fn power(&self) -> crate::PowerModel {
+        match self.name.as_str() {
+            "amd_a100" => crate::PowerModel::amd_a100(),
+            "gh200" => crate::PowerModel::gh200(),
+            "mi300a" => crate::PowerModel::mi300a(),
+            _ => crate::PowerModel::intel_h100(),
+        }
+    }
+
+    /// Host→device transfer time for `bytes` of input data; zero on
+    /// tightly-coupled platforms with unified physical memory.
+    #[must_use]
+    pub fn h2d_transfer(&self, bytes: u64) -> SimDuration {
+        if self.coupling.requires_h2d_copy() {
+            self.interconnect.transfer_time(bytes)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+/// Builder for custom/ablation platforms ([C-BUILDER]).
+///
+/// Starts from an existing preset and swaps parts — used by the ablation
+/// benches ("what if Grace had Xeon-class single-thread performance?").
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+///
+/// # Example
+///
+/// ```
+/// use skip_hw::{CpuModel, Platform, PlatformBuilder};
+///
+/// let hypothetical = PlatformBuilder::from(Platform::gh200())
+///     .name("gh200_xeon_cpu")
+///     .cpu(CpuModel::xeon_8468v())
+///     .build();
+/// assert_eq!(hypothetical.gpu, Platform::gh200().gpu);
+/// assert_eq!(hypothetical.cpu, CpuModel::xeon_8468v());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    inner: Platform,
+}
+
+impl From<Platform> for PlatformBuilder {
+    fn from(base: Platform) -> Self {
+        PlatformBuilder { inner: base }
+    }
+}
+
+impl PlatformBuilder {
+    /// Sets the platform name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.inner.name = name.into();
+        self
+    }
+
+    /// Swaps the CPU model.
+    #[must_use]
+    pub fn cpu(mut self, cpu: CpuModel) -> Self {
+        self.inner.cpu = cpu;
+        self
+    }
+
+    /// Swaps the GPU model.
+    #[must_use]
+    pub fn gpu(mut self, gpu: GpuModel) -> Self {
+        self.inner.gpu = gpu;
+        self
+    }
+
+    /// Swaps the interconnect.
+    #[must_use]
+    pub fn interconnect(mut self, ic: Interconnect) -> Self {
+        self.inner.interconnect = ic;
+        self
+    }
+
+    /// Sets the coupling paradigm.
+    #[must_use]
+    pub fn coupling(mut self, coupling: Coupling) -> Self {
+        self.inner.coupling = coupling;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> Platform {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_overheads_reproduce_table_v() {
+        let cases = [
+            (Platform::amd_a100(), 2_260.5),
+            (Platform::intel_h100(), 2_374.6),
+            (Platform::gh200(), 2_771.6),
+        ];
+        for (p, expect) in cases {
+            let got = p.launch_overhead().as_nanos_f64();
+            assert!(
+                (got - expect).abs() < 1.0,
+                "{}: got {got}, expected {expect}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn gh200_has_highest_launch_overhead_but_fastest_nullkernel() {
+        // The Table V trade-off the paper highlights.
+        let trio = Platform::paper_trio();
+        let gh = Platform::gh200();
+        for p in &trio {
+            if p.name != gh.name {
+                assert!(gh.launch_overhead() > p.launch_overhead());
+                assert!(gh.gpu.nullkernel_duration() < p.gpu.nullkernel_duration());
+            }
+        }
+    }
+
+    #[test]
+    fn coupling_assignment_matches_table_iv() {
+        assert_eq!(Platform::amd_a100().coupling, Coupling::Loose);
+        assert_eq!(Platform::intel_h100().coupling, Coupling::Loose);
+        assert_eq!(Platform::gh200().coupling, Coupling::Close);
+        assert_eq!(Platform::mi300a().coupling, Coupling::Tight);
+    }
+
+    #[test]
+    fn tight_coupling_skips_h2d() {
+        assert_eq!(Platform::mi300a().h2d_transfer(1 << 20), SimDuration::ZERO);
+        assert!(Platform::gh200().h2d_transfer(1 << 20) > SimDuration::ZERO);
+        assert!(
+            Platform::intel_h100().h2d_transfer(1 << 20)
+                > Platform::gh200().h2d_transfer(1 << 20)
+        );
+    }
+
+    #[test]
+    fn builder_swaps_parts() {
+        let p = PlatformBuilder::from(Platform::intel_h100())
+            .name("frankenstein")
+            .gpu(GpuModel::a100_sxm4())
+            .coupling(Coupling::Close)
+            .interconnect(Interconnect::nvlink_c2c())
+            .build();
+        assert_eq!(p.name, "frankenstein");
+        assert_eq!(p.gpu, GpuModel::a100_sxm4());
+        assert_eq!(p.cpu, CpuModel::xeon_8468v());
+        assert_eq!(p.coupling, Coupling::Close);
+    }
+
+    #[test]
+    fn paper_trio_is_three_distinct_platforms() {
+        let trio = Platform::paper_trio();
+        assert_eq!(trio.len(), 3);
+        assert_ne!(trio[0].name, trio[1].name);
+        assert_ne!(trio[1].name, trio[2].name);
+    }
+}

@@ -1,0 +1,146 @@
+//! Platform power models — an energy-efficiency extension.
+//!
+//! The paper's Table IV lists the power envelopes of the evaluation
+//! platforms (A100 500 W, H100 PCIe 350 W, GH200 module 900 W) and its
+//! motivation cites the energy cost of pervasive inference ([12], [42]).
+//! This module adds a simple two-state (busy/idle) power model per
+//! processing unit so experiments can convert SKIP's busy/idle time
+//! decomposition directly into energy per request.
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+
+/// Busy/idle power draw of a platform's CPU and GPU, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// GPU power when executing kernels.
+    pub gpu_busy_w: f64,
+    /// GPU power when idle (clock-gated, memory refreshed).
+    pub gpu_idle_w: f64,
+    /// CPU package power while dispatching (single hot core + uncore).
+    pub cpu_busy_w: f64,
+    /// CPU package idle power.
+    pub cpu_idle_w: f64,
+}
+
+impl PowerModel {
+    /// AMD EPYC 7313 + A100-SXM4 (500 W GPU per Table IV).
+    #[must_use]
+    pub fn amd_a100() -> Self {
+        PowerModel {
+            gpu_busy_w: 500.0,
+            gpu_idle_w: 60.0,
+            cpu_busy_w: 155.0,
+            cpu_idle_w: 45.0,
+        }
+    }
+
+    /// 2P Xeon 8468V + H100 PCIe (350 W GPU per Table IV).
+    #[must_use]
+    pub fn intel_h100() -> Self {
+        PowerModel {
+            gpu_busy_w: 350.0,
+            gpu_idle_w: 50.0,
+            cpu_busy_w: 660.0,
+            cpu_idle_w: 130.0,
+        }
+    }
+
+    /// GH200 superchip: the 900 W module budget (Table IV) split between
+    /// the Hopper GPU and the Grace CPU.
+    #[must_use]
+    pub fn gh200() -> Self {
+        PowerModel {
+            gpu_busy_w: 700.0,
+            gpu_idle_w: 80.0,
+            cpu_busy_w: 200.0,
+            cpu_idle_w: 40.0,
+        }
+    }
+
+    /// MI300A APU (~760 W package).
+    #[must_use]
+    pub fn mi300a() -> Self {
+        PowerModel {
+            gpu_busy_w: 600.0,
+            gpu_idle_w: 70.0,
+            cpu_busy_w: 160.0,
+            cpu_idle_w: 35.0,
+        }
+    }
+
+    /// Energy in joules given the busy/idle decomposition of one inference
+    /// (the quantities SKIP's `ProfileReport` provides).
+    #[must_use]
+    pub fn energy_joules(
+        &self,
+        gpu_busy: SimDuration,
+        gpu_idle: SimDuration,
+        cpu_busy: SimDuration,
+        cpu_idle: SimDuration,
+    ) -> f64 {
+        self.gpu_busy_w * gpu_busy.as_secs_f64()
+            + self.gpu_idle_w * gpu_idle.as_secs_f64()
+            + self.cpu_busy_w * cpu_busy.as_secs_f64()
+            + self.cpu_idle_w * cpu_idle.as_secs_f64()
+    }
+
+    /// Worst-case (all-busy) power, watts.
+    #[must_use]
+    pub fn peak_w(&self) -> f64 {
+        self.gpu_busy_w + self.cpu_busy_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn energy_integrates_power_over_time() {
+        let p = PowerModel::intel_h100();
+        // 10 ms GPU busy at 350 W = 3.5 J, plus 10 ms CPU idle at 130 W.
+        let e = p.energy_joules(ms(10), SimDuration::ZERO, SimDuration::ZERO, ms(10));
+        assert!((e - (3.5 + 1.3)).abs() < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn zero_time_zero_energy() {
+        let p = PowerModel::gh200();
+        assert_eq!(
+            p.energy_joules(
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO,
+                SimDuration::ZERO
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn table_iv_envelopes_are_respected() {
+        // GH200 has the biggest module budget; H100 PCIe the smallest GPU.
+        assert!(PowerModel::gh200().gpu_busy_w > PowerModel::amd_a100().gpu_busy_w);
+        assert!(PowerModel::intel_h100().gpu_busy_w < PowerModel::amd_a100().gpu_busy_w);
+        // The GH200 module stays within its 900 W budget.
+        assert!(PowerModel::gh200().peak_w() <= 900.0);
+    }
+
+    #[test]
+    fn busy_power_exceeds_idle_power() {
+        for p in [
+            PowerModel::amd_a100(),
+            PowerModel::intel_h100(),
+            PowerModel::gh200(),
+            PowerModel::mi300a(),
+        ] {
+            assert!(p.gpu_busy_w > p.gpu_idle_w);
+            assert!(p.cpu_busy_w > p.cpu_idle_w);
+        }
+    }
+}

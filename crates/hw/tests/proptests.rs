@@ -1,0 +1,122 @@
+//! Property tests for the hardware cost models.
+
+use proptest::prelude::*;
+use skip_hw::{GpuModel, Interconnect, KernelClass, KernelWork, Platform};
+
+fn gpus() -> Vec<GpuModel> {
+    vec![
+        GpuModel::a100_sxm4(),
+        GpuModel::h100_pcie(),
+        GpuModel::h100_gh200(),
+        GpuModel::mi300a_cdna3(),
+    ]
+}
+
+proptest! {
+    /// Kernel duration is monotone in FLOPs and bytes on every GPU and for
+    /// every kernel class.
+    #[test]
+    fn duration_monotone_in_work(
+        flops in 0.0f64..1e13,
+        bytes in 0.0f64..1e10,
+        extra in 1.0f64..4.0,
+        class_idx in 0usize..6,
+    ) {
+        let classes = [
+            KernelClass::Gemm,
+            KernelClass::Elementwise,
+            KernelClass::Reduction,
+            KernelClass::Gather,
+            KernelClass::Memory,
+            KernelClass::FusedAttention,
+        ];
+        let class = classes[class_idx];
+        for gpu in gpus() {
+            let base = gpu.kernel_duration(&KernelWork { class, flops, bytes });
+            let more_flops = gpu.kernel_duration(&KernelWork { class, flops: flops * extra, bytes });
+            let more_bytes = gpu.kernel_duration(&KernelWork { class, flops, bytes: bytes * extra });
+            prop_assert!(more_flops >= base, "{}: flops", gpu.name);
+            prop_assert!(more_bytes >= base, "{}: bytes", gpu.name);
+        }
+    }
+
+    /// Durations never fall below the fixed kernel overhead.
+    #[test]
+    fn duration_at_least_overhead(flops in 0.0f64..1e12, bytes in 0.0f64..1e9) {
+        for gpu in gpus() {
+            let d = gpu.kernel_duration(&KernelWork {
+                class: KernelClass::Elementwise,
+                flops,
+                bytes,
+            });
+            prop_assert!(d >= gpu.nullkernel_duration());
+        }
+    }
+
+    /// Transfer time is monotone in byte count and superadditive-free
+    /// (latency counted once): t(a+b) <= t(a) + t(b).
+    #[test]
+    fn transfer_time_monotone_and_subadditive(a in 0u64..1 << 30, b in 0u64..1 << 30) {
+        for ic in [
+            Interconnect::pcie_gen4(),
+            Interconnect::pcie_gen5(),
+            Interconnect::nvlink_c2c(),
+            Interconnect::infinity_fabric(),
+        ] {
+            let ta = ic.transfer_time(a);
+            let tb = ic.transfer_time(b);
+            let tab = ic.transfer_time(a + b);
+            prop_assert!(tab >= ta.max(tb));
+            prop_assert!(tab <= ta + tb, "{}", ic.name);
+        }
+    }
+
+    /// GEMM work scales exactly linearly in M.
+    #[test]
+    fn gemm_work_linear_in_m(m in 1u64..4096, n in 1u64..512, k in 1u64..512) {
+        let w1 = KernelWork::gemm(m, n, k, 2);
+        let w2 = KernelWork::gemm(2 * m, n, k, 2);
+        prop_assert!((w2.flops - 2.0 * w1.flops).abs() < 1e-6);
+        // Bytes grow sublinearly (the K×N weight tile is shared).
+        prop_assert!(w2.bytes < 2.0 * w1.bytes + 1e-9);
+        prop_assert!(w2.bytes > w1.bytes);
+    }
+
+    /// The ridge point separates memory-bound from compute-bound exactly.
+    #[test]
+    fn ridge_point_separates_regimes(intensity_scale in 0.1f64..10.0) {
+        let gpu = GpuModel::h100_pcie();
+        let ridge = gpu.ridge_point(KernelClass::Gemm);
+        let bytes = 1e8;
+        let flops = bytes * ridge * intensity_scale;
+        let w = KernelWork { class: KernelClass::Gemm, flops, bytes };
+        let d = gpu.kernel_duration(&w).as_nanos_f64();
+        // Compute the two roofline terms directly.
+        let compute_ns = flops / (gpu.fp16_tflops * 1e12 * 0.70) * 1e9;
+        let memory_ns = bytes / (gpu.hbm_gbps * 1e9 * 0.80) * 1e9;
+        let body = d - gpu.kernel_overhead_ns - 1_500.0; // gemm startup
+        let expect = compute_ns.max(memory_ns);
+        prop_assert!((body - expect).abs() / expect < 0.01);
+        if intensity_scale > 1.01 {
+            prop_assert!(compute_ns > memory_ns);
+        } else if intensity_scale < 0.99 {
+            prop_assert!(memory_ns > compute_ns);
+        }
+    }
+
+    /// Platform launch overhead decomposes exactly into CPU call + wire.
+    #[test]
+    fn launch_overhead_decomposition(idx in 0usize..4) {
+        let platforms = [
+            Platform::amd_a100(),
+            Platform::intel_h100(),
+            Platform::gh200(),
+            Platform::mi300a(),
+        ];
+        let p = &platforms[idx];
+        let total = p.launch_overhead().as_nanos_f64();
+        let parts = p.cpu.launch_call_cost().as_nanos_f64()
+            + p.interconnect.launch_latency().as_nanos_f64();
+        prop_assert!((total - parts).abs() < 1.0);
+    }
+}

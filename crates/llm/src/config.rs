@@ -1,0 +1,233 @@
+//! Transformer architecture descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Encoder-only vs decoder-only — the paper's workload taxonomy (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Bidirectional encoder (BERT family): one forward pass per request.
+    EncoderOnly,
+    /// Autoregressive decoder (GPT family): prefill then decode phases.
+    DecoderOnly,
+}
+
+/// Which concrete eager-mode operator pattern the model lowers to.
+///
+/// The three styles differ in exactly the ways that shape kernel streams:
+/// BERT-style encoders run separate Q/K/V projections and have no output
+/// head; GPT-2 fuses QKV into one `Conv1D` and ends with a LayerNorm +
+/// LM-head tail; Llama-style decoders use RMSNorm (one fused kernel),
+/// rotary embeddings, grouped-query attention and a gated MLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchStyle {
+    /// BERT/RoBERTa encoder blocks (post-LayerNorm, separate Q/K/V).
+    BertEncoder,
+    /// GPT-2 blocks (pre-LayerNorm, fused QKV `Conv1D`, tanh-GELU).
+    Gpt2Decoder,
+    /// Llama/Gemma/Mistral/Qwen blocks (RMSNorm, RoPE, GQA, gated MLP).
+    LlamaDecoder,
+}
+
+/// Normalization layer flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NormKind {
+    /// Classic LayerNorm: mean/variance statistics then affine — lowers to
+    /// multiple kernels in eager mode.
+    LayerNorm,
+    /// RMSNorm: single fused kernel in modern stacks.
+    RmsNorm,
+}
+
+/// MLP activation flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Exact (erf-based) GELU — BERT/XLM-R.
+    GeluExact,
+    /// Tanh-approximated GELU (`NewGELU`) — GPT-2; several elementwise
+    /// kernels in eager mode.
+    GeluTanh,
+    /// SiLU with gating (SwiGLU) — Llama family.
+    SiluGated,
+    /// GELU with gating (GeGLU) — Gemma.
+    GeluGated,
+}
+
+/// A transformer architecture: everything needed to generate its operator
+/// graph and count its parameters.
+///
+/// Fields are public in the C-struct spirit: this is passive configuration
+/// data consumed by the graph builder.
+///
+/// # Example
+///
+/// ```
+/// let bert = skip_llm::zoo::bert_base_uncased();
+/// // ~110M parameters (Table III).
+/// let m = bert.param_count() as f64 / 1e6;
+/// assert!((m - 110.0).abs() < 8.0, "BERT-base ≈ 110M params, got {m:.1}M");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// HuggingFace-style model id, e.g. `"gpt2"`.
+    pub name: String,
+    /// Encoder-only or decoder-only.
+    pub kind: ModelKind,
+    /// Operator-graph style.
+    pub arch: ArchStyle,
+    /// Number of transformer layers.
+    pub layers: u32,
+    /// Hidden dimension.
+    pub hidden: u32,
+    /// Attention heads.
+    pub heads: u32,
+    /// Key/value heads (< `heads` for grouped-query attention).
+    pub kv_heads: u32,
+    /// MLP intermediate dimension.
+    pub ffn: u32,
+    /// Vocabulary size.
+    pub vocab: u32,
+    /// Maximum position embeddings (0 for rotary-only models).
+    pub max_pos: u32,
+    /// Whether the model has token-type (segment) embeddings (BERT).
+    pub token_type_embeddings: bool,
+    /// Normalization flavour.
+    pub norm: NormKind,
+    /// Activation flavour.
+    pub activation: Activation,
+    /// Whether the LM head shares the input embedding matrix.
+    pub tied_lm_head: bool,
+}
+
+impl ModelConfig {
+    /// Dimension of one attention head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is zero or does not divide `hidden` (invalid
+    /// architecture).
+    #[must_use]
+    pub fn head_dim(&self) -> u32 {
+        assert!(self.heads > 0, "model must have at least one head");
+        assert_eq!(
+            self.hidden % self.heads,
+            0,
+            "hidden ({}) must be divisible by heads ({})",
+            self.hidden,
+            self.heads
+        );
+        self.hidden / self.heads
+    }
+
+    /// Combined K/V projection width (`kv_heads · head_dim`).
+    #[must_use]
+    pub fn kv_dim(&self) -> u32 {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// `true` when the MLP is gated (two up projections).
+    #[must_use]
+    pub fn gated_ffn(&self) -> bool {
+        matches!(self.activation, Activation::SiluGated | Activation::GeluGated)
+    }
+
+    /// Whether biases are present on the projections (the Llama family
+    /// drops them).
+    #[must_use]
+    pub fn has_bias(&self) -> bool {
+        !matches!(self.arch, ArchStyle::LlamaDecoder)
+    }
+
+    /// Total parameter count, used to validate zoo entries against the
+    /// paper's Table III figures.
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        let h = u64::from(self.hidden);
+        let ffn = u64::from(self.ffn);
+        let v = u64::from(self.vocab);
+        let kv = u64::from(self.kv_dim());
+        let bias = u64::from(self.has_bias());
+
+        let mut p = v * h; // word embeddings
+        p += u64::from(self.max_pos) * h;
+        if self.token_type_embeddings {
+            p += 2 * h;
+        }
+        // Embedding-level norm for encoders.
+        if self.kind == ModelKind::EncoderOnly {
+            p += 2 * h;
+        }
+
+        // Per layer: attention projections.
+        let attn = h * h + bias * h // Q
+            + 2 * (h * kv + bias * kv) // K, V
+            + h * h + bias * h; // output
+        // MLP.
+        let mlp = if self.gated_ffn() {
+            3 * h * ffn
+        } else {
+            2 * (h * ffn) + bias * (ffn + h)
+        };
+        // Norms: two per layer; LayerNorm has weight+bias, RMSNorm weight.
+        let norm_params = match self.norm {
+            NormKind::LayerNorm => 2 * h,
+            NormKind::RmsNorm => h,
+        };
+        p += u64::from(self.layers) * (attn + mlp + 2 * norm_params);
+
+        // Decoder tail: final norm + (untied) LM head.
+        if self.kind == ModelKind::DecoderOnly {
+            p += norm_params;
+            if !self.tied_lm_head {
+                p += v * h;
+            }
+        }
+        p
+    }
+
+    /// Approximate FP16 weight footprint in bytes.
+    #[must_use]
+    pub fn weight_bytes_fp16(&self) -> u64 {
+        self.param_count() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::zoo;
+
+    #[test]
+    fn head_dim_divides() {
+        let m = zoo::llama32_1b();
+        assert_eq!(m.head_dim(), 64);
+        assert_eq!(m.kv_dim(), 8 * 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_head_count_panics() {
+        let mut m = zoo::gpt2();
+        m.heads = 7;
+        let _ = m.head_dim();
+    }
+
+    #[test]
+    fn gated_ffn_detection() {
+        assert!(zoo::llama32_1b().gated_ffn());
+        assert!(zoo::gemma_2b().gated_ffn());
+        assert!(!zoo::gpt2().gated_ffn());
+        assert!(!zoo::bert_base_uncased().gated_ffn());
+    }
+
+    #[test]
+    fn llama_family_is_biasless() {
+        assert!(!zoo::llama32_1b().has_bias());
+        assert!(zoo::bert_base_uncased().has_bias());
+        assert!(zoo::gpt2().has_bias());
+    }
+
+    #[test]
+    fn weight_bytes_are_two_per_param() {
+        let m = zoo::gpt2();
+        assert_eq!(m.weight_bytes_fp16(), m.param_count() * 2);
+    }
+}

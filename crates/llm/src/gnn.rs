@@ -1,0 +1,217 @@
+//! Graph-neural-network workloads (GCN-style) — the second half of the
+//! paper's §VI scope extension ("…and graph neural networks (GNNs)").
+//!
+//! A GCN layer is a sparse neighbor aggregation (SpMM over the adjacency
+//! structure — gather-dominated, bandwidth-bound at very low efficiency)
+//! followed by a dense feature transform (GEMM) and an activation. GNN
+//! inference therefore sits between transformers (GEMM-heavy) and
+//! recommendation models (gather-heavy) on the CPU/GPU-boundedness
+//! spectrum, which is exactly why the paper calls it out as the next
+//! workload to characterize.
+
+use serde::{Deserialize, Serialize};
+use skip_hw::{KernelClass, KernelWork};
+
+use crate::graph::OperatorGraph;
+use crate::ops::{KernelSpec, OpNode};
+
+/// FP32 element size.
+const EB: u64 = 4;
+
+/// A GCN-style model over one input graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GcnConfig {
+    /// Model id.
+    pub name: String,
+    /// Number of graph-convolution layers.
+    pub layers: u32,
+    /// Input feature width.
+    pub in_features: u32,
+    /// Hidden feature width.
+    pub hidden: u32,
+    /// Output classes.
+    pub classes: u32,
+    /// Nodes in the input graph.
+    pub nodes: u64,
+    /// Directed edges in the input graph.
+    pub edges: u64,
+}
+
+impl GcnConfig {
+    /// A GCN sized after ogbn-arxiv (170k nodes, 1.2M edges).
+    #[must_use]
+    pub fn ogbn_arxiv() -> Self {
+        GcnConfig {
+            name: "gcn-ogbn-arxiv".into(),
+            layers: 3,
+            in_features: 128,
+            hidden: 256,
+            classes: 40,
+            nodes: 169_343,
+            edges: 1_166_243,
+        }
+    }
+
+    /// A small citation-graph GCN (Cora-like) for latency-critical serving.
+    #[must_use]
+    pub fn cora() -> Self {
+        GcnConfig {
+            name: "gcn-cora".into(),
+            layers: 2,
+            in_features: 1_433,
+            hidden: 16,
+            classes: 7,
+            nodes: 2_708,
+            edges: 10_556,
+        }
+    }
+
+    /// Weight parameters across all layers.
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        let mut p = 0u64;
+        let mut prev = u64::from(self.in_features);
+        for layer in 0..self.layers {
+            let out = if layer + 1 == self.layers {
+                u64::from(self.classes)
+            } else {
+                u64::from(self.hidden)
+            };
+            p += prev * out + out;
+            prev = out;
+        }
+        p
+    }
+
+    /// Builds the eager full-graph forward pass.
+    #[must_use]
+    pub fn graph(&self) -> OperatorGraph {
+        let mut ops = Vec::new();
+        let n = self.nodes;
+        let e = self.edges;
+        let mut width = u64::from(self.in_features);
+        for layer in 0..self.layers {
+            let out = if layer + 1 == self.layers {
+                u64::from(self.classes)
+            } else {
+                u64::from(self.hidden)
+            };
+            // Feature transform: X·W (+ bias).
+            ops.push(OpNode::composite(
+                "aten::linear",
+                vec![
+                    OpNode::view("aten::t"),
+                    OpNode::simple(
+                        "aten::addmm",
+                        vec![
+                            KernelSpec::new(
+                                format!("xmma_gemm_f32_{n}x{out}x{width}"),
+                                KernelWork::gemm(n, out, width, EB),
+                            ),
+                            KernelSpec::new(
+                                format!("vectorized_add_f32_{}", n * out),
+                                KernelWork::elementwise(n * out, 1, 1.0, EB),
+                            ),
+                        ],
+                    ),
+                ],
+            ));
+            // Neighbor aggregation: SpMM over the adjacency. Gather one
+            // `out`-wide row per edge, scatter-reduce into destinations —
+            // bandwidth-bound with poor locality.
+            ops.push(OpNode::composite(
+                "torch_sparse::spmm",
+                vec![
+                    OpNode::simple(
+                        "aten::index_select",
+                        vec![KernelSpec::new(
+                            format!("spmm_gather_f32_{e}x{out}"),
+                            KernelWork::gather(e, out, EB),
+                        )],
+                    ),
+                    OpNode::simple(
+                        "aten::scatter_add",
+                        vec![KernelSpec::new(
+                            format!("spmm_scatter_add_f32_{}", n * out),
+                            KernelWork {
+                                class: KernelClass::Gather,
+                                flops: (e * out) as f64,
+                                bytes: (2 * e * out * EB) as f64,
+                            },
+                        )],
+                    ),
+                ],
+            ));
+            // Degree normalization + activation (last layer: none).
+            ops.push(OpNode::simple(
+                "aten::mul",
+                vec![KernelSpec::new(
+                    format!("vectorized_mul_f32_{}", n * out),
+                    KernelWork::elementwise(n * out, 2, 1.0, EB),
+                )],
+            ));
+            if layer + 1 < self.layers {
+                ops.push(OpNode::simple(
+                    "aten::relu",
+                    vec![KernelSpec::new(
+                        format!("vectorized_relu_f32_{}", n * out),
+                        KernelWork::elementwise(n * out, 1, 1.0, EB),
+                    )],
+                ));
+            }
+            width = out;
+        }
+        OperatorGraph::from_ops(ops)
+    }
+
+    /// Bytes of node features + edge index shipped host→device.
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        self.nodes * u64::from(self.in_features) * 4 + self.edges * 2 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_are_layerwise() {
+        let cfg = GcnConfig::cora();
+        // 1433·16 + 16 + 16·7 + 7.
+        assert_eq!(cfg.param_count(), 1433 * 16 + 16 + 16 * 7 + 7);
+    }
+
+    #[test]
+    fn spmm_dominates_traffic_on_arxiv() {
+        let cfg = GcnConfig::ogbn_arxiv();
+        let g = cfg.graph();
+        let kernels = g.kernels_in_order();
+        let spmm_bytes: f64 = kernels
+            .iter()
+            .filter(|k| k.name.starts_with("spmm"))
+            .map(|k| k.work.bytes)
+            .sum();
+        assert!(spmm_bytes > g.total_bytes() * 0.5);
+    }
+
+    #[test]
+    fn small_graphs_launch_few_kernels() {
+        let g = GcnConfig::cora().graph();
+        // 2 layers × ~6 kernels: GNN serving is a handful of launches.
+        assert!(g.kernel_count() < 20);
+        assert!(g.op_count() > g.kernel_count());
+    }
+
+    #[test]
+    fn last_layer_has_no_relu() {
+        let g = GcnConfig::cora().graph();
+        let names: Vec<_> = g
+            .kernels_in_order()
+            .iter()
+            .map(|k| k.name.clone())
+            .collect();
+        let relus = names.iter().filter(|n| n.contains("relu")).count();
+        assert_eq!(relus, 1, "2 layers, relu only between them");
+    }
+}

@@ -1,0 +1,57 @@
+//! # skip-llm — transformer inference workload generator
+//!
+//! The paper benchmarks four HuggingFace models (Bert-Base-Uncased,
+//! XLM-Roberta-Base, GPT2, Llama-3.2-1B; Table III) plus Gemma-2B and a zoo
+//! of 7B decoders for the fusion-technique comparison (Table I / Fig. 3).
+//! This crate is the simulated substitute for PyTorch + HuggingFace: it
+//! turns a model architecture into the **operator graph** that eager-mode
+//! execution walks — parent ATen operators containing child operators that
+//! launch GPU kernels — with faithful FLOP and byte counts for every kernel.
+//!
+//! The structure matters as much as the arithmetic: the SKIP profiler and
+//! the proximity-score fusion recommender operate on *kernel launch
+//! sequences*, so the builder reproduces eager mode's chattiness — separate
+//! bias adds, `contiguous` copies around batched matmuls, multi-kernel
+//! softmax/layer-norm, dtype casts — and the architectural asymmetries the
+//! paper's results hinge on (encoders end flush with their last layer while
+//! decoders append a final-norm + LM-head tail; GPT2 fuses QKV into one
+//! projection while BERT runs three).
+//!
+//! Entry points:
+//!
+//! * [`ModelConfig`] + [`zoo`] — architecture descriptions with parameter
+//!   counting.
+//! * [`Workload`] — (model, phase, batch, sequence length) — the unit every
+//!   experiment sweeps.
+//! * [`Workload::graph`] — builds the eager-mode [`OperatorGraph`].
+//!
+//! # Example
+//!
+//! ```
+//! use skip_llm::{zoo, Phase, Workload};
+//!
+//! let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512);
+//! let graph = wl.graph();
+//! // Eager GPT2 prefill launches hundreds of kernels…
+//! assert!(graph.kernel_count() > 300);
+//! // …and kernel count does not depend on batch size, only work does.
+//! let wl8 = Workload::new(zoo::gpt2(), Phase::Prefill, 8, 512);
+//! assert_eq!(wl8.graph().kernel_count(), graph.kernel_count());
+//! assert!(wl8.graph().total_flops() > graph.total_flops());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod gnn;
+mod graph;
+mod ops;
+pub mod rm;
+mod workload;
+pub mod zoo;
+
+pub use config::{Activation, ArchStyle, ModelConfig, ModelKind, NormKind};
+pub use graph::{AttentionImpl, GraphOptions, OperatorGraph};
+pub use ops::{KernelSpec, OpNode};
+pub use workload::{Phase, Workload};

@@ -1,0 +1,151 @@
+//! Operator-tree nodes: what eager-mode execution walks.
+
+use serde::{Deserialize, Serialize};
+use skip_hw::{KernelWork, OpComplexity};
+
+/// One GPU kernel an operator launches: a name (as it would appear in a
+/// CUPTI trace) plus the work it performs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Kernel name; deterministic per shape so repeated layers produce
+    /// repeated kernel sequences (the property proximity-score fusion
+    /// exploits).
+    pub name: String,
+    /// FLOPs and bytes.
+    pub work: KernelWork,
+}
+
+impl KernelSpec {
+    /// Creates a kernel spec.
+    #[must_use]
+    pub fn new(name: impl Into<String>, work: KernelWork) -> Self {
+        KernelSpec {
+            name: name.into(),
+            work,
+        }
+    }
+}
+
+/// A node in the operator tree: an ATen-style operator that may contain
+/// child operators and may launch kernels of its own.
+///
+/// Execution semantics (mirroring eager PyTorch): the CPU enters the
+/// operator, pays its framework cost, recurses into children in order, and
+/// launches this node's own kernels after the children. `View` nodes launch
+/// nothing; `Simple` leaves usually launch one or more kernels; `Composite`
+/// parents usually delegate to children.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpNode {
+    /// Operator name, e.g. `"aten::addmm"`.
+    pub name: String,
+    /// CPU-side dispatch cost class.
+    pub complexity: OpComplexity,
+    /// Child operators, executed in order.
+    pub children: Vec<OpNode>,
+    /// Kernels launched directly by this node (after its children).
+    pub kernels: Vec<KernelSpec>,
+}
+
+impl OpNode {
+    /// A composite parent operator wrapping `children`.
+    #[must_use]
+    pub fn composite(name: impl Into<String>, children: Vec<OpNode>) -> Self {
+        OpNode {
+            name: name.into(),
+            complexity: OpComplexity::Composite,
+            children,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// A leaf operator launching `kernels`.
+    #[must_use]
+    pub fn simple(name: impl Into<String>, kernels: Vec<KernelSpec>) -> Self {
+        OpNode {
+            name: name.into(),
+            complexity: OpComplexity::Simple,
+            children: Vec::new(),
+            kernels,
+        }
+    }
+
+    /// A metadata-only operator (`aten::view`, `aten::transpose`): costs
+    /// CPU time, launches nothing.
+    #[must_use]
+    pub fn view(name: impl Into<String>) -> Self {
+        OpNode {
+            name: name.into(),
+            complexity: OpComplexity::View,
+            children: Vec::new(),
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Number of operator nodes in this subtree (including `self`).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        1 + self.children.iter().map(OpNode::op_count).sum::<usize>()
+    }
+
+    /// Number of kernels launched by this subtree.
+    #[must_use]
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+            + self
+                .children
+                .iter()
+                .map(OpNode::kernel_count)
+                .sum::<usize>()
+    }
+
+    /// Depth-first iteration over the kernels of this subtree in launch
+    /// order (children before own kernels).
+    pub fn kernels_in_order<'a>(&'a self, out: &mut Vec<&'a KernelSpec>) {
+        for c in &self.children {
+            c.kernels_in_order(out);
+        }
+        out.extend(self.kernels.iter());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(name: &str) -> KernelSpec {
+        KernelSpec::new(name, KernelWork::null())
+    }
+
+    #[test]
+    fn counts_recurse() {
+        let tree = OpNode::composite(
+            "aten::linear",
+            vec![
+                OpNode::view("aten::t"),
+                OpNode::simple("aten::addmm", vec![k("gemm"), k("bias")]),
+            ],
+        );
+        assert_eq!(tree.op_count(), 3);
+        assert_eq!(tree.kernel_count(), 2);
+    }
+
+    #[test]
+    fn kernel_order_is_children_first() {
+        let mut tree = OpNode::composite(
+            "outer",
+            vec![OpNode::simple("inner", vec![k("first"), k("second")])],
+        );
+        tree.kernels.push(k("own_last"));
+        let mut order = Vec::new();
+        tree.kernels_in_order(&mut order);
+        let names: Vec<&str> = order.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second", "own_last"]);
+    }
+
+    #[test]
+    fn view_nodes_launch_nothing() {
+        let v = OpNode::view("aten::transpose");
+        assert_eq!(v.kernel_count(), 0);
+        assert_eq!(v.complexity, OpComplexity::View);
+    }
+}

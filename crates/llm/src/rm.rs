@@ -1,0 +1,261 @@
+//! Recommendation-model workloads (DLRM-style) — the paper's §VI scope
+//! extension ("we also plan to broaden our workload scope to include
+//! recommendation models (RMs)…").
+//!
+//! A DLRM forward pass is structurally the opposite of a transformer:
+//! dozens of *tiny* embedding-bag lookups (one per sparse feature table),
+//! small MLPs, and a pairwise feature-interaction — hundreds of launches
+//! with almost no FLOPs behind them. That makes RMs the most CPU-bound
+//! workload class of all, and therefore the most sensitive to the coupled
+//! architecture's CPU and launch path.
+
+use serde::{Deserialize, Serialize};
+use skip_hw::KernelWork;
+
+use crate::graph::OperatorGraph;
+use crate::ops::{KernelSpec, OpNode};
+
+/// FP32 element size (DLRM inference typically runs fp32/fp16 mixed; we
+/// model fp32 embeddings and MLPs).
+const EB: u64 = 4;
+
+/// A DLRM-style recommendation model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DlrmConfig {
+    /// Model id.
+    pub name: String,
+    /// Number of sparse-feature embedding tables.
+    pub num_tables: u32,
+    /// Rows per embedding table.
+    pub rows_per_table: u64,
+    /// Embedding vector width.
+    pub embedding_dim: u32,
+    /// Lookups pooled per sample per table.
+    pub pooling_factor: u32,
+    /// Dense (continuous) input features.
+    pub dense_features: u32,
+    /// Bottom-MLP layer widths (dense features → embedding dim).
+    pub bottom_mlp: Vec<u32>,
+    /// Top-MLP layer widths (interaction output → 1).
+    pub top_mlp: Vec<u32>,
+}
+
+impl DlrmConfig {
+    /// A DLRM sized after the MLPerf-inference DLRM benchmark: 26 sparse
+    /// tables, 128-dim embeddings, 13 dense features.
+    #[must_use]
+    pub fn mlperf_dlrm() -> Self {
+        DlrmConfig {
+            name: "dlrm-mlperf".into(),
+            num_tables: 26,
+            rows_per_table: 1_000_000,
+            embedding_dim: 128,
+            pooling_factor: 1,
+            dense_features: 13,
+            bottom_mlp: vec![512, 256, 128],
+            top_mlp: vec![1024, 1024, 512, 256, 1],
+        }
+    }
+
+    /// Total embedding + MLP parameters.
+    #[must_use]
+    pub fn param_count(&self) -> u64 {
+        let mut p = u64::from(self.num_tables) * self.rows_per_table * u64::from(self.embedding_dim);
+        let mut prev = u64::from(self.dense_features);
+        for &w in &self.bottom_mlp {
+            p += prev * u64::from(w) + u64::from(w);
+            prev = u64::from(w);
+        }
+        let t = u64::from(self.num_tables) + 1;
+        let mut prev = t * (t - 1) / 2 + u64::from(self.embedding_dim);
+        for &w in &self.top_mlp {
+            p += prev * u64::from(w) + u64::from(w);
+            prev = u64::from(w);
+        }
+        p
+    }
+
+    /// Builds the eager forward graph for one batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn graph(&self, batch: u32) -> OperatorGraph {
+        assert!(batch > 0, "batch must be positive");
+        let b = u64::from(batch);
+        let d = u64::from(self.embedding_dim);
+        let mut ops = Vec::new();
+
+        // Bottom MLP over the dense features.
+        let mut prev = u64::from(self.dense_features);
+        for &w in &self.bottom_mlp {
+            ops.push(linear(b, u64::from(w), prev));
+            ops.push(relu(b * u64::from(w)));
+            prev = u64::from(w);
+        }
+
+        // One embedding-bag lookup per sparse table: gather + pooling sum.
+        for table in 0..self.num_tables {
+            let rows = b * u64::from(self.pooling_factor);
+            ops.push(OpNode::composite(
+                "aten::embedding_bag",
+                vec![
+                    OpNode::view("aten::view"),
+                    OpNode::simple(
+                        "aten::index_select",
+                        vec![KernelSpec::new(
+                            format!("embedding_bag_gather_t{table}_{rows}x{d}"),
+                            KernelWork::gather(rows, d, EB),
+                        )],
+                    ),
+                    OpNode::simple(
+                        "aten::sum",
+                        vec![KernelSpec::new(
+                            format!("embedding_bag_pool_f32_{}", b * d),
+                            KernelWork::reduction(rows * d, 1.0, EB),
+                        )],
+                    ),
+                ],
+            ));
+        }
+
+        // Feature interaction: concat all vectors, pairwise dots via bmm,
+        // triu extraction, concat with the bottom output.
+        let t = u64::from(self.num_tables) + 1;
+        ops.push(OpNode::simple(
+            "aten::cat",
+            vec![KernelSpec::new(
+                format!("cat_f32_{}", b * t * d),
+                KernelWork::memory((b * t * d * EB) as f64),
+            )],
+        ));
+        ops.push(OpNode::composite(
+            "aten::matmul",
+            vec![
+                OpNode::view("aten::transpose"),
+                OpNode::simple(
+                    "aten::bmm",
+                    vec![KernelSpec::new(
+                        format!("interaction_bmm_f32_{b}x{t}x{t}x{d}"),
+                        KernelWork::batched_gemm(b, t, t, d, EB),
+                    )],
+                ),
+            ],
+        ));
+        ops.push(OpNode::simple(
+            "aten::index_select",
+            vec![KernelSpec::new(
+                format!("triu_gather_f32_{}", b * t * (t - 1) / 2),
+                KernelWork::gather(b, t * (t - 1) / 2, EB),
+            )],
+        ));
+        ops.push(OpNode::simple(
+            "aten::cat",
+            vec![KernelSpec::new(
+                format!("cat_f32_{}", b * (t * (t - 1) / 2 + d)),
+                KernelWork::memory((b * (t * (t - 1) / 2 + d) * EB) as f64),
+            )],
+        ));
+
+        // Top MLP + sigmoid.
+        let mut prev = t * (t - 1) / 2 + d;
+        for &w in &self.top_mlp {
+            ops.push(linear(b, u64::from(w), prev));
+            ops.push(relu(b * u64::from(w)));
+            prev = u64::from(w);
+        }
+        ops.push(OpNode::simple(
+            "aten::sigmoid",
+            vec![KernelSpec::new(
+                format!("vectorized_sigmoid_f32_{b}"),
+                KernelWork::elementwise(b, 1, 4.0, EB),
+            )],
+        ));
+
+        OperatorGraph::from_ops(ops)
+    }
+
+    /// Bytes of sparse indices + dense features shipped host→device.
+    #[must_use]
+    pub fn input_bytes(&self, batch: u32) -> u64 {
+        let b = u64::from(batch);
+        b * u64::from(self.num_tables) * u64::from(self.pooling_factor) * 8
+            + b * u64::from(self.dense_features) * 4
+    }
+}
+
+fn linear(m: u64, out_dim: u64, in_dim: u64) -> OpNode {
+    OpNode::composite(
+        "aten::linear",
+        vec![
+            OpNode::view("aten::t"),
+            OpNode::simple(
+                "aten::addmm",
+                vec![
+                    KernelSpec::new(
+                        format!("xmma_gemm_f32_{m}x{out_dim}x{in_dim}"),
+                        KernelWork::gemm(m, out_dim, in_dim, EB),
+                    ),
+                    KernelSpec::new(
+                        format!("vectorized_add_f32_{}", m * out_dim),
+                        KernelWork::elementwise(m * out_dim, 1, 1.0, EB),
+                    ),
+                ],
+            ),
+        ],
+    )
+}
+
+fn relu(elems: u64) -> OpNode {
+    OpNode::simple(
+        "aten::relu",
+        vec![KernelSpec::new(
+            format!("vectorized_relu_f32_{elems}"),
+            KernelWork::elementwise(elems, 1, 1.0, EB),
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlperf_dlrm_has_expected_scale() {
+        let cfg = DlrmConfig::mlperf_dlrm();
+        // 26M embedding rows × 128 dims dominates: ≈ 3.3B params.
+        let p = cfg.param_count() as f64 / 1e9;
+        assert!((3.0..3.7).contains(&p), "{p}B params");
+    }
+
+    #[test]
+    fn graph_is_launch_heavy_but_flop_light() {
+        let cfg = DlrmConfig::mlperf_dlrm();
+        let g = cfg.graph(1);
+        // Dozens of launches…
+        assert!(g.kernel_count() > 70, "{}", g.kernel_count());
+        // …but well under a GFLOP at batch 1.
+        assert!(g.total_flops() < 1e9, "{}", g.total_flops());
+    }
+
+    #[test]
+    fn kernel_count_is_batch_independent() {
+        let cfg = DlrmConfig::mlperf_dlrm();
+        assert_eq!(cfg.graph(1).kernel_count(), cfg.graph(64).kernel_count());
+    }
+
+    #[test]
+    fn each_table_contributes_two_kernels() {
+        let mut cfg = DlrmConfig::mlperf_dlrm();
+        let base = cfg.graph(1).kernel_count();
+        cfg.num_tables += 4;
+        assert_eq!(cfg.graph(1).kernel_count(), base + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_rejected() {
+        let _ = DlrmConfig::mlperf_dlrm().graph(0);
+    }
+}

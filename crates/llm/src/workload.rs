@@ -1,0 +1,146 @@
+//! The experimental unit: (model, phase, batch size, sequence length).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ModelConfig;
+use crate::graph::{self, OperatorGraph};
+
+/// Inference phase (paper §II-A): the compute-heavy prefill that produces
+/// the first token, or one autoregressive decode step extending a KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Process the whole prompt; the latency of this phase is the
+    /// time-to-first-token (TTFT) every figure of the paper reports.
+    Prefill,
+    /// Generate one token given `past_len` cached positions.
+    DecodeStep {
+        /// Number of tokens already in the KV cache.
+        past_len: u32,
+    },
+}
+
+impl Phase {
+    /// Short label used in trace metadata.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Prefill => "prefill",
+            Phase::DecodeStep { .. } => "decode",
+        }
+    }
+}
+
+/// A fully specified inference workload.
+///
+/// # Example
+///
+/// ```
+/// use skip_llm::{zoo, Phase, Workload};
+///
+/// let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, 8, 512);
+/// assert_eq!(wl.batch_size, 8);
+/// let graph = wl.graph();
+/// assert!(graph.kernel_count() > 250);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The model architecture.
+    pub model: ModelConfig,
+    /// Prefill or decode.
+    pub phase: Phase,
+    /// Batch size (the paper's swept variable).
+    pub batch_size: u32,
+    /// Input sequence length in tokens (512 throughout the paper unless
+    /// noted).
+    pub seq_len: u32,
+}
+
+impl Workload {
+    /// Creates a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` or `seq_len` is zero.
+    #[must_use]
+    pub fn new(model: ModelConfig, phase: Phase, batch_size: u32, seq_len: u32) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        assert!(seq_len > 0, "seq_len must be positive");
+        Workload {
+            model,
+            phase,
+            batch_size,
+            seq_len,
+        }
+    }
+
+    /// Builds the eager-mode operator graph for this workload.
+    #[must_use]
+    pub fn graph(&self) -> OperatorGraph {
+        graph::build(&self.model, self.phase, self.batch_size, self.seq_len)
+    }
+
+    /// Builds the operator graph with explicit [`GraphOptions`]
+    /// (e.g. FlashAttention-2 lowering).
+    ///
+    /// [`GraphOptions`]: crate::GraphOptions
+    #[must_use]
+    pub fn graph_with(&self, opts: crate::GraphOptions) -> OperatorGraph {
+        graph::build_with(&self.model, self.phase, self.batch_size, self.seq_len, opts)
+    }
+
+    /// Bytes of input the host must ship to the device before the forward
+    /// pass (token IDs + attention mask, int64 as PyTorch sends them).
+    #[must_use]
+    pub fn input_bytes(&self) -> u64 {
+        let tokens = u64::from(self.batch_size) * u64::from(self.seq_len);
+        tokens * 8 * 2
+    }
+
+    /// Number of query tokens processed by one forward pass.
+    #[must_use]
+    pub fn query_tokens(&self) -> u64 {
+        match self.phase {
+            Phase::Prefill => u64::from(self.batch_size) * u64::from(self.seq_len),
+            Phase::DecodeStep { .. } => u64::from(self.batch_size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    #[should_panic(expected = "batch_size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = Workload::new(zoo::gpt2(), Phase::Prefill, 0, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "seq_len must be positive")]
+    fn zero_seq_rejected() {
+        let _ = Workload::new(zoo::gpt2(), Phase::Prefill, 1, 0);
+    }
+
+    #[test]
+    fn input_bytes_scale_with_batch_and_seq() {
+        let a = Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512).input_bytes();
+        let b = Workload::new(zoo::gpt2(), Phase::Prefill, 4, 512).input_bytes();
+        assert_eq!(b, 4 * a);
+    }
+
+    #[test]
+    fn query_tokens_differ_by_phase() {
+        let p = Workload::new(zoo::gpt2(), Phase::Prefill, 2, 256);
+        let d = Workload::new(zoo::gpt2(), Phase::DecodeStep { past_len: 256 }, 2, 256);
+        assert_eq!(p.query_tokens(), 512);
+        assert_eq!(d.query_tokens(), 2);
+    }
+
+    #[test]
+    fn phase_labels() {
+        assert_eq!(Phase::Prefill.label(), "prefill");
+        assert_eq!(Phase::DecodeStep { past_len: 1 }.label(), "decode");
+    }
+}

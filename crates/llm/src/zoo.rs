@@ -1,0 +1,382 @@
+//! The model zoo: every architecture the paper evaluates.
+//!
+//! Table III workloads ([`bert_base_uncased`], [`xlm_roberta_base`],
+//! [`gpt2`], [`llama32_1b`]), the Table I compile-mode subject
+//! ([`gemma_2b`]), and the Fig. 3 7B-decoder set ([`llama2_7b`],
+//! [`mistral_7b`], [`qwen_7b`], [`gemma_7b`]). Dimensions follow the public
+//! HuggingFace configs; parameter counts are validated in tests against the
+//! sizes the paper quotes.
+
+use crate::config::{Activation, ArchStyle, ModelConfig, ModelKind, NormKind};
+
+/// Bert-Base-Uncased: 12-layer encoder, ~110M parameters (Table III).
+#[must_use]
+pub fn bert_base_uncased() -> ModelConfig {
+    ModelConfig {
+        name: "bert-base-uncased".into(),
+        kind: ModelKind::EncoderOnly,
+        arch: ArchStyle::BertEncoder,
+        layers: 12,
+        hidden: 768,
+        heads: 12,
+        kv_heads: 12,
+        ffn: 3072,
+        vocab: 30_522,
+        max_pos: 512,
+        token_type_embeddings: true,
+        norm: NormKind::LayerNorm,
+        activation: Activation::GeluExact,
+        tied_lm_head: true,
+    }
+}
+
+/// XLM-Roberta-Base: BERT-sized encoder with a 250k multilingual
+/// vocabulary, ~279M parameters (Table III).
+#[must_use]
+pub fn xlm_roberta_base() -> ModelConfig {
+    ModelConfig {
+        name: "xlm-roberta-base".into(),
+        kind: ModelKind::EncoderOnly,
+        arch: ArchStyle::BertEncoder,
+        layers: 12,
+        hidden: 768,
+        heads: 12,
+        kv_heads: 12,
+        ffn: 3072,
+        vocab: 250_002,
+        max_pos: 514,
+        token_type_embeddings: false,
+        norm: NormKind::LayerNorm,
+        activation: Activation::GeluExact,
+        tied_lm_head: true,
+    }
+}
+
+/// GPT2 (small): 12-layer decoder, ~124M weights (the paper's Table III
+/// quotes 137M, which includes the tied LM head double-counted).
+#[must_use]
+pub fn gpt2() -> ModelConfig {
+    ModelConfig {
+        name: "gpt2".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::Gpt2Decoder,
+        layers: 12,
+        hidden: 768,
+        heads: 12,
+        kv_heads: 12,
+        ffn: 3072,
+        vocab: 50_257,
+        max_pos: 1024,
+        token_type_embeddings: false,
+        norm: NormKind::LayerNorm,
+        activation: Activation::GeluTanh,
+        tied_lm_head: true,
+    }
+}
+
+/// Llama-3.2-1B: 16-layer decoder with GQA (8 KV heads), 1.24B parameters
+/// (Table III).
+#[must_use]
+pub fn llama32_1b() -> ModelConfig {
+    ModelConfig {
+        name: "llama-3.2-1b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 16,
+        hidden: 2048,
+        heads: 32,
+        kv_heads: 8,
+        ffn: 8192,
+        vocab: 128_256,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::SiluGated,
+        tied_lm_head: true,
+    }
+}
+
+/// Gemma-2B: the Table I torch.compile-mode subject (~2.5B parameters).
+#[must_use]
+pub fn gemma_2b() -> ModelConfig {
+    ModelConfig {
+        name: "gemma-2b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 18,
+        hidden: 2048,
+        heads: 8,
+        kv_heads: 1,
+        ffn: 16_384,
+        vocab: 256_000,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::GeluGated,
+        tied_lm_head: true,
+    }
+}
+
+/// Llama-2-7B (Fig. 3 subject): 32 layers, full multi-head attention.
+#[must_use]
+pub fn llama2_7b() -> ModelConfig {
+    ModelConfig {
+        name: "llama-2-7b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        kv_heads: 32,
+        ffn: 11_008,
+        vocab: 32_000,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::SiluGated,
+        tied_lm_head: false,
+    }
+}
+
+/// Mistral-7B-v0.1 (Fig. 3 subject): GQA with 8 KV heads.
+#[must_use]
+pub fn mistral_7b() -> ModelConfig {
+    ModelConfig {
+        name: "mistral-7b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        kv_heads: 8,
+        ffn: 14_336,
+        vocab: 32_000,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::SiluGated,
+        tied_lm_head: false,
+    }
+}
+
+/// Qwen-7B (Fig. 3 subject).
+#[must_use]
+pub fn qwen_7b() -> ModelConfig {
+    ModelConfig {
+        name: "qwen-7b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        kv_heads: 32,
+        ffn: 11_008,
+        vocab: 151_936,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::SiluGated,
+        tied_lm_head: false,
+    }
+}
+
+/// Gemma-7B (Fig. 3 subject): wide gated-GELU MLP, 256k vocabulary.
+#[must_use]
+pub fn gemma_7b() -> ModelConfig {
+    ModelConfig {
+        name: "gemma-7b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 28,
+        hidden: 3072,
+        heads: 16,
+        kv_heads: 16,
+        ffn: 24_576,
+        vocab: 256_000,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::GeluGated,
+        tied_lm_head: true,
+    }
+}
+
+/// BERT-Large: the 24-layer encoder (~335M parameters) — for scaling
+/// studies beyond the paper's base-size encoders.
+#[must_use]
+pub fn bert_large() -> ModelConfig {
+    ModelConfig {
+        name: "bert-large-uncased".into(),
+        kind: ModelKind::EncoderOnly,
+        arch: ArchStyle::BertEncoder,
+        layers: 24,
+        hidden: 1024,
+        heads: 16,
+        kv_heads: 16,
+        ffn: 4096,
+        vocab: 30_522,
+        max_pos: 512,
+        token_type_embeddings: true,
+        norm: NormKind::LayerNorm,
+        activation: Activation::GeluExact,
+        tied_lm_head: true,
+    }
+}
+
+/// GPT2-Medium: 24 layers, ~355M parameters.
+#[must_use]
+pub fn gpt2_medium() -> ModelConfig {
+    ModelConfig {
+        name: "gpt2-medium".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::Gpt2Decoder,
+        layers: 24,
+        hidden: 1024,
+        heads: 16,
+        kv_heads: 16,
+        ffn: 4096,
+        vocab: 50_257,
+        max_pos: 1024,
+        token_type_embeddings: false,
+        norm: NormKind::LayerNorm,
+        activation: Activation::GeluTanh,
+        tied_lm_head: true,
+    }
+}
+
+/// Llama-3.1-8B: the mid-size Llama-3 generation (32 layers, GQA).
+#[must_use]
+pub fn llama31_8b() -> ModelConfig {
+    ModelConfig {
+        name: "llama-3.1-8b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 32,
+        hidden: 4096,
+        heads: 32,
+        kv_heads: 8,
+        ffn: 14_336,
+        vocab: 128_256,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::SiluGated,
+        tied_lm_head: false,
+    }
+}
+
+/// Qwen2.5-0.5B: a sub-billion decoder for edge-latency studies.
+#[must_use]
+pub fn qwen25_05b() -> ModelConfig {
+    ModelConfig {
+        name: "qwen2.5-0.5b".into(),
+        kind: ModelKind::DecoderOnly,
+        arch: ArchStyle::LlamaDecoder,
+        layers: 24,
+        hidden: 896,
+        heads: 14,
+        kv_heads: 2,
+        ffn: 4_864,
+        vocab: 151_936,
+        max_pos: 0,
+        token_type_embeddings: false,
+        norm: NormKind::RmsNorm,
+        activation: Activation::SiluGated,
+        tied_lm_head: true,
+    }
+}
+
+/// The four Table III benchmark workloads, in the paper's order.
+#[must_use]
+pub fn table_iii() -> Vec<ModelConfig> {
+    vec![
+        bert_base_uncased(),
+        xlm_roberta_base(),
+        gpt2(),
+        llama32_1b(),
+    ]
+}
+
+/// The Fig. 3 7B-decoder comparison set.
+#[must_use]
+pub fn seven_b_models() -> Vec<ModelConfig> {
+    vec![llama2_7b(), mistral_7b(), qwen_7b(), gemma_7b()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_params(cfg: &ModelConfig, expect_m: f64, tol_frac: f64) {
+        let got = cfg.param_count() as f64 / 1e6;
+        assert!(
+            (got - expect_m).abs() / expect_m < tol_frac,
+            "{}: expected ~{expect_m}M params, got {got:.1}M",
+            cfg.name
+        );
+    }
+
+    #[test]
+    fn table_iii_parameter_counts() {
+        assert_params(&bert_base_uncased(), 110.0, 0.05);
+        assert_params(&xlm_roberta_base(), 279.0, 0.05);
+        // GPT2 checkpoint weights are 124M; the paper's 137M counts the tied
+        // head separately.
+        assert_params(&gpt2(), 124.0, 0.05);
+        assert_params(&llama32_1b(), 1_240.0, 0.05);
+    }
+
+    #[test]
+    fn extended_zoo_parameter_counts() {
+        assert_params(&gemma_2b(), 2_510.0, 0.06);
+        assert_params(&llama2_7b(), 6_740.0, 0.05);
+        assert_params(&mistral_7b(), 7_240.0, 0.05);
+        assert_params(&qwen_7b(), 7_720.0, 0.08);
+        assert_params(&gemma_7b(), 8_540.0, 0.06);
+        assert_params(&bert_large(), 335.0, 0.05);
+        assert_params(&gpt2_medium(), 355.0, 0.05);
+        assert_params(&llama31_8b(), 8_030.0, 0.05);
+        assert_params(&qwen25_05b(), 494.0, 0.10);
+    }
+
+    #[test]
+    fn scaled_variants_keep_their_family_arch() {
+        use crate::config::ArchStyle;
+        assert_eq!(bert_large().arch, ArchStyle::BertEncoder);
+        assert_eq!(gpt2_medium().arch, ArchStyle::Gpt2Decoder);
+        assert_eq!(llama31_8b().arch, ArchStyle::LlamaDecoder);
+        assert_eq!(qwen25_05b().arch, ArchStyle::LlamaDecoder);
+        // GQA sanity: Qwen2.5-0.5B uses 2 KV heads of head_dim 64.
+        assert_eq!(qwen25_05b().head_dim(), 64);
+        assert_eq!(qwen25_05b().kv_dim(), 128);
+    }
+
+    #[test]
+    fn kinds_match_table_iii() {
+        assert_eq!(bert_base_uncased().kind, ModelKind::EncoderOnly);
+        assert_eq!(xlm_roberta_base().kind, ModelKind::EncoderOnly);
+        assert_eq!(gpt2().kind, ModelKind::DecoderOnly);
+        assert_eq!(llama32_1b().kind, ModelKind::DecoderOnly);
+    }
+
+    #[test]
+    fn zoo_names_are_unique() {
+        let mut names: Vec<String> = table_iii()
+            .into_iter()
+            .chain(seven_b_models())
+            .chain([gemma_2b()])
+            .map(|m| m.name)
+            .collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn gqa_models_have_fewer_kv_heads() {
+        assert!(llama32_1b().kv_heads < llama32_1b().heads);
+        assert!(mistral_7b().kv_heads < mistral_7b().heads);
+        assert_eq!(llama2_7b().kv_heads, llama2_7b().heads);
+    }
+}

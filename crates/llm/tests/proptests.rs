@@ -1,0 +1,107 @@
+//! Property tests for the workload generator.
+
+use proptest::prelude::*;
+use skip_llm::{zoo, AttentionImpl, GraphOptions, ModelConfig, Phase, Workload};
+
+fn arb_base() -> impl Strategy<Value = ModelConfig> {
+    prop::sample::select(vec![
+        zoo::bert_base_uncased(),
+        zoo::xlm_roberta_base(),
+        zoo::gpt2(),
+        zoo::llama32_1b(),
+        zoo::gemma_2b(),
+    ])
+}
+
+proptest! {
+    /// Kernel and operator counts are independent of batch and sequence
+    /// length in eager mode — only the per-kernel work scales.
+    #[test]
+    fn counts_independent_of_shape(
+        model in arb_base(),
+        b1 in 1u32..32, b2 in 1u32..32,
+        s1 in prop::sample::select(vec![16u32, 128, 512]),
+        s2 in prop::sample::select(vec![16u32, 128, 512]),
+    ) {
+        let g1 = Workload::new(model.clone(), Phase::Prefill, b1, s1).graph();
+        let g2 = Workload::new(model, Phase::Prefill, b2, s2).graph();
+        prop_assert_eq!(g1.kernel_count(), g2.kernel_count());
+        prop_assert_eq!(g1.op_count(), g2.op_count());
+    }
+
+    /// Total FLOPs scale linearly in batch size (prefill).
+    #[test]
+    fn flops_linear_in_batch(model in arb_base(), batch in 1u32..16) {
+        let f1 = Workload::new(model.clone(), Phase::Prefill, 1, 256).graph().total_flops();
+        let fb = Workload::new(model, Phase::Prefill, batch, 256).graph().total_flops();
+        let ratio = fb / f1;
+        prop_assert!((ratio - f64::from(batch)).abs() / f64::from(batch) < 1e-9);
+    }
+
+    /// FLOPs grow superlinearly in sequence length (attention is
+    /// quadratic) but bytes at least linearly.
+    #[test]
+    fn seq_scaling_is_superlinear_for_flops(model in arb_base()) {
+        let g1 = Workload::new(model.clone(), Phase::Prefill, 1, 256).graph();
+        let g2 = Workload::new(model, Phase::Prefill, 1, 512).graph();
+        prop_assert!(g2.total_flops() > 2.0 * g1.total_flops());
+        // Bytes grow too, but sublinearly where weight traffic dominates
+        // (the LM head reads the full vocab projection regardless of S).
+        prop_assert!(g2.total_bytes() > g1.total_bytes());
+    }
+
+    /// Kernel counts scale exactly linearly in layer count (plus the
+    /// fixed embedding/tail blocks).
+    #[test]
+    fn kernels_linear_in_layers(model in arb_base(), extra in 1u32..12) {
+        let mut small = model.clone();
+        small.layers = 1;
+        let mut big = model;
+        big.layers = 1 + extra;
+        let k_small = Workload::new(small.clone(), Phase::Prefill, 1, 64).graph().kernel_count();
+        let k_big = Workload::new(big, Phase::Prefill, 1, 64).graph().kernel_count();
+        let per_layer = (k_big - k_small) / extra as usize;
+        prop_assert_eq!(k_small + per_layer * extra as usize, k_big);
+    }
+
+    /// Every kernel has non-negative work, and at least one of
+    /// flops/bytes positive (no phantom kernels).
+    #[test]
+    fn kernels_carry_work(model in arb_base(), batch in 1u32..8) {
+        let g = Workload::new(model, Phase::Prefill, batch, 128).graph();
+        for k in g.kernels_in_order() {
+            prop_assert!(k.work.flops >= 0.0);
+            prop_assert!(k.work.bytes >= 0.0);
+            prop_assert!(k.work.flops > 0.0 || k.work.bytes > 0.0, "{}", k.name);
+        }
+    }
+
+    /// FlashAttention lowering never changes GEMM-projection work — only
+    /// the attention core.
+    #[test]
+    fn flash_preserves_projection_flops(model in arb_base()) {
+        let wl = Workload::new(model, Phase::Prefill, 2, 256);
+        let flash = wl.graph_with(GraphOptions { attention: AttentionImpl::FlashAttention2 });
+        let eager = wl.graph();
+        let proj = |g: &skip_llm::OperatorGraph| -> f64 {
+            g.kernels_in_order()
+                .iter()
+                .filter(|k| k.name.starts_with("xmma_gemm"))
+                .map(|k| k.work.flops)
+                .sum()
+        };
+        prop_assert!((proj(&eager) - proj(&flash)).abs() < 1e-6);
+    }
+
+    /// Decode-step graphs grow their KV-dependent traffic with past_len.
+    #[test]
+    fn decode_traffic_grows_with_past(model in arb_base(), past in 64u32..2048) {
+        let small = Workload::new(model.clone(), Phase::DecodeStep { past_len: 64 }, 1, 64)
+            .graph()
+            .total_bytes();
+        let large = Workload::new(model, Phase::DecodeStep { past_len: past + 64 }, 1, 64)
+            .graph()
+            .total_bytes();
+        prop_assert!(large > small);
+    }
+}

@@ -1,0 +1,159 @@
+//! Full autoregressive generation: prefill + decode loop.
+//!
+//! The paper characterizes the prefill phase (TTFT); its §II-A notes that
+//! the decode phase stresses the memory subsystem instead and its §VI
+//! plans broader phase coverage. This module extends the engine with a
+//! `generate()` call that runs the prefill pass and then `new_tokens`
+//! decode steps with a growing KV cache, reporting TTFT, total decode
+//! time, and time-per-output-token (TPOT).
+
+use serde::{Deserialize, Serialize};
+use skip_des::{SimDuration, SimTime};
+use skip_llm::{ModelConfig, Phase, Workload};
+use skip_trace::Trace;
+
+use crate::engine::Engine;
+use crate::mode::ExecMode;
+
+/// Aggregated latency metrics of one `generate()` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationReport {
+    /// Time-to-first-token: the prefill pass latency.
+    pub ttft: SimDuration,
+    /// Total time of all decode steps.
+    pub decode_time: SimDuration,
+    /// Number of tokens generated after the first.
+    pub tokens_generated: u32,
+}
+
+impl GenerationReport {
+    /// Mean time per output token across the decode steps.
+    #[must_use]
+    pub fn tpot(&self) -> SimDuration {
+        if self.tokens_generated == 0 {
+            SimDuration::ZERO
+        } else {
+            self.decode_time / u64::from(self.tokens_generated)
+        }
+    }
+
+    /// End-to-end latency: prefill plus all decode steps.
+    #[must_use]
+    pub fn end_to_end(&self) -> SimDuration {
+        self.ttft + self.decode_time
+    }
+}
+
+/// Inference latency of one trace (Eq. 4: last kernel end − first
+/// operator begin).
+fn latency(trace: &Trace) -> SimDuration {
+    let first = trace
+        .cpu_ops()
+        .iter()
+        .map(|o| o.begin)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    match trace.kernels().iter().map(|k| k.end).max() {
+        Some(end) => end.saturating_duration_since(first),
+        None => trace.span(),
+    }
+}
+
+impl Engine {
+    /// Runs prefill over `prompt_len` tokens, then `new_tokens` decode
+    /// steps with the KV cache growing each step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_len` or `batch` is zero (via [`Workload::new`]).
+    #[must_use]
+    pub fn generate(
+        &self,
+        model: &ModelConfig,
+        batch: u32,
+        prompt_len: u32,
+        new_tokens: u32,
+        mode: ExecMode,
+    ) -> GenerationReport {
+        let prefill = Workload::new(model.clone(), Phase::Prefill, batch, prompt_len);
+        let ttft = latency(&self.run(&prefill, mode));
+
+        let mut decode_time = SimDuration::ZERO;
+        for step in 0..new_tokens {
+            let wl = Workload::new(
+                model.clone(),
+                Phase::DecodeStep {
+                    past_len: prompt_len + step,
+                },
+                batch,
+                prompt_len,
+            );
+            decode_time += latency(&self.run(&wl, mode));
+        }
+        GenerationReport {
+            ttft,
+            decode_time,
+            tokens_generated: new_tokens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_hw::Platform;
+    use skip_llm::zoo;
+
+    #[test]
+    fn generation_aggregates_prefill_and_decode() {
+        let engine = Engine::new(Platform::gh200());
+        let r = engine.generate(&zoo::gpt2(), 1, 128, 8, ExecMode::Eager);
+        assert!(r.ttft > SimDuration::ZERO);
+        assert!(r.decode_time > SimDuration::ZERO);
+        assert_eq!(r.tokens_generated, 8);
+        assert_eq!(r.end_to_end(), r.ttft + r.decode_time);
+        // Decode steps are far cheaper than prefill per token batch.
+        assert!(r.tpot() < r.ttft);
+    }
+
+    #[test]
+    fn zero_new_tokens_is_just_prefill() {
+        let engine = Engine::new(Platform::intel_h100());
+        let r = engine.generate(&zoo::llama32_1b(), 1, 64, 0, ExecMode::Eager);
+        assert_eq!(r.decode_time, SimDuration::ZERO);
+        assert_eq!(r.tpot(), SimDuration::ZERO);
+        assert_eq!(r.end_to_end(), r.ttft);
+    }
+
+    #[test]
+    fn decode_gpu_work_grows_with_kv_cache() {
+        // A step at past_len 2048 moves more KV bytes than one at 64. The
+        // *latency* stays flat (decode is launch-bound — the growing GPU
+        // work hides in the CPU shadow), but the GPU busy time must grow.
+        let engine = Engine::new(Platform::intel_h100());
+        let gpu_busy = |past| {
+            let wl = Workload::new(zoo::llama32_1b(), Phase::DecodeStep { past_len: past }, 8, 64);
+            engine
+                .run(&wl, ExecMode::Eager)
+                .kernels()
+                .iter()
+                .map(|k| k.duration())
+                .sum::<SimDuration>()
+        };
+        assert!(gpu_busy(2048) > gpu_busy(64));
+    }
+
+    #[test]
+    fn tpot_is_launch_bound_at_batch_one() {
+        // At batch 1 a decode step is almost pure launch tax, so the slow
+        // Grace dispatch makes the GH200 the worst TPOT platform — the
+        // paper's low-batch story extends to the decode phase.
+        let gh = Engine::new(Platform::gh200())
+            .generate(&zoo::gpt2(), 1, 64, 4, ExecMode::Eager)
+            .tpot();
+        let intel = Engine::new(Platform::intel_h100())
+            .generate(&zoo::gpt2(), 1, 64, 4, ExecMode::Eager)
+            .tpot();
+        assert!(gh > intel);
+    }
+}

@@ -1,0 +1,120 @@
+//! Execution modes (paper Fig. 2: eager offload, domain-specific fusion,
+//! whole-graph synthesis).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// `torch.compile` modes, matching Table I's columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompileMode {
+    /// Inductor codegen: fused elementwise chains, per-kernel launches.
+    Default,
+    /// `reduce-overhead`: Default plus CUDA-Graph capture — the whole
+    /// forward replays from a single `cudaGraphLaunch`.
+    ReduceOverhead,
+    /// `max-autotune`: ReduceOverhead plus Triton-autotuned GEMM/fusion
+    /// kernels (long compile time, fastest kernels).
+    MaxAutotune,
+}
+
+impl CompileMode {
+    /// All modes in Table I order.
+    #[must_use]
+    pub fn all() -> [CompileMode; 3] {
+        [
+            CompileMode::Default,
+            CompileMode::ReduceOverhead,
+            CompileMode::MaxAutotune,
+        ]
+    }
+
+    /// The mode string as passed to `torch.compile(mode=…)`.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CompileMode::Default => "default",
+            CompileMode::ReduceOverhead => "reduce-overhead",
+            CompileMode::MaxAutotune => "max-autotune",
+        }
+    }
+
+    /// Whether this mode replays the forward from a captured CUDA graph.
+    #[must_use]
+    pub fn uses_cuda_graphs(self) -> bool {
+        matches!(self, CompileMode::ReduceOverhead | CompileMode::MaxAutotune)
+    }
+
+    /// Post-roofline duration multiplier for GEMM-class kernels
+    /// (autotuning finds faster tilings).
+    #[must_use]
+    pub fn gemm_duration_factor(self) -> f64 {
+        match self {
+            CompileMode::MaxAutotune => 0.88,
+            _ => 1.0,
+        }
+    }
+}
+
+/// How a workload is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Kernel-at-a-time eager execution — the paper's baseline.
+    Eager,
+    /// Eager execution with the FlashAttention-2 fused attention kernel.
+    FlashAttention2,
+    /// `torch.compile` graph execution.
+    TorchCompile(CompileMode),
+}
+
+impl ExecMode {
+    /// Short label used in trace metadata and figure legends.
+    #[must_use]
+    pub fn label(self) -> String {
+        match self {
+            ExecMode::Eager => "eager".into(),
+            ExecMode::FlashAttention2 => "flash_attention_2".into(),
+            ExecMode::TorchCompile(m) => format!("torch_compile[{}]", m.label()),
+        }
+    }
+}
+
+impl fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_torch_strings() {
+        assert_eq!(CompileMode::Default.label(), "default");
+        assert_eq!(CompileMode::ReduceOverhead.label(), "reduce-overhead");
+        assert_eq!(CompileMode::MaxAutotune.label(), "max-autotune");
+    }
+
+    #[test]
+    fn cuda_graph_usage() {
+        assert!(!CompileMode::Default.uses_cuda_graphs());
+        assert!(CompileMode::ReduceOverhead.uses_cuda_graphs());
+        assert!(CompileMode::MaxAutotune.uses_cuda_graphs());
+    }
+
+    #[test]
+    fn only_max_autotune_speeds_up_gemms() {
+        assert_eq!(CompileMode::Default.gemm_duration_factor(), 1.0);
+        assert!(CompileMode::MaxAutotune.gemm_duration_factor() < 1.0);
+    }
+
+    #[test]
+    fn exec_mode_display() {
+        assert_eq!(ExecMode::Eager.to_string(), "eager");
+        assert_eq!(
+            ExecMode::TorchCompile(CompileMode::MaxAutotune).to_string(),
+            "torch_compile[max-autotune]"
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! The nullKernel launch-overhead microbenchmark (paper Table V).
+//!
+//! Launches an empty kernel repeatedly with a synchronization after each
+//! launch (so no queueing can hide or inflate the overhead) and reports the
+//! mean launch overhead (`t_l` of Eq. 1 on an idle GPU) and the mean kernel
+//! duration.
+
+use skip_des::{mean, FifoResource, SimTime};
+use skip_hw::{KernelWork, Platform};
+
+/// Results of the nullKernel microbenchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NullKernelStats {
+    /// Mean launch overhead in nanoseconds (Table V column 1): start of
+    /// kernel execution minus start of the `cudaLaunchKernel` call.
+    pub launch_overhead_ns: f64,
+    /// Mean kernel duration in nanoseconds (Table V column 2).
+    pub duration_ns: f64,
+    /// Number of launches measured.
+    pub iterations: u32,
+}
+
+/// Runs the microbenchmark on `platform`.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+///
+/// # Example
+///
+/// ```
+/// use skip_hw::Platform;
+/// use skip_runtime::nullkernel_microbench;
+///
+/// let stats = nullkernel_microbench(&Platform::gh200(), 1_000);
+/// // Paper Table V: 2771.6 ns launch overhead, 1171.2 ns duration.
+/// assert!((stats.launch_overhead_ns - 2771.6).abs() < 2.0);
+/// assert!((stats.duration_ns - 1171.2).abs() < 2.0);
+/// ```
+#[must_use]
+pub fn nullkernel_microbench(platform: &Platform, iterations: u32) -> NullKernelStats {
+    assert!(iterations > 0, "iterations must be positive");
+    let mut stream = FifoResource::new();
+    let mut cpu_now = SimTime::ZERO;
+    let work = KernelWork::null();
+    let mut overheads = Vec::with_capacity(iterations as usize);
+    let mut durations = Vec::with_capacity(iterations as usize);
+
+    for _ in 0..iterations {
+        let launch_begin = cpu_now;
+        cpu_now += platform.cpu.launch_call_cost();
+        let arrival = launch_begin + platform.launch_overhead();
+        let busy = stream.admit(arrival, platform.gpu.kernel_duration(&work));
+        overheads.push(busy.start.duration_since(launch_begin).as_nanos_f64());
+        durations.push(busy.end.duration_since(busy.start).as_nanos_f64());
+        // cudaDeviceSynchronize: the CPU waits for completion before the
+        // next launch, so successive launches never queue.
+        cpu_now = cpu_now.max(busy.end);
+    }
+
+    NullKernelStats {
+        launch_overhead_ns: mean(&overheads),
+        duration_ns: mean(&durations),
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_v_on_all_platforms() {
+        let cases = [
+            (Platform::amd_a100(), 2_260.5, 1_440.0),
+            (Platform::intel_h100(), 2_374.6, 1_235.2),
+            (Platform::gh200(), 2_771.6, 1_171.2),
+        ];
+        for (p, overhead, duration) in cases {
+            let s = nullkernel_microbench(&p, 10_000);
+            assert!(
+                (s.launch_overhead_ns - overhead).abs() < 2.0,
+                "{}: overhead {} vs {}",
+                p.name,
+                s.launch_overhead_ns,
+                overhead
+            );
+            assert!(
+                (s.duration_ns - duration).abs() < 2.0,
+                "{}: duration {} vs {}",
+                p.name,
+                s.duration_ns,
+                duration
+            );
+        }
+    }
+
+    #[test]
+    fn synchronized_launches_never_queue() {
+        // Overhead must not grow with iteration count (no queuing).
+        let p = Platform::intel_h100();
+        let a = nullkernel_microbench(&p, 10);
+        let b = nullkernel_microbench(&p, 10_000);
+        assert!((a.launch_overhead_ns - b.launch_overhead_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "iterations must be positive")]
+    fn zero_iterations_rejected() {
+        let _ = nullkernel_microbench(&Platform::gh200(), 0);
+    }
+}

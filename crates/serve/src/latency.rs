@@ -1,0 +1,131 @@
+//! Memoized per-iteration latencies from the execution engine.
+//!
+//! A serving simulation executes thousands of scheduler iterations; running
+//! the full operator-graph simulation for each would be wasteful when the
+//! result is fully determined by (phase, batch size, context length). This
+//! model buckets context lengths to powers of two and memoizes engine runs
+//! per (phase, batch, bucket).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use skip_des::{SimDuration, SimTime};
+use skip_hw::Platform;
+use skip_llm::{ModelConfig, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+use skip_trace::Trace;
+
+/// Memoizing wrapper around [`Engine`] for serving simulations.
+#[derive(Debug)]
+pub struct LatencyModel {
+    engine: Engine,
+    model: ModelConfig,
+    cache: RefCell<BTreeMap<(u8, u32, u32), SimDuration>>,
+}
+
+fn latency(trace: &Trace) -> SimDuration {
+    let first = trace
+        .cpu_ops()
+        .iter()
+        .map(|o| o.begin)
+        .min()
+        .unwrap_or(SimTime::ZERO);
+    match trace.kernels().iter().map(|k| k.end).max() {
+        Some(end) => end.saturating_duration_since(first),
+        None => trace.span(),
+    }
+}
+
+fn bucket(len: u32) -> u32 {
+    len.max(1).next_power_of_two()
+}
+
+impl LatencyModel {
+    /// Creates a latency model for `model` on `platform`.
+    #[must_use]
+    pub fn new(platform: Platform, model: ModelConfig) -> Self {
+        LatencyModel {
+            engine: Engine::new(platform),
+            model,
+            cache: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// The model being served.
+    #[must_use]
+    pub fn model(&self) -> &ModelConfig {
+        &self.model
+    }
+
+    /// Latency of a prefill pass over `prompt_len` tokens at `batch`.
+    #[must_use]
+    pub fn prefill(&self, batch: u32, prompt_len: u32) -> SimDuration {
+        self.cached(0, batch, bucket(prompt_len), || {
+            Workload::new(self.model.clone(), Phase::Prefill, batch, bucket(prompt_len))
+        })
+    }
+
+    /// Latency of one decode step at `batch` with `ctx` cached tokens.
+    #[must_use]
+    pub fn decode_step(&self, batch: u32, ctx: u32) -> SimDuration {
+        self.cached(1, batch, bucket(ctx), || {
+            Workload::new(
+                self.model.clone(),
+                Phase::DecodeStep {
+                    past_len: bucket(ctx),
+                },
+                batch,
+                bucket(ctx),
+            )
+        })
+    }
+
+    /// Number of distinct engine runs performed so far.
+    #[must_use]
+    pub fn cache_entries(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    fn cached<F: FnOnce() -> Workload>(&self, phase: u8, batch: u32, len: u32, wl: F) -> SimDuration {
+        let key = (phase, batch, len);
+        if let Some(&d) = self.cache.borrow().get(&key) {
+            return d;
+        }
+        let d = latency(&self.engine.run(&wl(), ExecMode::Eager));
+        self.cache.borrow_mut().insert(key, d);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_llm::zoo;
+
+    #[test]
+    fn memoization_hits_after_first_run() {
+        let m = LatencyModel::new(Platform::intel_h100(), zoo::gpt2());
+        let a = m.prefill(2, 100); // buckets to 128
+        assert_eq!(m.cache_entries(), 1);
+        let b = m.prefill(2, 128);
+        assert_eq!(m.cache_entries(), 1, "bucketed to the same entry");
+        assert_eq!(a, b);
+        let _ = m.decode_step(2, 128);
+        assert_eq!(m.cache_entries(), 2);
+    }
+
+    #[test]
+    fn decode_steps_are_cheaper_than_prefill() {
+        let m = LatencyModel::new(Platform::gh200(), zoo::gpt2());
+        assert!(m.decode_step(4, 512) < m.prefill(4, 512));
+    }
+
+    #[test]
+    fn bucket_rounds_up_to_power_of_two() {
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(100), 128);
+        assert_eq!(bucket(128), 128);
+        assert_eq!(bucket(129), 256);
+        assert_eq!(bucket(0), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! # skip-serve — online serving simulation
+//!
+//! The paper's batch-size story is ultimately about *serving*: §II-A frames
+//! everything in user-visible latency under ~200 ms SLOs, cites vLLM's
+//! continuous batching and Orca's iteration-level scheduling, and concludes
+//! that each application–system pair has a balanced batch-size region.
+//! This crate closes that loop: it simulates an online serving endpoint —
+//! Poisson request arrivals, a batching policy, the platform executing each
+//! iteration at the cost the `skip-runtime` engine reports — and measures
+//! what the user actually sees: TTFT/end-to-end percentiles and sustained
+//! throughput as functions of offered load.
+//!
+//! Components:
+//!
+//! * [`RequestStream`] — seeded Poisson arrivals with configurable prompt
+//!   and output lengths.
+//! * [`LatencyModel`] — memoized per-iteration latencies from the engine
+//!   (prefill and decode, bucketed by batch size and context length).
+//! * [`Policy`] — static batching (collect B requests or time out) vs
+//!   continuous, iteration-level batching.
+//! * [`simulate`] — the discrete-event serving loop, returning a
+//!   [`ServingReport`] of latency percentiles and throughput.
+//!
+//! # Example
+//!
+//! ```
+//! use skip_hw::Platform;
+//! use skip_llm::zoo;
+//! use skip_serve::{simulate, Policy, ServingConfig};
+//!
+//! let report = simulate(&ServingConfig {
+//!     platform: Platform::gh200(),
+//!     model: zoo::gpt2(),
+//!     policy: Policy::Continuous { max_batch: 16 },
+//!     requests: 40,
+//!     arrival_rate_per_s: 20.0,
+//!     prompt_len: 128,
+//!     new_tokens: 8,
+//!     seed: 7,
+//! });
+//! assert_eq!(report.completed, 40);
+//! assert!(report.ttft_p50.as_millis_f64() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod latency;
+mod request;
+mod sim;
+
+pub use latency::LatencyModel;
+pub use request::{Request, RequestStream};
+pub use sim::{simulate, simulate_replicas, Policy, ServingConfig, ServingReport};

@@ -1,0 +1,124 @@
+//! Request arrival generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use skip_des::{SimDuration, SimTime};
+
+/// One inference request arriving at the serving endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request identifier (arrival order).
+    pub id: u64,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// Prompt length in tokens.
+    pub prompt_len: u32,
+    /// Output tokens to generate.
+    pub new_tokens: u32,
+}
+
+/// A seeded Poisson arrival process with fixed request shapes.
+///
+/// Inter-arrival gaps are exponential with the configured rate; the seed
+/// makes every stream exactly reproducible, preserving the stack-wide
+/// determinism guarantee.
+///
+/// # Example
+///
+/// ```
+/// use skip_serve::RequestStream;
+///
+/// let a: Vec<_> = RequestStream::poisson(100.0, 128, 16, 42).take(10).collect();
+/// let b: Vec<_> = RequestStream::poisson(100.0, 128, 16, 42).take(10).collect();
+/// assert_eq!(a, b); // same seed, same stream
+/// assert!(a.windows(2).all(|w| w[1].arrival >= w[0].arrival));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RequestStream {
+    rng: SmallRng,
+    rate_per_s: f64,
+    prompt_len: u32,
+    new_tokens: u32,
+    next_id: u64,
+    clock: SimTime,
+}
+
+impl RequestStream {
+    /// Creates a Poisson stream of `rate_per_s` requests per second, each
+    /// with the given prompt and output lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not positive and finite.
+    #[must_use]
+    pub fn poisson(rate_per_s: f64, prompt_len: u32, new_tokens: u32, seed: u64) -> Self {
+        assert!(
+            rate_per_s.is_finite() && rate_per_s > 0.0,
+            "arrival rate must be positive"
+        );
+        RequestStream {
+            rng: SmallRng::seed_from_u64(seed),
+            rate_per_s,
+            prompt_len,
+            new_tokens,
+            next_id: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+}
+
+impl Iterator for RequestStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let gap_s = -u.ln() / self.rate_per_s;
+        self.clock += SimDuration::from_nanos_f64(gap_s * 1e9);
+        let req = Request {
+            id: self.next_id,
+            arrival: self.clock,
+            prompt_len: self.prompt_len,
+            new_tokens: self.new_tokens,
+        };
+        self.next_id += 1;
+        Some(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_monotone_and_ids_sequential() {
+        let reqs: Vec<_> = RequestStream::poisson(50.0, 64, 4, 1).take(100).collect();
+        for (i, w) in reqs.windows(2).enumerate() {
+            assert!(w[1].arrival >= w[0].arrival, "at {i}");
+        }
+        assert_eq!(reqs.last().unwrap().id, 99);
+    }
+
+    #[test]
+    fn mean_rate_approximates_configured_rate() {
+        let n = 20_000;
+        let reqs: Vec<_> = RequestStream::poisson(100.0, 64, 4, 9).take(n).collect();
+        let span_s = reqs.last().unwrap().arrival.as_millis_f64() / 1e3;
+        let rate = n as f64 / span_s;
+        assert!((rate - 100.0).abs() / 100.0 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = RequestStream::poisson(10.0, 64, 4, 1).take(5).collect();
+        let b: Vec<_> = RequestStream::poisson(10.0, 64, 4, 2).take(5).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_rate_rejected() {
+        let _ = RequestStream::poisson(0.0, 64, 4, 1);
+    }
+}

@@ -1,0 +1,481 @@
+//! The discrete-event serving loop.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use skip_des::{percentile, SimContext, SimDuration, SimTime, Simulator};
+use skip_hw::Platform;
+use skip_llm::ModelConfig;
+
+use crate::latency::LatencyModel;
+use crate::request::{Request, RequestStream};
+
+/// Batching policy of the serving endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Classic static batching: wait until `batch_size` requests are
+    /// queued (or `max_wait` has passed since the oldest arrival), then
+    /// run the whole batch to completion as one job.
+    Static {
+        /// Target batch size.
+        batch_size: u32,
+        /// Longest a request may wait for the batch to fill.
+        max_wait: SimDuration,
+    },
+    /// Iteration-level continuous batching (Orca/vLLM style): new requests
+    /// join at the next iteration boundary; each iteration is either a
+    /// prefill for the newcomers or one decode step for the running batch.
+    Continuous {
+        /// Maximum concurrent requests in the running batch.
+        max_batch: u32,
+    },
+}
+
+/// One serving experiment's configuration.
+#[derive(Debug, Clone)]
+pub struct ServingConfig {
+    /// The platform serving the model.
+    pub platform: Platform,
+    /// The model being served.
+    pub model: ModelConfig,
+    /// Batching policy.
+    pub policy: Policy,
+    /// Number of requests to simulate.
+    pub requests: u32,
+    /// Poisson arrival rate, requests per second.
+    pub arrival_rate_per_s: f64,
+    /// Prompt length of every request, tokens.
+    pub prompt_len: u32,
+    /// Output tokens per request.
+    pub new_tokens: u32,
+    /// RNG seed for the arrival process.
+    pub seed: u64,
+}
+
+/// Measured serving behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Requests completed (always equals the configured count).
+    pub completed: u32,
+    /// Median time-to-first-token.
+    pub ttft_p50: SimDuration,
+    /// 95th-percentile time-to-first-token.
+    pub ttft_p95: SimDuration,
+    /// 99th-percentile time-to-first-token.
+    pub ttft_p99: SimDuration,
+    /// Median end-to-end latency.
+    pub e2e_p50: SimDuration,
+    /// 95th-percentile end-to-end latency.
+    pub e2e_p95: SimDuration,
+    /// Output tokens per second over the simulation span.
+    pub throughput_tok_s: f64,
+    /// Wall-clock span from first arrival to last completion.
+    pub makespan: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Arrival(Request),
+    /// A replica finished its current iteration/job.
+    IterationDone(usize),
+    FlushTimeout(u64),
+}
+
+struct Active {
+    req: Request,
+    generated: u32,
+    ttft: Option<SimDuration>,
+}
+
+struct Finished {
+    ttft: SimDuration,
+    e2e: SimDuration,
+}
+
+/// The mutable serving-floor state shared by all event handlers.
+struct Floor {
+    pending: VecDeque<Request>,
+    /// Per-replica running batch (continuous policy).
+    actives: Vec<Vec<Active>>,
+    /// Per-replica in-flight static job.
+    static_jobs: Vec<Vec<(Request, SimTime)>>,
+    busy: Vec<bool>,
+    finished: Vec<Finished>,
+    last_completion: SimTime,
+    flush_generation: u64,
+}
+
+/// Runs the serving simulation on a single replica.
+///
+/// Deterministic for a fixed config (seeded arrivals, memoized engine).
+///
+/// # Panics
+///
+/// Panics if `requests` is zero or the policy's batch capacity is zero.
+#[must_use]
+pub fn simulate(cfg: &ServingConfig) -> ServingReport {
+    simulate_replicas(cfg, 1)
+}
+
+/// Runs the serving simulation across `replicas` identical instances of
+/// the platform behind one shared queue — endpoint fleet sizing. Idle
+/// replicas pull from the shared queue at iteration boundaries.
+///
+/// # Panics
+///
+/// Panics if `replicas` or `requests` is zero, or the policy's batch
+/// capacity is zero.
+#[must_use]
+pub fn simulate_replicas(cfg: &ServingConfig, replicas: u32) -> ServingReport {
+    assert!(replicas > 0, "need at least one replica");
+    assert!(cfg.requests > 0, "simulate at least one request");
+    match cfg.policy {
+        Policy::Static { batch_size, .. } => {
+            assert!(batch_size > 0, "static batch size must be positive");
+        }
+        Policy::Continuous { max_batch } => {
+            assert!(max_batch > 0, "continuous max_batch must be positive");
+        }
+    }
+
+    let n = replicas as usize;
+    let lat = LatencyModel::new(cfg.platform.clone(), cfg.model.clone());
+    let mut sim: Simulator<Event> = Simulator::new();
+    let mut first_arrival: Option<SimTime> = None;
+    for req in RequestStream::poisson(
+        cfg.arrival_rate_per_s,
+        cfg.prompt_len,
+        cfg.new_tokens,
+        cfg.seed,
+    )
+    .take(cfg.requests as usize)
+    {
+        first_arrival.get_or_insert(req.arrival);
+        sim.schedule(req.arrival, Event::Arrival(req));
+    }
+
+    let mut floor = Floor {
+        pending: VecDeque::new(),
+        actives: (0..n).map(|_| Vec::new()).collect(),
+        static_jobs: (0..n).map(|_| Vec::new()).collect(),
+        busy: vec![false; n],
+        finished: Vec::new(),
+        last_completion: SimTime::ZERO,
+        flush_generation: 0,
+    };
+
+    sim.run(|ctx, event| {
+        let now = ctx.now();
+        match event {
+            Event::Arrival(req) => {
+                floor.pending.push_back(req);
+                kick_idle_replicas(cfg, &lat, &mut floor, ctx, false);
+                // Arm a flush timer if the queue cannot fill a static batch.
+                if let Policy::Static { max_wait, .. } = cfg.policy {
+                    if !floor.pending.is_empty() {
+                        floor.flush_generation += 1;
+                        ctx.schedule(
+                            now + max_wait,
+                            Event::FlushTimeout(floor.flush_generation),
+                        );
+                    }
+                }
+            }
+            Event::FlushTimeout(generation) => {
+                if generation == floor.flush_generation && !floor.pending.is_empty() {
+                    kick_idle_replicas(cfg, &lat, &mut floor, ctx, true);
+                }
+            }
+            Event::IterationDone(replica) => {
+                floor.busy[replica] = false;
+                retire(cfg, &mut floor, replica, now);
+                let oldest_expired = matches!(cfg.policy, Policy::Static { max_wait, .. }
+                    if floor
+                        .pending
+                        .front()
+                        .is_some_and(|r| now.saturating_duration_since(r.arrival) >= max_wait));
+                kick_idle_replicas(cfg, &lat, &mut floor, ctx, oldest_expired);
+            }
+        }
+    });
+
+    // Collect metrics.
+    let ttfts: Vec<f64> = floor.finished.iter().map(|f| f.ttft.as_nanos_f64()).collect();
+    let e2es: Vec<f64> = floor.finished.iter().map(|f| f.e2e.as_nanos_f64()).collect();
+    let makespan = floor
+        .last_completion
+        .saturating_duration_since(first_arrival.unwrap_or(SimTime::ZERO));
+    let total_tokens = u64::from(cfg.requests) * u64::from(cfg.new_tokens.max(1));
+    let d = |v: f64| SimDuration::from_nanos_f64(v);
+    ServingReport {
+        completed: floor.finished.len() as u32,
+        ttft_p50: d(percentile(&ttfts, 50.0)),
+        ttft_p95: d(percentile(&ttfts, 95.0)),
+        ttft_p99: d(percentile(&ttfts, 99.0)),
+        e2e_p50: d(percentile(&e2es, 50.0)),
+        e2e_p95: d(percentile(&e2es, 95.0)),
+        throughput_tok_s: total_tokens as f64 / makespan.as_secs_f64().max(1e-12),
+        makespan,
+    }
+}
+
+/// Credits the iteration/job that just completed on `replica`.
+fn retire(cfg: &ServingConfig, floor: &mut Floor, replica: usize, now: SimTime) {
+    match cfg.policy {
+        Policy::Static { .. } => {
+            for (req, first_token_at) in floor.static_jobs[replica].drain(..) {
+                floor.finished.push(Finished {
+                    ttft: first_token_at.saturating_duration_since(req.arrival),
+                    e2e: now.saturating_duration_since(req.arrival),
+                });
+                floor.last_completion = now;
+            }
+        }
+        Policy::Continuous { .. } => {
+            let active = &mut floor.actives[replica];
+            let mut i = 0;
+            while i < active.len() {
+                let a = &mut active[i];
+                if a.generated == 0 {
+                    // Prefill just finished: first token out.
+                    a.generated = 1;
+                    a.ttft = Some(now.saturating_duration_since(a.req.arrival));
+                } else {
+                    a.generated += 1;
+                }
+                if a.generated >= a.req.new_tokens.max(1) {
+                    let a = active.swap_remove(i);
+                    floor.finished.push(Finished {
+                        ttft: a.ttft.expect("prefill completed before retirement"),
+                        e2e: now.saturating_duration_since(a.req.arrival),
+                    });
+                    floor.last_completion = now;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Starts work on every idle replica that has something to do.
+/// `flush` forces a partial static batch (timeout expired).
+fn kick_idle_replicas(
+    cfg: &ServingConfig,
+    lat: &LatencyModel,
+    floor: &mut Floor,
+    ctx: &mut SimContext<'_, Event>,
+    flush: bool,
+) {
+    let now = ctx.now();
+    for replica in 0..floor.busy.len() {
+        if floor.busy[replica] {
+            continue;
+        }
+        let dur = match cfg.policy {
+            Policy::Static { batch_size, .. } => {
+                let enough = floor.pending.len() as u32 >= batch_size;
+                if floor.pending.is_empty() || !(enough || flush) {
+                    continue;
+                }
+                let take = (floor.pending.len() as u32).min(batch_size);
+                Some(start_static_job(
+                    lat,
+                    &mut floor.pending,
+                    take,
+                    cfg,
+                    now,
+                    &mut floor.static_jobs[replica],
+                ))
+            }
+            Policy::Continuous { .. } => {
+                continuous_iteration(lat, cfg, &mut floor.pending, &mut floor.actives[replica])
+            }
+        };
+        if let Some(dur) = dur {
+            floor.busy[replica] = true;
+            ctx.schedule(now + dur, Event::IterationDone(replica));
+        }
+    }
+}
+
+/// Starts a static job: prefill + all decode steps as one engine
+/// occupancy. Returns the job duration; records per-request first-token
+/// instants.
+fn start_static_job(
+    lat: &LatencyModel,
+    pending: &mut VecDeque<Request>,
+    take: u32,
+    cfg: &ServingConfig,
+    now: SimTime,
+    static_job: &mut Vec<(Request, SimTime)>,
+) -> SimDuration {
+    let batch: Vec<Request> = (0..take).filter_map(|_| pending.pop_front()).collect();
+    let b = batch.len() as u32;
+    let prefill = lat.prefill(b, cfg.prompt_len);
+    let mut total = prefill;
+    for step in 1..cfg.new_tokens.max(1) {
+        total += lat.decode_step(b, cfg.prompt_len + step);
+    }
+    let first_token_at = now + prefill;
+    for req in batch {
+        static_job.push((req, first_token_at));
+    }
+    total
+}
+
+/// Picks and prices the next continuous-batching iteration, if any work
+/// exists; `None` when idle.
+fn continuous_iteration(
+    lat: &LatencyModel,
+    cfg: &ServingConfig,
+    pending: &mut VecDeque<Request>,
+    active: &mut Vec<Active>,
+) -> Option<SimDuration> {
+    let max_batch = match cfg.policy {
+        Policy::Continuous { max_batch } => max_batch,
+        Policy::Static { .. } => unreachable!("continuous_iteration under static policy"),
+    };
+    let slots = max_batch as usize - active.len().min(max_batch as usize);
+    let newcomers = pending.len().min(slots);
+    if newcomers > 0 {
+        // Prefill iteration for the newcomers.
+        for _ in 0..newcomers {
+            let req = pending.pop_front().expect("counted above");
+            active.push(Active {
+                req,
+                generated: 0,
+                ttft: None,
+            });
+        }
+        Some(lat.prefill(newcomers as u32, cfg.prompt_len))
+    } else if !active.is_empty() {
+        // One decode step for the whole running batch.
+        let ctx = active
+            .iter()
+            .map(|a| a.req.prompt_len + a.generated)
+            .max()
+            .expect("non-empty");
+        Some(lat.decode_step(active.len() as u32, ctx))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_llm::zoo;
+
+    fn base_cfg(policy: Policy) -> ServingConfig {
+        ServingConfig {
+            platform: Platform::intel_h100(),
+            model: zoo::gpt2(),
+            policy,
+            requests: 30,
+            arrival_rate_per_s: 20.0,
+            prompt_len: 128,
+            new_tokens: 4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn continuous_serving_completes_every_request() {
+        let r = simulate(&base_cfg(Policy::Continuous { max_batch: 8 }));
+        assert_eq!(r.completed, 30);
+        assert!(r.ttft_p50 > SimDuration::ZERO);
+        assert!(r.e2e_p50 >= r.ttft_p50);
+        assert!(r.ttft_p95 >= r.ttft_p50);
+        assert!(r.throughput_tok_s > 0.0);
+    }
+
+    #[test]
+    fn static_serving_completes_every_request() {
+        let r = simulate(&base_cfg(Policy::Static {
+            batch_size: 8,
+            max_wait: SimDuration::from_millis(50),
+        }));
+        assert_eq!(r.completed, 30);
+        assert!(r.e2e_p95 >= r.e2e_p50);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = base_cfg(Policy::Continuous { max_batch: 4 });
+        assert_eq!(simulate(&cfg), simulate(&cfg));
+        assert_eq!(simulate_replicas(&cfg, 3), simulate_replicas(&cfg, 3));
+    }
+
+    #[test]
+    fn continuous_batching_beats_static_ttft_under_load() {
+        // The vLLM/Orca claim: joining at iteration boundaries avoids
+        // waiting for a full static batch.
+        let cont = simulate(&base_cfg(Policy::Continuous { max_batch: 8 }));
+        let stat = simulate(&base_cfg(Policy::Static {
+            batch_size: 8,
+            max_wait: SimDuration::from_millis(200),
+        }));
+        assert!(
+            cont.ttft_p95 < stat.ttft_p95,
+            "continuous {} vs static {}",
+            cont.ttft_p95,
+            stat.ttft_p95
+        );
+    }
+
+    #[test]
+    fn higher_load_raises_tail_latency() {
+        let mut light = base_cfg(Policy::Continuous { max_batch: 8 });
+        light.arrival_rate_per_s = 5.0;
+        let mut heavy = light.clone();
+        heavy.arrival_rate_per_s = 200.0;
+        let l = simulate(&light);
+        let h = simulate(&heavy);
+        assert!(h.ttft_p95 >= l.ttft_p95);
+    }
+
+    #[test]
+    fn more_replicas_cut_tail_latency_under_heavy_load() {
+        let mut cfg = base_cfg(Policy::Continuous { max_batch: 4 });
+        cfg.arrival_rate_per_s = 400.0;
+        cfg.requests = 80;
+        let one = simulate_replicas(&cfg, 1);
+        let four = simulate_replicas(&cfg, 4);
+        assert_eq!(four.completed, 80);
+        assert!(
+            four.ttft_p95 < one.ttft_p95,
+            "4 replicas {} vs 1 replica {}",
+            four.ttft_p95,
+            one.ttft_p95
+        );
+    }
+
+    #[test]
+    fn replicas_also_help_static_batching() {
+        let mut cfg = base_cfg(Policy::Static {
+            batch_size: 4,
+            max_wait: SimDuration::from_millis(20),
+        });
+        cfg.arrival_rate_per_s = 400.0;
+        cfg.requests = 80;
+        let one = simulate_replicas(&cfg, 1);
+        let four = simulate_replicas(&cfg, 4);
+        assert_eq!(four.completed, 80);
+        assert!(four.e2e_p95 <= one.e2e_p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_requests_rejected() {
+        let mut cfg = base_cfg(Policy::Continuous { max_batch: 1 });
+        cfg.requests = 0;
+        let _ = simulate(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        let _ = simulate_replicas(&base_cfg(Policy::Continuous { max_batch: 1 }), 0);
+    }
+}

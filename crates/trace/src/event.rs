@@ -1,0 +1,148 @@
+//! The three event kinds recorded in an inference trace.
+
+use serde::{Deserialize, Serialize};
+use skip_des::{SimDuration, SimTime};
+
+use crate::ids::{CorrelationId, OpId, StreamId, ThreadId};
+
+/// A CPU-side framework operator event (an ATen operator in PyTorch terms).
+///
+/// Operators nest: `aten::linear` contains `aten::addmm` which contains the
+/// `cudaLaunchKernel` runtime call. Nesting is *not* stored here — like a
+/// real profiler trace, only `(thread, begin, end)` is recorded, and the
+/// SKIP profiler recovers the hierarchy by time containment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuOpEvent {
+    /// Unique ID within the trace.
+    pub id: OpId,
+    /// Operator name, e.g. `"aten::linear"`.
+    pub name: String,
+    /// The CPU thread the operator ran on.
+    pub thread: ThreadId,
+    /// Start timestamp.
+    pub begin: SimTime,
+    /// End timestamp.
+    pub end: SimTime,
+}
+
+/// A CUDA runtime call on the CPU that launches a kernel
+/// (`cudaLaunchKernel`), tagged with the correlation ID CUPTI uses to link
+/// it to the resulting [`KernelEvent`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RuntimeLaunchEvent {
+    /// Runtime API name, e.g. `"cudaLaunchKernel"` or `"cudaGraphLaunch"`.
+    pub name: String,
+    /// The CPU thread the call ran on.
+    pub thread: ThreadId,
+    /// Start timestamp of the runtime call.
+    pub begin: SimTime,
+    /// End timestamp of the runtime call.
+    pub end: SimTime,
+    /// Correlation ID shared with the kernel this call triggered.
+    pub correlation: CorrelationId,
+}
+
+/// A kernel execution on a GPU stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelEvent {
+    /// Kernel (mangled) name, e.g. `"ampere_fp16_s16816gemm_fp16_128x128"`.
+    pub name: String,
+    /// Stream the kernel executed on.
+    pub stream: StreamId,
+    /// Start of execution on the GPU.
+    pub begin: SimTime,
+    /// End of execution on the GPU.
+    pub end: SimTime,
+    /// Correlation ID shared with the launch call that triggered it.
+    pub correlation: CorrelationId,
+}
+
+impl CpuOpEvent {
+    /// Operator duration (`end − begin`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use skip_des::{SimDuration, SimTime};
+    /// # use skip_trace::{CpuOpEvent, OpId, ThreadId};
+    /// let op = CpuOpEvent {
+    ///     id: OpId::new(0),
+    ///     name: "aten::linear".into(),
+    ///     thread: ThreadId::MAIN,
+    ///     begin: SimTime::from_nanos(10),
+    ///     end: SimTime::from_nanos(35),
+    /// };
+    /// assert_eq!(op.duration(), SimDuration::from_nanos(25));
+    /// ```
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.begin)
+    }
+
+    /// `true` if `instant` falls within `[begin, end)`.
+    #[must_use]
+    pub fn contains(&self, instant: SimTime) -> bool {
+        instant >= self.begin && instant < self.end
+    }
+}
+
+impl RuntimeLaunchEvent {
+    /// Duration of the runtime call on the CPU.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.begin)
+    }
+}
+
+impl KernelEvent {
+    /// Kernel execution duration (the `t_k` of the paper's Eq. 3).
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end.duration_since(self.begin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(begin: u64, end: u64) -> CpuOpEvent {
+        CpuOpEvent {
+            id: OpId::new(1),
+            name: "aten::t".into(),
+            thread: ThreadId::MAIN,
+            begin: SimTime::from_nanos(begin),
+            end: SimTime::from_nanos(end),
+        }
+    }
+
+    #[test]
+    fn op_contains_is_half_open() {
+        let o = op(10, 20);
+        assert!(!o.contains(SimTime::from_nanos(9)));
+        assert!(o.contains(SimTime::from_nanos(10)));
+        assert!(o.contains(SimTime::from_nanos(19)));
+        assert!(!o.contains(SimTime::from_nanos(20)));
+    }
+
+    #[test]
+    fn durations_subtract_begin_from_end() {
+        assert_eq!(op(5, 9).duration(), SimDuration::from_nanos(4));
+        let k = KernelEvent {
+            name: "k".into(),
+            stream: StreamId::DEFAULT,
+            begin: SimTime::from_nanos(100),
+            end: SimTime::from_nanos(130),
+            correlation: CorrelationId::new(1),
+        };
+        assert_eq!(k.duration(), SimDuration::from_nanos(30));
+        let l = RuntimeLaunchEvent {
+            name: "cudaLaunchKernel".into(),
+            thread: ThreadId::MAIN,
+            begin: SimTime::from_nanos(1),
+            end: SimTime::from_nanos(3),
+            correlation: CorrelationId::new(1),
+        };
+        assert_eq!(l.duration(), SimDuration::from_nanos(2));
+    }
+}

@@ -1,0 +1,118 @@
+//! Identifier newtypes for trace entities.
+//!
+//! Threads, streams, operators and correlations are all "just integers" in a
+//! raw CUPTI trace; distinct newtypes keep them from being interchanged
+//! ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Wraps a raw identifier value.
+            #[must_use]
+            pub const fn new(raw: $inner) -> Self {
+                $name(raw)
+            }
+
+            /// The raw identifier value.
+            #[must_use]
+            pub const fn get(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A CPU thread identifier (`tid` in Chrome-trace terms).
+    ThreadId,
+    u32,
+    "tid"
+);
+
+id_newtype!(
+    /// A GPU stream identifier. Kernels on one stream execute FIFO.
+    StreamId,
+    u32,
+    "stream"
+);
+
+id_newtype!(
+    /// A CUDA correlation ID linking a `cudaLaunchKernel` call to the kernel
+    /// execution it triggered — the key CUPTI concept SKIP's dependency graph
+    /// is built on.
+    CorrelationId,
+    u64,
+    "corr"
+);
+
+id_newtype!(
+    /// A CPU operator event identifier, unique within a [`Trace`].
+    ///
+    /// [`Trace`]: crate::Trace
+    OpId,
+    u64,
+    "op"
+);
+
+impl ThreadId {
+    /// The main Python/launcher thread in a single-threaded inference run.
+    pub const MAIN: ThreadId = ThreadId(0);
+}
+
+impl StreamId {
+    /// The default CUDA stream (stream 7 in real traces, 0 here).
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtypes_roundtrip_raw_values() {
+        assert_eq!(ThreadId::new(3).get(), 3);
+        assert_eq!(StreamId::from(9).get(), 9);
+        assert_eq!(CorrelationId::new(u64::MAX).get(), u64::MAX);
+        assert_eq!(OpId::new(17).get(), 17);
+    }
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(ThreadId::new(1).to_string(), "tid1");
+        assert_eq!(StreamId::DEFAULT.to_string(), "stream0");
+        assert_eq!(CorrelationId::new(5).to_string(), "corr5");
+        assert_eq!(OpId::new(2).to_string(), "op2");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(CorrelationId::new(1) < CorrelationId::new(2));
+        assert!(OpId::new(10) > OpId::new(9));
+    }
+}

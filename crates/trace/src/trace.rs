@@ -1,0 +1,460 @@
+//! The [`Trace`] container: everything one profiled inference produced.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use skip_des::{SimDuration, SimTime};
+
+use crate::event::{CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
+use crate::ids::{CorrelationId, StreamId};
+
+/// Descriptive metadata attached to a trace: which workload, which platform,
+/// which execution mode produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Model name, e.g. `"gpt2"`.
+    pub model: String,
+    /// Platform name, e.g. `"intel_h100"`.
+    pub platform: String,
+    /// Execution mode, e.g. `"eager"`.
+    pub exec_mode: String,
+    /// Inference phase, e.g. `"prefill"`.
+    pub phase: String,
+    /// Batch size.
+    pub batch_size: u32,
+    /// Input sequence length in tokens.
+    pub seq_len: u32,
+}
+
+/// Errors produced by [`Trace::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An event's end timestamp precedes its begin timestamp.
+    NegativeDuration {
+        /// Human-readable description of the offending event.
+        what: String,
+    },
+    /// Two kernels share a correlation ID.
+    DuplicateKernelCorrelation(CorrelationId),
+    /// Two launch calls share a correlation ID.
+    DuplicateLaunchCorrelation(CorrelationId),
+    /// A kernel's correlation ID has no matching launch call.
+    OrphanKernel(CorrelationId),
+    /// A kernel begins before the launch call that triggered it.
+    KernelBeforeLaunch(CorrelationId),
+    /// Two kernels on the same stream overlap in time.
+    StreamOverlap {
+        /// The stream on which the overlap occurred.
+        stream: StreamId,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NegativeDuration { what } => {
+                write!(f, "event has end before begin: {what}")
+            }
+            TraceError::DuplicateKernelCorrelation(c) => {
+                write!(f, "duplicate kernel correlation id {c}")
+            }
+            TraceError::DuplicateLaunchCorrelation(c) => {
+                write!(f, "duplicate launch correlation id {c}")
+            }
+            TraceError::OrphanKernel(c) => {
+                write!(f, "kernel correlation id {c} has no launch call")
+            }
+            TraceError::KernelBeforeLaunch(c) => {
+                write!(f, "kernel {c} begins before its launch call")
+            }
+            TraceError::StreamOverlap { stream } => {
+                write!(f, "overlapping kernels on {stream}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A complete profiled-inference trace: CPU operator events, runtime launch
+/// calls and GPU kernel executions, plus metadata.
+///
+/// Events are stored in insertion order; producers append in timestamp order
+/// per thread/stream (as a real profiler does), and consumers that need
+/// global orderings sort themselves.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    meta: TraceMeta,
+    cpu_ops: Vec<CpuOpEvent>,
+    launches: Vec<RuntimeLaunchEvent>,
+    kernels: Vec<KernelEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace carrying `meta`.
+    #[must_use]
+    pub fn new(meta: TraceMeta) -> Self {
+        Trace {
+            meta,
+            ..Trace::default()
+        }
+    }
+
+    /// The trace metadata.
+    #[must_use]
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// CPU operator events in insertion order.
+    #[must_use]
+    pub fn cpu_ops(&self) -> &[CpuOpEvent] {
+        &self.cpu_ops
+    }
+
+    /// Runtime launch events in insertion order.
+    #[must_use]
+    pub fn launches(&self) -> &[RuntimeLaunchEvent] {
+        &self.launches
+    }
+
+    /// Kernel events in insertion order.
+    #[must_use]
+    pub fn kernels(&self) -> &[KernelEvent] {
+        &self.kernels
+    }
+
+    /// Appends a CPU operator event.
+    pub fn push_cpu_op(&mut self, ev: CpuOpEvent) {
+        self.cpu_ops.push(ev);
+    }
+
+    /// Appends a runtime launch event.
+    pub fn push_launch(&mut self, ev: RuntimeLaunchEvent) {
+        self.launches.push(ev);
+    }
+
+    /// Appends a kernel event.
+    pub fn push_kernel(&mut self, ev: KernelEvent) {
+        self.kernels.push(ev);
+    }
+
+    /// Earliest begin timestamp across all events, or `None` if empty.
+    #[must_use]
+    pub fn first_timestamp(&self) -> Option<SimTime> {
+        let ops = self.cpu_ops.iter().map(|e| e.begin);
+        let ls = self.launches.iter().map(|e| e.begin);
+        let ks = self.kernels.iter().map(|e| e.begin);
+        ops.chain(ls).chain(ks).min()
+    }
+
+    /// Latest end timestamp across all events, or `None` if empty.
+    #[must_use]
+    pub fn last_timestamp(&self) -> Option<SimTime> {
+        let ops = self.cpu_ops.iter().map(|e| e.end);
+        let ls = self.launches.iter().map(|e| e.end);
+        let ks = self.kernels.iter().map(|e| e.end);
+        ops.chain(ls).chain(ks).max()
+    }
+
+    /// Wall-clock span of the trace (last end − first begin).
+    #[must_use]
+    pub fn span(&self) -> SimDuration {
+        match (self.first_timestamp(), self.last_timestamp()) {
+            (Some(a), Some(b)) => b.duration_since(a),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Total number of events of all kinds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cpu_ops.len() + self.launches.len() + self.kernels.len()
+    }
+
+    /// `true` if the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The set of streams that executed at least one kernel, ascending.
+    #[must_use]
+    pub fn streams(&self) -> Vec<StreamId> {
+        let set: BTreeSet<StreamId> = self.kernels.iter().map(|k| k.stream).collect();
+        set.into_iter().collect()
+    }
+
+    /// Kernels of one stream, sorted by begin time.
+    #[must_use]
+    pub fn kernels_on(&self, stream: StreamId) -> Vec<&KernelEvent> {
+        let mut ks: Vec<&KernelEvent> =
+            self.kernels.iter().filter(|k| k.stream == stream).collect();
+        ks.sort_by_key(|k| (k.begin, k.correlation));
+        ks
+    }
+
+    /// Checks the structural invariants a CUPTI trace satisfies:
+    /// non-negative durations, unique correlation IDs per side, every kernel
+    /// matched to a launch that precedes it, and non-overlapping kernels per
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        for o in &self.cpu_ops {
+            if o.end < o.begin {
+                return Err(TraceError::NegativeDuration {
+                    what: format!("cpu op {} ({})", o.id, o.name),
+                });
+            }
+        }
+        let mut launch_ids = BTreeSet::new();
+        for l in &self.launches {
+            if l.end < l.begin {
+                return Err(TraceError::NegativeDuration {
+                    what: format!("launch {}", l.correlation),
+                });
+            }
+            if !launch_ids.insert(l.correlation) {
+                return Err(TraceError::DuplicateLaunchCorrelation(l.correlation));
+            }
+        }
+        let mut kernel_ids = BTreeSet::new();
+        for k in &self.kernels {
+            if k.end < k.begin {
+                return Err(TraceError::NegativeDuration {
+                    what: format!("kernel {} ({})", k.correlation, k.name),
+                });
+            }
+            if !kernel_ids.insert(k.correlation) {
+                return Err(TraceError::DuplicateKernelCorrelation(k.correlation));
+            }
+            if !launch_ids.contains(&k.correlation) {
+                return Err(TraceError::OrphanKernel(k.correlation));
+            }
+        }
+        // Kernel must begin at or after the begin of its launch call.
+        for k in &self.kernels {
+            let launch = self
+                .launches
+                .iter()
+                .find(|l| l.correlation == k.correlation)
+                .expect("checked above");
+            if k.begin < launch.begin {
+                return Err(TraceError::KernelBeforeLaunch(k.correlation));
+            }
+        }
+        // Per-stream kernels must not overlap.
+        for stream in self.streams() {
+            let ks = self.kernels_on(stream);
+            for w in ks.windows(2) {
+                if w[1].begin < w[0].end {
+                    return Err(TraceError::StreamOverlap { stream });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{OpId, ThreadId};
+
+    fn ns(v: u64) -> SimTime {
+        SimTime::from_nanos(v)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(TraceMeta {
+            model: "gpt2".into(),
+            platform: "intel_h100".into(),
+            exec_mode: "eager".into(),
+            phase: "prefill".into(),
+            batch_size: 1,
+            seq_len: 512,
+        });
+        t.push_cpu_op(CpuOpEvent {
+            id: OpId::new(0),
+            name: "aten::linear".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(0),
+            end: ns(100),
+        });
+        t.push_launch(RuntimeLaunchEvent {
+            name: "cudaLaunchKernel".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(10),
+            end: ns(20),
+            correlation: CorrelationId::new(1),
+        });
+        t.push_kernel(KernelEvent {
+            name: "gemm".into(),
+            stream: StreamId::DEFAULT,
+            begin: ns(30),
+            end: ns(80),
+            correlation: CorrelationId::new(1),
+        });
+        t
+    }
+
+    #[test]
+    fn sample_is_valid_and_spans_correctly() {
+        let t = sample_trace();
+        t.validate().unwrap();
+        assert_eq!(t.first_timestamp(), Some(ns(0)));
+        assert_eq!(t.last_timestamp(), Some(ns(100)));
+        assert_eq!(t.span(), SimDuration::from_nanos(100));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.streams(), vec![StreamId::DEFAULT]);
+    }
+
+    #[test]
+    fn orphan_kernel_rejected() {
+        let mut t = sample_trace();
+        t.push_kernel(KernelEvent {
+            name: "orphan".into(),
+            stream: StreamId::DEFAULT,
+            begin: ns(90),
+            end: ns(95),
+            correlation: CorrelationId::new(99),
+        });
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::OrphanKernel(CorrelationId::new(99)))
+        );
+    }
+
+    #[test]
+    fn duplicate_correlations_rejected() {
+        let mut t = sample_trace();
+        t.push_launch(RuntimeLaunchEvent {
+            name: "cudaLaunchKernel".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(40),
+            end: ns(45),
+            correlation: CorrelationId::new(1),
+        });
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::DuplicateLaunchCorrelation(CorrelationId::new(1)))
+        );
+    }
+
+    #[test]
+    fn kernel_before_launch_rejected() {
+        let mut t = Trace::default();
+        t.push_launch(RuntimeLaunchEvent {
+            name: "cudaLaunchKernel".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(50),
+            end: ns(60),
+            correlation: CorrelationId::new(1),
+        });
+        t.push_kernel(KernelEvent {
+            name: "k".into(),
+            stream: StreamId::DEFAULT,
+            begin: ns(40),
+            end: ns(70),
+            correlation: CorrelationId::new(1),
+        });
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::KernelBeforeLaunch(CorrelationId::new(1)))
+        );
+    }
+
+    #[test]
+    fn stream_overlap_rejected() {
+        let mut t = Trace::default();
+        for (corr, (b, e)) in [(1u64, (10u64, 50u64)), (2, (40, 60))] {
+            t.push_launch(RuntimeLaunchEvent {
+                name: "cudaLaunchKernel".into(),
+                thread: ThreadId::MAIN,
+                begin: ns(0),
+                end: ns(5),
+                correlation: CorrelationId::new(corr),
+            });
+            t.push_kernel(KernelEvent {
+                name: "k".into(),
+                stream: StreamId::DEFAULT,
+                begin: ns(b),
+                end: ns(e),
+                correlation: CorrelationId::new(corr),
+            });
+        }
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::StreamOverlap {
+                stream: StreamId::DEFAULT
+            })
+        );
+    }
+
+    #[test]
+    fn negative_duration_rejected() {
+        let mut t = Trace::default();
+        t.push_cpu_op(CpuOpEvent {
+            id: OpId::new(0),
+            name: "aten::bad".into(),
+            thread: ThreadId::MAIN,
+            begin: ns(10),
+            end: ns(5),
+        });
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::NegativeDuration { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = Trace::default();
+        t.validate().unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.span(), SimDuration::ZERO);
+        assert_eq!(t.first_timestamp(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample_trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn kernels_on_sorts_by_begin() {
+        let mut t = Trace::default();
+        for (corr, b) in [(1u64, 100u64), (2, 10)] {
+            t.push_launch(RuntimeLaunchEvent {
+                name: "cudaLaunchKernel".into(),
+                thread: ThreadId::MAIN,
+                begin: ns(0),
+                end: ns(1),
+                correlation: CorrelationId::new(corr),
+            });
+            t.push_kernel(KernelEvent {
+                name: format!("k{corr}"),
+                stream: StreamId::DEFAULT,
+                begin: ns(b),
+                end: ns(b + 5),
+                correlation: CorrelationId::new(corr),
+            });
+        }
+        let names: Vec<&str> = t
+            .kernels_on(StreamId::DEFAULT)
+            .iter()
+            .map(|k| k.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["k2", "k1"]);
+    }
+}

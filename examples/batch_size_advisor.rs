@@ -1,0 +1,75 @@
+//! Batch-size advisor: find the "sweet spot" batch size for a workload.
+//!
+//! The paper's contribution #5: each (application, system) pair has a
+//! balanced region where both CPU and GPU are well utilized — operating
+//! there maximizes system efficiency instead of chasing GPU saturation.
+//! This example sweeps batch sizes for every Table III model on every
+//! platform, classifies each point with TKLQT, and reports the transition
+//! point plus the batch that minimizes latency-per-sequence while keeping
+//! the GPU at least half busy.
+//!
+//! Run with: `cargo run --example batch_size_advisor`
+
+use skip_core::{classify_sweep, Boundedness, ProfileReport, SweepPoint};
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+
+fn main() {
+    let batches = [1u32, 2, 4, 8, 16, 32, 64, 128];
+    for model in zoo::table_iii() {
+        println!("=== {} ===", model.name);
+        for platform in Platform::paper_trio() {
+            let engine = Engine::new(platform.clone());
+            let mut points = Vec::new();
+            let mut reports = Vec::new();
+            for &bs in &batches {
+                let wl = Workload::new(model.clone(), Phase::Prefill, bs, 512);
+                let r = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
+                points.push(SweepPoint {
+                    batch_size: bs,
+                    tklqt: r.tklqt,
+                });
+                reports.push((bs, r));
+            }
+            let class = classify_sweep(&points);
+
+            // Sweet spot (paper §V-D's "balanced region"): the batch size
+            // where neither processing unit dominates the waiting — GPU
+            // idle (launch-shadow slack) and CPU idle (queue-drain slack)
+            // are closest to each other relative to the latency. Below it
+            // the GPU starves; above it the CPU stalls and user-visible
+            // latency climbs.
+            let (bs, r) = reports
+                .iter()
+                .min_by(|a, b| {
+                    let balance = |r: &ProfileReport| {
+                        (r.gpu_idle.as_nanos_f64() - r.cpu_idle.as_nanos_f64()).abs()
+                            / r.inference_latency.as_nanos_f64().max(1.0)
+                    };
+                    balance(&a.1).total_cmp(&balance(&b.1))
+                })
+                .expect("non-empty sweep");
+
+            let star = class
+                .transition_batch
+                .map_or("none".to_owned(), |b| b.to_string());
+            let bound = class
+                .labels
+                .iter()
+                .find(|(b, _)| b == bs)
+                .map(|&(_, c)| c)
+                .unwrap_or(Boundedness::CpuBound);
+            println!(
+                "  {:<11} transition at bs={:<5} balanced sweet spot bs={:<4} ({:.2} ms/batch, {:.2} ms/seq, GPU {:.0}% busy, {:?})",
+                platform.name,
+                star,
+                bs,
+                r.inference_latency.as_millis_f64(),
+                r.inference_latency.as_millis_f64() / f64::from(*bs),
+                r.gpu_utilization() * 100.0,
+                bound
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: profile one LLM inference workload with SKIP.
+//!
+//! Simulates GPT2 prefill (batch 1, 512 tokens) on the GH200 superchip,
+//! runs the SKIP profiler over the resulting CUPTI-style trace, prints the
+//! paper's metrics (TKLQT, AKD, IL, idle times), the top-5 kernels, and
+//! writes a Chrome-trace JSON you can open in `chrome://tracing` or
+//! Perfetto.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::error::Error;
+
+use skip_core::{top_kernels, ProfileReport};
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+use skip_trace::chrome;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Pick a platform and a workload (Table III / Table IV of the paper).
+    let platform = Platform::gh200();
+    let workload = Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512);
+
+    // 2. Execute: the engine walks the eager operator graph, paying CPU
+    //    dispatch and kernel-launch costs, and emits a profiler trace.
+    let engine = Engine::new(platform);
+    let trace = engine.run(&workload, ExecMode::Eager);
+    trace.validate()?;
+
+    // 3. Analyze with SKIP.
+    let report = ProfileReport::analyze(&trace);
+    println!("== SKIP report: {} on {} ==", workload.model.name, engine.platform().name);
+    println!("inference latency (TTFT) : {}", report.inference_latency);
+    println!("TKLQT                    : {}", report.tklqt);
+    println!("average kernel duration  : {}", report.akd);
+    println!("GPU idle                 : {}", report.gpu_idle);
+    println!("CPU idle                 : {}", report.cpu_idle);
+    println!("kernels launched         : {}", report.kernel_count);
+    println!("GPU utilization          : {:.1}%", report.gpu_utilization() * 100.0);
+
+    println!("\ntop-5 kernels by invocation count:");
+    for k in top_kernels(&trace, 5) {
+        println!(
+            "  {:>4}x {:<40} total {}",
+            k.count, k.name, k.total_time
+        );
+    }
+
+    // 4. Export for the Chrome-trace / Perfetto timeline UI.
+    let json = chrome::to_chrome_trace(&trace);
+    std::fs::write("gpt2_gh200_prefill.trace.json", &json)?;
+    println!("\nwrote gpt2_gh200_prefill.trace.json ({} bytes)", json.len());
+    Ok(())
+}

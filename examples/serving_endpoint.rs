@@ -1,0 +1,76 @@
+//! Serving-endpoint capacity planning across coupling paradigms.
+//!
+//! "Which machine should serve this chatbot, and with which batching
+//! policy?" — the operational form of the paper's batch-size question.
+//! This example simulates a GPT2 chat endpoint (128-token prompts, 8
+//! output tokens, 200 ms TTFT SLO per the paper's §II-A) under increasing
+//! offered load, and reports the highest load each platform sustains
+//! while keeping p95 TTFT under the SLO.
+//!
+//! Run with: `cargo run --release -p skip-suite --example serving_endpoint`
+
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::zoo;
+use skip_serve::{simulate, Policy, ServingConfig};
+
+const SLO_MS: f64 = 200.0;
+
+fn p95_ms(platform: &Platform, policy: Policy, load: f64) -> f64 {
+    simulate(&ServingConfig {
+        platform: platform.clone(),
+        model: zoo::gpt2(),
+        policy,
+        requests: 150,
+        arrival_rate_per_s: load,
+        prompt_len: 128,
+        new_tokens: 8,
+        seed: 99,
+    })
+    .ttft_p95
+    .as_millis_f64()
+}
+
+fn main() {
+    let loads = [5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0];
+    println!("GPT2 chat endpoint, p95 TTFT SLO = {SLO_MS} ms\n");
+    println!(
+        "{:<12} {:>12} {:>22} {:>22}",
+        "platform", "policy", "p95@5rps (ms)", "max load under SLO"
+    );
+    for platform in Platform::paper_trio() {
+        for (label, policy) in [
+            (
+                "static-8",
+                Policy::Static {
+                    batch_size: 8,
+                    max_wait: SimDuration::from_millis(50),
+                },
+            ),
+            ("cont-16", Policy::Continuous { max_batch: 16 }),
+            ("cont-64", Policy::Continuous { max_batch: 64 }),
+        ] {
+            let light = p95_ms(&platform, policy, loads[0]);
+            let max_ok = loads
+                .iter()
+                .rev()
+                .find(|&&l| p95_ms(&platform, policy, l) <= SLO_MS)
+                .copied();
+            println!(
+                "{:<12} {:>12} {:>22.1} {:>22}",
+                platform.name,
+                label,
+                light,
+                max_ok.map_or("none".into(), |l| format!("{l:.0} req/s")),
+            );
+        }
+    }
+    println!(
+        "\nAn operational consequence the paper's prefill-only analysis would miss:\n\
+         chat serving is decode-iteration-heavy, and decode steps stay Grace-dispatch-\n\
+         bound on the GH200 to very large batches (see the decode extension), so for\n\
+         this TTFT-SLO workload the loosely-coupled Xeon system sustains the most load\n\
+         at every batch capacity. The GH200's throughput advantage only materializes\n\
+         for prefill-heavy workloads at the batch sizes of its balanced region."
+    );
+}

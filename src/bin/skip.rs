@@ -1,0 +1,325 @@
+//! `skip` — command-line front end for the skip-rs stack.
+//!
+//! ```text
+//! skip profile  --model gpt2 --platform gh200 --batch 1 --seq 512 [--mode eager] [--export out.json]
+//! skip sweep    --model bert-base-uncased [--platform intel_h100]
+//! skip fuse     --model gpt2 [--platform intel_h100] [--chain-len 256]
+//! skip generate --model llama-3.2-1b --tokens 32 [--platform gh200] [--batch 1]
+//! skip models | skip platforms
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::process::ExitCode;
+
+use skip_core::{attribute_to_operators, classify_sweep, top_kernels, ProfileReport, SweepPoint};
+use skip_fusion::{recommend, FusionAnalysis};
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_runtime::{CompileMode, Engine, ExecMode};
+use skip_serve::{simulate_replicas, Policy, ServingConfig};
+use skip_trace::chrome;
+
+const USAGE: &str = "\
+skip — SKIP profiler & CPU-GPU coupling simulator (ISPASS 2025 reproduction)
+
+USAGE:
+    skip profile  --model <id> [--platform <id>] [--batch N] [--seq N] [--mode <m>] [--export FILE]
+    skip sweep    --model <id> [--platform <id>|all] [--seq N]
+    skip fuse     --model <id> [--platform <id>] [--chain-len N] [--threshold T]
+    skip generate --model <id> [--platform <id>] [--batch N] [--seq N] [--tokens N]
+    skip serve    --model <id> [--platform <id>] [--qps R] [--requests N] [--max-batch N] [--replicas N]
+    skip models
+    skip platforms
+
+MODES: eager | fa2 | compile-default | compile-reduce-overhead | compile-max-autotune
+";
+
+fn models() -> Vec<ModelConfig> {
+    let mut m = zoo::table_iii();
+    m.push(zoo::gemma_2b());
+    m.extend(zoo::seven_b_models());
+    m.push(zoo::bert_large());
+    m.push(zoo::gpt2_medium());
+    m.push(zoo::llama31_8b());
+    m.push(zoo::qwen25_05b());
+    m
+}
+
+fn platforms() -> Vec<Platform> {
+    let mut p = Platform::paper_trio();
+    p.push(Platform::mi300a());
+    p
+}
+
+fn find_model(id: &str) -> Result<ModelConfig, String> {
+    models()
+        .into_iter()
+        .find(|m| m.name == id)
+        .ok_or_else(|| format!("unknown model '{id}' (try `skip models`)"))
+}
+
+fn find_platform(id: &str) -> Result<Platform, String> {
+    platforms()
+        .into_iter()
+        .find(|p| p.name == id)
+        .ok_or_else(|| format!("unknown platform '{id}' (try `skip platforms`)"))
+}
+
+fn parse_mode(id: &str) -> Result<ExecMode, String> {
+    Ok(match id {
+        "eager" => ExecMode::Eager,
+        "fa2" | "flash-attention-2" => ExecMode::FlashAttention2,
+        "compile-default" => ExecMode::TorchCompile(CompileMode::Default),
+        "compile-reduce-overhead" => ExecMode::TorchCompile(CompileMode::ReduceOverhead),
+        "compile-max-autotune" => ExecMode::TorchCompile(CompileMode::MaxAutotune),
+        other => return Err(format!("unknown mode '{other}'")),
+    })
+}
+
+/// Parses `--key value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{key}'"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} requires a value"))?;
+        flags.insert(name.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_u32(flags: &BTreeMap<String, String>, key: &str, default: u32) -> Result<u32, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: bad number '{v}'")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_profile(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let model = find_model(flags.get("model").ok_or("--model is required")?)?;
+    let platform = find_platform(flags.get("platform").map_or("intel_h100", String::as_str))?;
+    let batch = get_u32(flags, "batch", 1)?;
+    let seq = get_u32(flags, "seq", 512)?;
+    let mode = parse_mode(flags.get("mode").map_or("eager", String::as_str))?;
+
+    let wl = Workload::new(model, Phase::Prefill, batch, seq);
+    let trace = Engine::new(platform.clone()).run(&wl, mode);
+    let r = ProfileReport::analyze(&trace);
+
+    println!(
+        "== {} | {} | {mode} | batch {batch} | seq {seq} ==",
+        wl.model.name, platform.name
+    );
+    println!("TTFT (inference latency) : {}", r.inference_latency);
+    println!("TKLQT                    : {}", r.tklqt);
+    println!("average kernel duration  : {}", r.akd);
+    println!("GPU idle / CPU idle      : {} / {}", r.gpu_idle, r.cpu_idle);
+    println!("kernels / launches / ops : {} / {} / {}", r.kernel_count, r.launch_count, r.cpu_op_count);
+    println!("GPU utilization          : {:.1}%", r.gpu_utilization() * 100.0);
+
+    println!("\ntop kernels:");
+    for k in top_kernels(&trace, 5) {
+        println!("  {:>5}x {:<44} {}", k.count, k.name, k.total_time);
+    }
+    println!("\ntop operators by GPU time:");
+    for s in attribute_to_operators(&trace).into_iter().take(5) {
+        println!(
+            "  {:<28} {:>4} inst {:>5} kernels  gpu {}  launch+queue {}",
+            s.name, s.instances, s.kernels, s.gpu_time, s.launch_queue_time
+        );
+    }
+
+    if let Some(path) = flags.get("export") {
+        std::fs::write(path, chrome::to_chrome_trace(&trace))?;
+        println!("\nwrote Chrome trace to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_sweep(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let model = find_model(flags.get("model").ok_or("--model is required")?)?;
+    let seq = get_u32(flags, "seq", 512)?;
+    let selected = flags.get("platform").map_or("all", String::as_str);
+    let targets: Vec<Platform> = if selected == "all" {
+        Platform::paper_trio()
+    } else {
+        vec![find_platform(selected)?]
+    };
+
+    for platform in targets {
+        let engine = Engine::new(platform.clone());
+        let mut points = Vec::new();
+        println!("== {} on {} ==", model.name, platform.name);
+        println!("{:>6} {:>12} {:>12} {:>8}", "batch", "ttft_ms", "tklqt_ms", "gpu%");
+        for bs in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+            let wl = Workload::new(model.clone(), Phase::Prefill, bs, seq);
+            let r = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
+            println!(
+                "{bs:>6} {:>12.3} {:>12.3} {:>7.0}%",
+                r.inference_latency.as_millis_f64(),
+                r.tklqt.as_millis_f64(),
+                r.gpu_utilization() * 100.0
+            );
+            points.push(SweepPoint {
+                batch_size: bs,
+                tklqt: r.tklqt,
+            });
+        }
+        let class = classify_sweep(&points);
+        match class.transition_batch {
+            Some(b) => println!("CPU-bound -> GPU-bound transition at batch {b}\n"),
+            None => println!("CPU-bound across the whole sweep\n"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fuse(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let model = find_model(flags.get("model").ok_or("--model is required")?)?;
+    let platform = find_platform(flags.get("platform").map_or("intel_h100", String::as_str))?;
+    let chain_len = get_u32(flags, "chain-len", 256)? as usize;
+    let threshold: f64 = flags
+        .get("threshold")
+        .map_or(Ok(1.0), |v| v.parse())
+        .map_err(|_| "--threshold: bad number")?;
+
+    let wl = Workload::new(model, Phase::Prefill, 1, 512);
+    let trace = Engine::new(platform).run(&wl, ExecMode::Eager);
+    let a = FusionAnalysis::of_trace(&trace, chain_len);
+    println!(
+        "K_eager {} -> K_fused {} ({} chains of {} fused): ideal speedup {:.2}x",
+        a.k_eager,
+        a.k_fused,
+        a.fused_chains,
+        a.chain_len,
+        a.ideal_speedup()
+    );
+    println!("\nrecommendations (PS >= {threshold}):");
+    for rec in recommend(&trace, chain_len, threshold).into_iter().take(8) {
+        println!(
+            "  PS={:.2} saves {:>4} launches  {} .. {}",
+            rec.proximity_score,
+            rec.est_launch_savings,
+            rec.chain.first().expect("non-empty chain"),
+            rec.chain.last().expect("non-empty chain"),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let model = find_model(flags.get("model").ok_or("--model is required")?)?;
+    let platform = find_platform(flags.get("platform").map_or("gh200", String::as_str))?;
+    let batch = get_u32(flags, "batch", 1)?;
+    let seq = get_u32(flags, "seq", 512)?;
+    let tokens = get_u32(flags, "tokens", 32)?;
+
+    let r = Engine::new(platform.clone()).generate(&model, batch, seq, tokens, ExecMode::Eager);
+    println!(
+        "== {} on {} | batch {batch} | prompt {seq} | +{tokens} tokens ==",
+        model.name, platform.name
+    );
+    println!("TTFT        : {}", r.ttft);
+    println!("TPOT        : {}", r.tpot());
+    println!("end-to-end  : {}", r.end_to_end());
+    println!(
+        "throughput  : {:.0} tokens/s",
+        f64::from(batch) * f64::from(tokens) / r.decode_time.as_secs_f64().max(1e-12)
+    );
+    Ok(())
+}
+
+fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let model = find_model(flags.get("model").ok_or("--model is required")?)?;
+    let platform = find_platform(flags.get("platform").map_or("intel_h100", String::as_str))?;
+    let qps: f64 = flags
+        .get("qps")
+        .map_or(Ok(20.0), |v| v.parse())
+        .map_err(|_| "--qps: bad number")?;
+    let requests = get_u32(flags, "requests", 100)?;
+    let max_batch = get_u32(flags, "max-batch", 16)?;
+    let replicas = get_u32(flags, "replicas", 1)?;
+
+    let report = simulate_replicas(
+        &ServingConfig {
+            platform: platform.clone(),
+            model: model.clone(),
+            policy: Policy::Continuous { max_batch },
+            requests,
+            arrival_rate_per_s: qps,
+            prompt_len: get_u32(flags, "seq", 128)?,
+            new_tokens: get_u32(flags, "tokens", 8)?,
+            seed: 2026,
+        },
+        replicas,
+    );
+    println!(
+        "== serving {} on {replicas}x {} | continuous max_batch {max_batch} | {qps} req/s ==",
+        model.name, platform.name
+    );
+    println!("completed    : {} requests", report.completed);
+    println!("TTFT p50/p95/p99 : {} / {} / {}", report.ttft_p50, report.ttft_p95, report.ttft_p99);
+    println!("e2e  p50/p95     : {} / {}", report.e2e_p50, report.e2e_p95);
+    println!("throughput   : {:.0} tokens/s", report.throughput_tok_s);
+    println!("makespan     : {}", report.makespan);
+    Ok(())
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "models" => {
+            for m in models() {
+                println!(
+                    "{:<20} {:>7.0}M params  {} layers",
+                    m.name,
+                    m.param_count() as f64 / 1e6,
+                    m.layers
+                );
+            }
+            Ok(())
+        }
+        "platforms" => {
+            for p in platforms() {
+                println!(
+                    "{:<12} [{}] {} + {} over {}",
+                    p.name,
+                    p.coupling.abbrev(),
+                    p.cpu.name,
+                    p.gpu.name,
+                    p.interconnect.name
+                );
+            }
+            Ok(())
+        }
+        "profile" => cmd_profile(&parse_flags(&args[1..])?),
+        "serve" => cmd_serve(&parse_flags(&args[1..])?),
+        "sweep" => cmd_sweep(&parse_flags(&args[1..])?),
+        "fuse" => cmd_fuse(&parse_flags(&args[1..])?),
+        "generate" => cmd_generate(&parse_flags(&args[1..])?),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Reproducibility: the whole stack is deterministic — same configuration,
+//! bit-identical traces, metrics, and recommendations.
+
+use skip_core::ProfileReport;
+use skip_fusion::{recommend, FusionAnalysis};
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{CompileMode, Engine, ExecMode};
+
+#[test]
+fn traces_are_bit_identical_across_runs() {
+    for mode in [
+        ExecMode::Eager,
+        ExecMode::FlashAttention2,
+        ExecMode::TorchCompile(CompileMode::MaxAutotune),
+    ] {
+        let wl = Workload::new(zoo::llama32_1b(), Phase::Prefill, 4, 256);
+        let a = Engine::new(Platform::gh200()).run(&wl, mode);
+        let b = Engine::new(Platform::gh200()).run(&wl, mode);
+        assert_eq!(a, b, "{mode}");
+        assert_eq!(ProfileReport::analyze(&a), ProfileReport::analyze(&b));
+    }
+}
+
+#[test]
+fn fusion_recommendations_are_deterministic() {
+    let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512);
+    let trace = Engine::new(Platform::intel_h100()).run(&wl, ExecMode::Eager);
+    let a = recommend(&trace, 16, 0.8);
+    let b = recommend(&trace, 16, 0.8);
+    assert_eq!(a, b);
+    assert_eq!(
+        FusionAnalysis::of_trace(&trace, 64),
+        FusionAnalysis::of_trace(&trace, 64)
+    );
+}
+
+#[test]
+fn graph_generation_is_pure() {
+    let wl = Workload::new(zoo::xlm_roberta_base(), Phase::Prefill, 16, 512);
+    assert_eq!(wl.graph(), wl.graph());
+}
+
+#[test]
+fn serde_round_trip_preserves_traces_exactly() {
+    let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, 2, 128);
+    let trace = Engine::new(Platform::amd_a100()).run(&wl, ExecMode::Eager);
+    let json = serde_json::to_string(&trace).expect("serialize");
+    let back: skip_trace::Trace = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(trace, back);
+    assert_eq!(ProfileReport::analyze(&trace), ProfileReport::analyze(&back));
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration: every (model × platform × mode) combination
+//! produces a valid trace whose SKIP metrics satisfy the structural
+//! invariants of the paper's equations.
+
+use skip_core::ProfileReport;
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{CompileMode, Engine, ExecMode};
+
+fn all_modes() -> Vec<ExecMode> {
+    let mut modes = vec![ExecMode::Eager, ExecMode::FlashAttention2];
+    modes.extend(CompileMode::all().map(ExecMode::TorchCompile));
+    modes
+}
+
+#[test]
+fn full_matrix_produces_valid_traces_and_sane_metrics() {
+    let mut platforms = Platform::paper_trio();
+    platforms.push(Platform::mi300a());
+    for model in zoo::table_iii() {
+        for platform in &platforms {
+            let engine = Engine::new(platform.clone());
+            for mode in all_modes() {
+                let wl = Workload::new(model.clone(), Phase::Prefill, 4, 128);
+                let trace = engine.run(&wl, mode);
+                trace
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}/{}/{mode}: {e}", model.name, platform.name));
+
+                let r = ProfileReport::analyze(&trace);
+                let ctx = format!("{}/{}/{mode}", model.name, platform.name);
+
+                // Eq. 5: IL = GPU busy + GPU idle, exactly.
+                assert_eq!(
+                    r.total_kernel_time + r.gpu_idle,
+                    r.inference_latency,
+                    "{ctx}: Eq. 5 violated"
+                );
+                // CPU idle can never exceed the latency.
+                assert!(r.cpu_idle <= r.inference_latency, "{ctx}");
+                // Kernels exist and every one was launched.
+                assert!(r.kernel_count > 0, "{ctx}");
+                assert!(r.launch_count >= r.kernel_count, "{ctx}");
+                // TKLQT is at least one launch overhead per kernel.
+                let floor = platform.launch_overhead() * r.kernel_count as u64;
+                assert!(r.tklqt >= floor, "{ctx}: TKLQT {} < floor {floor}", r.tklqt);
+                // AKD times kernel count reproduces total kernel time
+                // (within integer-division slack).
+                let reconstructed = r.akd * r.kernel_count as u64;
+                let slack = SimDuration::from_nanos(r.kernel_count as u64);
+                assert!(
+                    reconstructed <= r.total_kernel_time
+                        && r.total_kernel_time <= reconstructed + slack,
+                    "{ctx}: AKD inconsistent"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_phase_runs_across_the_matrix() {
+    for model in [zoo::gpt2(), zoo::llama32_1b()] {
+        for platform in Platform::paper_trio() {
+            let engine = Engine::new(platform.clone());
+            let wl = Workload::new(model.clone(), Phase::DecodeStep { past_len: 256 }, 8, 256);
+            let trace = engine.run(&wl, ExecMode::Eager);
+            trace.validate().unwrap();
+            let r = ProfileReport::analyze(&trace);
+            // A single decode step is launch-bound: tiny kernels, idle GPU.
+            assert!(r.gpu_idle > r.total_kernel_time, "{}", platform.name);
+        }
+    }
+}
+
+#[test]
+fn fusion_modes_strictly_reduce_launch_counts() {
+    let engine = Engine::new(Platform::intel_h100());
+    for model in zoo::table_iii() {
+        let wl = Workload::new(model.clone(), Phase::Prefill, 2, 256);
+        let eager = engine.run(&wl, ExecMode::Eager).kernels().len();
+        let flash = engine.run(&wl, ExecMode::FlashAttention2).kernels().len();
+        let compiled = engine
+            .run(&wl, ExecMode::TorchCompile(CompileMode::ReduceOverhead))
+            .kernels()
+            .len();
+        assert!(flash < eager, "{}", model.name);
+        assert!(compiled < eager, "{}", model.name);
+    }
+}
+
+#[test]
+fn chrome_export_round_trips_for_every_mode() {
+    let engine = Engine::new(Platform::gh200());
+    let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, 1, 128);
+    for mode in all_modes() {
+        let trace = engine.run(&wl, mode);
+        let json = skip_trace::chrome::to_chrome_trace(&trace);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("{mode}: {e}"));
+        let n = parsed.as_array().expect("array").len();
+        assert!(n >= trace.len(), "{mode}: {n} < {}", trace.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! End-to-end property tests: random (but valid) architectures, batch
+//! sizes and sequence lengths always produce valid traces with consistent
+//! SKIP metrics, on randomly assembled platforms.
+
+use proptest::prelude::*;
+use skip_core::ProfileReport;
+use skip_fusion::FusionAnalysis;
+use skip_hw::Platform;
+use skip_llm::{zoo, ArchStyle, ModelConfig, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+
+/// A small random transformer config (kept tiny so the property suite
+/// stays fast).
+fn arb_model() -> impl Strategy<Value = ModelConfig> {
+    (
+        1u32..4,              // layers
+        prop::sample::select(vec![64u32, 128, 256]), // head_dim * heads base
+        prop::sample::select(vec![1u32, 2, 4]),      // heads
+        0usize..3,            // arch selector
+    )
+        .prop_map(|(layers, base, heads, arch)| {
+            let hidden = base * heads;
+            let mut cfg = match arch {
+                0 => zoo::bert_base_uncased(),
+                1 => zoo::gpt2(),
+                _ => zoo::llama32_1b(),
+            };
+            cfg.name = format!("prop-{arch}-{layers}-{hidden}-{heads}");
+            cfg.layers = layers;
+            cfg.hidden = hidden;
+            cfg.heads = heads;
+            cfg.kv_heads = heads;
+            cfg.ffn = hidden * 4;
+            cfg.vocab = 1000;
+            if cfg.max_pos > 0 {
+                cfg.max_pos = 2048;
+            }
+            cfg
+        })
+}
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    prop::sample::select(vec![
+        Platform::amd_a100(),
+        Platform::intel_h100(),
+        Platform::gh200(),
+        Platform::mi300a(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any workload on any platform yields a structurally valid trace
+    /// whose metrics satisfy the paper's identities.
+    #[test]
+    fn random_workloads_produce_consistent_profiles(
+        model in arb_model(),
+        platform in arb_platform(),
+        batch in 1u32..9,
+        seq in prop::sample::select(vec![16u32, 64, 128, 512]),
+    ) {
+        let wl = Workload::new(model, Phase::Prefill, batch, seq);
+        let trace = Engine::new(platform.clone()).run(&wl, ExecMode::Eager);
+        prop_assert!(trace.validate().is_ok());
+        let r = ProfileReport::analyze(&trace);
+        prop_assert_eq!(r.total_kernel_time + r.gpu_idle, r.inference_latency);
+        prop_assert!(r.cpu_idle <= r.inference_latency);
+        prop_assert!(r.tklqt >= platform.launch_overhead() * r.kernel_count as u64);
+        prop_assert_eq!(r.kernel_count, wl.graph().kernel_count());
+    }
+
+    /// TTFT is monotone non-decreasing in batch size (more work never
+    /// finishes earlier on a serial dispatch + FIFO stream model).
+    #[test]
+    fn ttft_monotone_in_batch(
+        model in arb_model(),
+        platform in arb_platform(),
+        seq in prop::sample::select(vec![32u32, 128]),
+    ) {
+        let engine = Engine::new(platform);
+        let mut last = None;
+        for batch in [1u32, 2, 4, 8, 16] {
+            let wl = Workload::new(model.clone(), Phase::Prefill, batch, seq);
+            let r = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
+            if let Some(prev) = last {
+                prop_assert!(
+                    r.inference_latency >= prev,
+                    "batch {batch}: {} < {prev}", r.inference_latency
+                );
+            }
+            last = Some(r.inference_latency);
+        }
+    }
+
+    /// Eq. 7/8 identities hold for any chain length on any trace: the
+    /// fused launch count plus saved launches reconstructs K_eager, and
+    /// speedup ≥ 1.
+    #[test]
+    fn fusion_analysis_identities(
+        model in arb_model(),
+        chain_len in 2usize..64,
+    ) {
+        let wl = Workload::new(model, Phase::Prefill, 1, 64);
+        let trace = Engine::new(Platform::intel_h100()).run(&wl, ExecMode::Eager);
+        let a = FusionAnalysis::of_trace(&trace, chain_len);
+        prop_assert_eq!(a.k_fused + a.fused_chains * (chain_len - 1), a.k_eager);
+        prop_assert!(a.ideal_speedup() >= 1.0);
+        prop_assert_eq!(a.kernels_fused, a.fused_chains * chain_len);
+        prop_assert!(a.kernels_fused <= a.k_eager);
+    }
+
+    /// FlashAttention always reduces both launches and bytes relative to
+    /// eager, for any architecture.
+    #[test]
+    fn flash_attention_dominates_eager_statically(model in arb_model()) {
+        let wl = Workload::new(model, Phase::Prefill, 2, 128);
+        let eager = wl.graph();
+        let flash = wl.graph_with(skip_llm::GraphOptions {
+            attention: skip_llm::AttentionImpl::FlashAttention2,
+        });
+        prop_assert!(flash.kernel_count() < eager.kernel_count());
+        prop_assert!(flash.total_bytes() < eager.total_bytes());
+    }
+
+    /// Decode steps cost strictly less than prefill for the same shape.
+    #[test]
+    fn decode_cheaper_than_prefill(
+        model in arb_model(),
+        platform in arb_platform(),
+    ) {
+        let engine = Engine::new(platform);
+        let prefill = Workload::new(model.clone(), Phase::Prefill, 1, 128);
+        let decode = Workload::new(model, Phase::DecodeStep { past_len: 128 }, 1, 128);
+        let tp = ProfileReport::analyze(&engine.run(&prefill, ExecMode::Eager));
+        let td = ProfileReport::analyze(&engine.run(&decode, ExecMode::Eager));
+        prop_assert!(td.total_kernel_time <= tp.total_kernel_time);
+    }
+}
+
+/// The random-config strategy keeps `ArchStyle` and `ModelKind` coherent.
+#[test]
+fn strategy_smoke() {
+    let cfg = zoo::gpt2();
+    assert_eq!(cfg.arch, ArchStyle::Gpt2Decoder);
+}
