@@ -1,17 +1,17 @@
 //! Regenerates the extension experiments (beyond the paper's figures):
 //! applied-fusion validation, decode-phase TPOT sweeps, and the ablation
 //! suite.
-use skip_bench::experiments::{ablations, decode, energy, fusion_applied, future_workloads, seqlen, serving};
+use skip_bench::experiments::{
+    ablations, decode, energy, fusion_applied, future_workloads, kv_capacity, seqlen, serving,
+};
 
 fn main() {
-    println!(
-        "{}",
-        fusion_applied::render(&fusion_applied::run())
-    );
+    println!("{}", fusion_applied::render(&fusion_applied::run()));
     println!("{}", decode::render(&decode::run()));
     println!("{}", ablations::render_all());
     println!("{}", future_workloads::render_all());
     println!("{}", energy::render(&energy::run()));
     println!("{}", serving::render(&serving::run()));
     println!("{}", seqlen::render(&seqlen::run()));
+    println!("{}", kv_capacity::render(&kv_capacity::run()));
 }

@@ -71,8 +71,7 @@ pub fn bandwidth_sweep() -> Vec<AblationRow> {
             let points: Vec<SweepPoint> = BATCH_SWEEP
                 .iter()
                 .map(|&bs| {
-                    let wl =
-                        Workload::new(zoo::bert_base_uncased(), Phase::Prefill, bs, SEQ_LEN);
+                    let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, bs, SEQ_LEN);
                     SweepPoint {
                         batch_size: bs,
                         tklqt: ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager)).tklqt,
@@ -156,21 +155,30 @@ pub fn render_all() -> String {
     out.push_str("\n(a) Grace single-thread factor -> BERT BS=1 TTFT on GH200\n");
     let mut t = TextTable::new(vec!["single_thread", "ttft_ms"]);
     for r in single_thread_sweep() {
-        t.row(vec![format!("{:.2}", r.factor), format!("{:.2}", r.response)]);
+        t.row(vec![
+            format!("{:.2}", r.factor),
+            format!("{:.2}", r.response),
+        ]);
     }
     out.push_str(&t.render());
 
     out.push_str("\n(b) GH200 HBM bandwidth -> Fig. 6 transition batch (BERT)\n");
     let mut t = TextTable::new(vec!["hbm_gbps", "transition_batch"]);
     for r in bandwidth_sweep() {
-        t.row(vec![format!("{:.0}", r.factor), format!("{:.0}", r.response)]);
+        t.row(vec![
+            format!("{:.0}", r.factor),
+            format!("{:.0}", r.response),
+        ]);
     }
     out.push_str(&t.render());
 
     out.push_str("\n(c) launch-overhead scale -> GPT2 BS=1 TTFT on Intel+H100\n");
     let mut t = TextTable::new(vec!["scale", "ttft_ms"]);
     for r in launch_overhead_sweep() {
-        t.row(vec![format!("{:.1}", r.factor), format!("{:.2}", r.response)]);
+        t.row(vec![
+            format!("{:.1}", r.factor),
+            format!("{:.2}", r.response),
+        ]);
     }
     out.push_str(&t.render());
 

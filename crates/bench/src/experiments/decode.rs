@@ -69,9 +69,8 @@ pub fn run() -> Vec<DecodeRow> {
 /// Renders the TPOT panels.
 #[must_use]
 pub fn render(rows: &[DecodeRow]) -> String {
-    let mut out = String::from(
-        "Decode extension: TPOT (ms) and throughput, prompt=512, 8 decode steps\n",
-    );
+    let mut out =
+        String::from("Decode extension: TPOT (ms) and throughput, prompt=512, 8 decode steps\n");
     for model in ["gpt2", "llama-3.2-1b"] {
         out.push_str(&format!("\n{model}\n"));
         let mut t = TextTable::new(vec![

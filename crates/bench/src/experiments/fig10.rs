@@ -179,7 +179,10 @@ mod tests {
             let lo = find(&rows, "xlm-roberta-base", p, 1);
             let hi = find(&rows, "xlm-roberta-base", p, 128);
             assert!(lo.gpu_idle_ms > lo.cpu_idle_ms, "{p}: batch 1 is CPU-bound");
-            assert!(hi.cpu_idle_ms > hi.gpu_idle_ms, "{p}: batch 128 is GPU-bound");
+            assert!(
+                hi.cpu_idle_ms > hi.gpu_idle_ms,
+                "{p}: batch 128 is GPU-bound"
+            );
         }
     }
 }

@@ -49,7 +49,12 @@ pub fn run() -> Vec<ModelSpeedups> {
 /// Renders the paper-style series.
 #[must_use]
 pub fn render(rows: &[ModelSpeedups]) -> String {
-    let mut t = TextTable::new(vec!["model", "eager_ttft_ms", "fa2_speedup", "max_autotune"]);
+    let mut t = TextTable::new(vec![
+        "model",
+        "eager_ttft_ms",
+        "fa2_speedup",
+        "max_autotune",
+    ]);
     for r in rows {
         t.row(vec![
             r.model.clone(),

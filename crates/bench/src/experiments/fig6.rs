@@ -86,8 +86,7 @@ pub fn render(sweeps: &[TklqtSweep]) -> String {
             "\n{} on {} (transition ≈ {})\n",
             s.model,
             s.platform,
-            s.transition_batch
-                .map_or("none".into(), |b| b.to_string())
+            s.transition_batch.map_or("none".into(), |b| b.to_string())
         ));
         let mut t = TextTable::new(vec!["batch", "tklqt_ms", "region"]);
         for &(bs, v) in &s.points {
@@ -136,7 +135,12 @@ mod tests {
             let first = s.points[0].1;
             let last = s.points.last().unwrap().1;
             // Plateau: batch 2 within 2x of batch 1; ramp: last ≫ first.
-            assert!(s.points[1].1 < first * 2.0 + 1e-9, "{}/{}", s.model, s.platform);
+            assert!(
+                s.points[1].1 < first * 2.0 + 1e-9,
+                "{}/{}",
+                s.model,
+                s.platform
+            );
             assert!(last > first * 100.0, "{}/{}", s.model, s.platform);
         }
     }

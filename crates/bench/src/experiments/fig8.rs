@@ -81,21 +81,10 @@ mod tests {
     fn peak_speedups_match_paper() {
         let rows = run();
         let gpt2 = rows.iter().find(|s| s.model == "gpt2").unwrap();
-        let xlmr = rows
-            .iter()
-            .find(|s| s.model == "xlm-roberta-base")
-            .unwrap();
+        let xlmr = rows.iter().find(|s| s.model == "xlm-roberta-base").unwrap();
         // Paper: up to 2.7x GPT2, up to 6.8x XLM-R.
-        assert!(
-            (peak(gpt2) - 2.7).abs() < 0.15,
-            "GPT2 peak {}",
-            peak(gpt2)
-        );
-        assert!(
-            (peak(xlmr) - 6.8).abs() < 0.25,
-            "XLM-R peak {}",
-            peak(xlmr)
-        );
+        assert!((peak(gpt2) - 2.7).abs() < 0.15, "GPT2 peak {}", peak(gpt2));
+        assert!((peak(xlmr) - 6.8).abs() < 0.25, "XLM-R peak {}", peak(xlmr));
         // And the peak is at the longest chain length.
         assert_eq!(gpt2.points.last().unwrap().3, peak(gpt2));
         assert_eq!(xlmr.points.last().unwrap().3, peak(xlmr));

@@ -92,13 +92,7 @@ pub fn run() -> Vec<ValidationRow> {
 #[must_use]
 pub fn render(rows: &[ValidationRow]) -> String {
     let mut t = TextTable::new(vec![
-        "model",
-        "L",
-        "k_eager",
-        "k_fused",
-        "ideal",
-        "measured",
-        "gpu_util",
+        "model", "L", "k_eager", "k_fused", "ideal", "measured", "gpu_util",
     ]);
     for r in rows {
         t.row(vec![

@@ -210,9 +210,7 @@ mod tests {
                 .unwrap()
         };
         // Cora: a handful of launches → CPU-ranked (GH200 slowest).
-        assert!(
-            get("gcn-cora", "gh200").latency_ms > get("gcn-cora", "intel_h100").latency_ms
-        );
+        assert!(get("gcn-cora", "gh200").latency_ms > get("gcn-cora", "intel_h100").latency_ms);
         // ogbn-arxiv: SpMM bandwidth → GH200's HBM3 wins.
         assert!(
             get("gcn-ogbn-arxiv", "gh200").latency_ms

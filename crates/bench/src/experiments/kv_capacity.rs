@@ -1,0 +1,266 @@
+//! **Extension** — KV-cache capacity: offered load × model size × HBM block
+//! budget, with coupling-aware offload.
+//!
+//! The paper's coupling story is usually told through kernel-launch paths;
+//! this experiment tells it through *memory*. Each platform serves the same
+//! workload behind an identical paged-KV block budget (`skip-mem`), and when
+//! the pool overcommits, the scheduler preempts and offloads KV state across
+//! the CPU-GPU interconnect. The per-eviction price is set by the coupling:
+//! a ~1100-token Llama-2-7B context swaps in ~2.4 ms over NVLink-C2C but
+//! ~34 ms over PCIe gen4. The sweep exposes a crossover:
+//!
+//! * small model / light load — the loosely-coupled Xeon platform wins on
+//!   its fast dispatch path; memory pressure never materializes;
+//! * 7B model / heavy load / tight budget — every platform preempts at the
+//!   same block budget, but the GH200 amortizes evictions over its C2C link
+//!   and large-batch decode, sustaining strictly higher goodput than either
+//!   loosely-coupled system.
+
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig};
+use skip_mem::{KvSpec, OffloadPolicy};
+use skip_serve::{simulate, KvCacheConfig, Policy, ServingConfig, ServingReport};
+
+use crate::TextTable;
+
+/// Offered loads swept, requests/second.
+pub const LOADS: [f64; 3] = [4.0, 16.0, 64.0];
+
+/// Concurrent-request cap of the continuous batcher.
+pub const MAX_BATCH: u32 = 64;
+
+/// Prompt length, tokens.
+pub const PROMPT_LEN: u32 = 1024;
+
+/// Output tokens per request.
+pub const NEW_TOKENS: u32 = 128;
+
+/// Requests per simulation.
+pub const REQUESTS: u32 = 96;
+
+/// The tight budget, chosen inside the overcommit band: admission fits
+/// `floor(2200/64) = 34` prompts (64 blocks each), but their decode growth
+/// to 72 blocks needs 2448 — so the pool must preempt to finish.
+pub const TIGHT_BLOCKS: u32 = 2200;
+
+/// The roomy budget: what an 80 GB card realistically carves for Llama-2-7B
+/// KV after FP16 weights and a 10% activation reserve (~58 GB / 8.4 MB).
+pub const ROOMY_BLOCKS: u32 = 6912;
+
+/// One measurement of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvCapacityRow {
+    /// Platform name.
+    pub platform: String,
+    /// Model name.
+    pub model: String,
+    /// Offered load, req/s.
+    pub load: f64,
+    /// KV pool budget, blocks per replica.
+    pub budget_blocks: u32,
+    /// The measured report.
+    pub report: ServingReport,
+}
+
+/// The models swept: a small dispatch-bound decoder and the 7B-class
+/// decoder whose KV is heavy enough to make offload traffic interesting.
+#[must_use]
+pub fn models() -> Vec<ModelConfig> {
+    vec![zoo::gpt2(), zoo::llama2_7b()]
+}
+
+fn run_one(platform: &Platform, model: &ModelConfig, load: f64, budget: u32) -> KvCapacityRow {
+    let report = simulate(&ServingConfig {
+        platform: platform.clone(),
+        model: model.clone(),
+        policy: Policy::Continuous {
+            max_batch: MAX_BATCH,
+        },
+        requests: REQUESTS,
+        arrival_rate_per_s: load,
+        prompt_len: PROMPT_LEN,
+        new_tokens: NEW_TOKENS,
+        seed: 7,
+        kv: Some(KvCacheConfig::with_blocks(budget, OffloadPolicy::Auto)),
+    });
+    KvCapacityRow {
+        platform: platform.name.clone(),
+        model: model.name.clone(),
+        load,
+        budget_blocks: budget,
+        report,
+    }
+}
+
+/// Runs the full sweep: model × budget × load × platform.
+#[must_use]
+pub fn run() -> Vec<KvCapacityRow> {
+    let mut out = Vec::new();
+    for model in models() {
+        for budget in [TIGHT_BLOCKS, ROOMY_BLOCKS] {
+            for load in LOADS {
+                for platform in Platform::paper_trio() {
+                    out.push(run_one(&platform, &model, load, budget));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Looks up one row of a sweep result.
+#[must_use]
+pub fn find<'a>(
+    rows: &'a [KvCapacityRow],
+    platform: &str,
+    model: &str,
+    load: f64,
+    budget: u32,
+) -> Option<&'a KvCapacityRow> {
+    rows.iter().find(|r| {
+        r.platform == platform && r.model == model && r.load == load && r.budget_blocks == budget
+    })
+}
+
+/// Renders the goodput panels plus a memory-pressure panel for the tight
+/// budget.
+#[must_use]
+pub fn render(rows: &[KvCapacityRow]) -> String {
+    let mut out = String::from(
+        "KV-capacity extension: goodput (tok/s) under an identical paged-KV block budget\n",
+    );
+    for model in models() {
+        let bpt = KvSpec::for_model(&model, KvSpec::DEFAULT_BLOCK_TOKENS).bytes_per_token;
+        for budget in [TIGHT_BLOCKS, ROOMY_BLOCKS] {
+            out.push_str(&format!(
+                "\nmodel: {} ({} KiB/token) | budget: {} blocks ({})\n",
+                model.name,
+                bpt / 1024,
+                budget,
+                if budget == TIGHT_BLOCKS {
+                    "tight"
+                } else {
+                    "roomy"
+                },
+            ));
+            let mut t = TextTable::new(vec!["load", "amd_a100", "intel_h100", "gh200"]);
+            for load in LOADS {
+                let get = |p: &str| {
+                    find(rows, p, &model.name, load, budget)
+                        .expect("row")
+                        .report
+                        .throughput_tok_s
+                };
+                t.row(vec![
+                    format!("{load:.0}"),
+                    format!("{:.0}", get("amd_a100")),
+                    format!("{:.0}", get("intel_h100")),
+                    format!("{:.0}", get("gh200")),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+    }
+    out.push_str("\nmemory pressure at the tight budget (llama-2-7b):\n");
+    let mut t = TextTable::new(vec![
+        "load",
+        "platform",
+        "preempt",
+        "swaps",
+        "swapped_mb",
+        "recomputed_tok",
+        "peak_occ",
+    ]);
+    for load in LOADS {
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            let r = &find(rows, p, "llama-2-7b", load, TIGHT_BLOCKS)
+                .expect("row")
+                .report;
+            t.row(vec![
+                format!("{load:.0}"),
+                p.into(),
+                format!("{}", r.preemptions),
+                format!("{}", r.swap_outs),
+                format!("{:.0}", r.swapped_bytes as f64 / 1e6),
+                format!("{}", r.recomputed_tokens),
+                format!("{:.2}", r.kv_peak_occupancy),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tput(rows: &[KvCapacityRow], p: &str, model: &str, load: f64, budget: u32) -> f64 {
+        find(rows, p, model, load, budget)
+            .expect("row")
+            .report
+            .throughput_tok_s
+    }
+
+    #[test]
+    fn gh200_crosses_over_under_memory_pressure() {
+        // The acceptance claim: at an identical HBM block budget there is a
+        // load point where the closely-coupled GH200 sustains strictly
+        // higher goodput than both loosely-coupled platforms — and a
+        // lighter point where it does not, so the ordering is a genuine
+        // crossover, not a uniform win.
+        let rows = run();
+        let m = "llama-2-7b";
+        for load in [16.0, 64.0] {
+            let gh = tput(&rows, "gh200", m, load, TIGHT_BLOCKS);
+            assert!(
+                gh > tput(&rows, "amd_a100", m, load, TIGHT_BLOCKS)
+                    && gh > tput(&rows, "intel_h100", m, load, TIGHT_BLOCKS),
+                "gh200 should lead at load {load}"
+            );
+        }
+        assert!(
+            tput(&rows, "intel_h100", m, 4.0, TIGHT_BLOCKS)
+                > tput(&rows, "gh200", m, 4.0, TIGHT_BLOCKS),
+            "light load should favor the fast-dispatch LC platform"
+        );
+    }
+
+    #[test]
+    fn tight_budget_preempts_and_swaps_on_every_platform() {
+        let rows = run();
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            let r = &find(&rows, p, "llama-2-7b", 64.0, TIGHT_BLOCKS)
+                .expect("row")
+                .report;
+            assert_eq!(r.completed, REQUESTS, "{p}");
+            assert!(r.preemptions > 0, "{p} must hit the budget");
+            assert_eq!(r.swap_outs, r.preemptions, "{p}: auto swaps here");
+            assert!(r.kv_peak_occupancy > 0.95, "{p}");
+        }
+    }
+
+    #[test]
+    fn roomy_budget_never_preempts() {
+        let rows = run();
+        for r in rows.iter().filter(|r| r.budget_blocks == ROOMY_BLOCKS) {
+            assert_eq!(r.report.preemptions, 0, "{}/{}", r.platform, r.load);
+            assert_eq!(r.report.completed, REQUESTS);
+        }
+    }
+
+    #[test]
+    fn small_model_stays_dispatch_bound() {
+        // GPT-2's KV is 14x lighter per token; the same block budget is
+        // never the bottleneck story — the loosely-coupled platforms keep
+        // their dispatch-path advantage at every load.
+        let rows = run();
+        for load in LOADS {
+            assert!(
+                tput(&rows, "intel_h100", "gpt2", load, TIGHT_BLOCKS)
+                    > tput(&rows, "gh200", "gpt2", load, TIGHT_BLOCKS),
+                "load {load}"
+            );
+        }
+    }
+}

@@ -23,6 +23,7 @@
 //! | [`energy`] | joules-per-request across coupling paradigms (Table IV envelopes) |
 //! | [`serving`] | online serving: load vs p95 TTFT, static vs continuous batching |
 //! | [`seqlen`] | sequence-length sensitivity: the Fig. 6 transition along the seq axis |
+//! | [`kv_capacity`] | paged-KV capacity: load × model × block budget, coupling-aware offload |
 
 pub mod ablations;
 pub mod decode;
@@ -33,10 +34,11 @@ pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig9;
 pub mod fusion_applied;
 pub mod future_workloads;
+pub mod kv_capacity;
 pub mod seqlen;
 pub mod serving;
-pub mod fig9;
 pub mod table1;
 pub mod table5;

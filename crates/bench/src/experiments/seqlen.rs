@@ -71,8 +71,7 @@ pub fn run() -> Vec<SeqSweep> {
 /// Renders the sweep.
 #[must_use]
 pub fn render(sweeps: &[SeqSweep]) -> String {
-    let mut out =
-        String::from("Sequence-length extension: batch-1 TTFT (ms) vs prompt length\n");
+    let mut out = String::from("Sequence-length extension: batch-1 TTFT (ms) vs prompt length\n");
     for s in sweeps {
         out.push_str(&format!(
             "\n{} on {} (GPU-bound from seq ≈ {})\n",

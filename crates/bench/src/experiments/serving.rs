@@ -43,6 +43,7 @@ fn run_one(platform: &Platform, policy: Policy, load: f64) -> ServingRow {
         prompt_len: 128,
         new_tokens: 8,
         seed: 2026,
+        kv: None,
     });
     ServingRow {
         platform: platform.name.clone(),
@@ -79,9 +80,8 @@ pub fn run() -> Vec<ServingRow> {
 /// Renders the load-vs-tail-latency panels.
 #[must_use]
 pub fn render(rows: &[ServingRow]) -> String {
-    let mut out = String::from(
-        "Serving extension: GPT2 endpoint, p95 TTFT (ms) vs offered load (req/s)\n",
-    );
+    let mut out =
+        String::from("Serving extension: GPT2 endpoint, p95 TTFT (ms) vs offered load (req/s)\n");
     for policy in ["static", "continuous"] {
         out.push_str(&format!("\npolicy: {policy}\n"));
         let mut t = TextTable::new(vec!["load", "amd_a100", "intel_h100", "gh200"]);
@@ -123,8 +123,7 @@ mod tests {
     fn light_load_latency_ranked_by_cpu() {
         let rows = run();
         assert!(
-            p95(&rows, "intel_h100", "continuous", 5.0)
-                < p95(&rows, "gh200", "continuous", 5.0)
+            p95(&rows, "intel_h100", "continuous", 5.0) < p95(&rows, "gh200", "continuous", 5.0)
         );
     }
 

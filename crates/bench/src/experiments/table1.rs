@@ -89,7 +89,10 @@ mod tests {
         let rows = run();
         assert_eq!(rows[0].speedup, 1.0);
         assert!(rows[1].speedup > 1.0, "default must beat eager");
-        assert!(rows[3].speedup >= rows[1].speedup, "max-autotune is fastest");
+        assert!(
+            rows[3].speedup >= rows[1].speedup,
+            "max-autotune is fastest"
+        );
         // Paper band: 1.203 / 1.2394 / 1.317 — require the same order of
         // magnitude of improvement (10%–60%).
         for r in &rows[1..] {

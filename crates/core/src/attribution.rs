@@ -105,7 +105,11 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
             launch_queue_time: a.lq_time,
         })
         .collect();
-    stats.sort_by(|a, b| b.gpu_time.cmp(&a.gpu_time).then_with(|| a.name.cmp(&b.name)));
+    stats.sort_by(|a, b| {
+        b.gpu_time
+            .cmp(&a.gpu_time)
+            .then_with(|| a.name.cmp(&b.name))
+    });
     stats
 }
 

@@ -142,7 +142,13 @@ mod tests {
 
     #[test]
     fn ramp_transitions_at_first_crossing() {
-        let sweep = vec![pt(1, 100), pt(2, 100), pt(4, 600), pt(8, 4000), pt(16, 16000)];
+        let sweep = vec![
+            pt(1, 100),
+            pt(2, 100),
+            pt(4, 600),
+            pt(8, 4000),
+            pt(16, 16000),
+        ];
         let c = classify_sweep(&sweep);
         assert_eq!(c.transition_batch, Some(4));
         assert_eq!(c.labels[2].1, Boundedness::GpuBound);

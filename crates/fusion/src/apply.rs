@@ -126,11 +126,7 @@ mod tests {
 
     #[test]
     fn periodic_stream_fuses_and_preserves_work() {
-        let kernels: Vec<KernelSpec> = ["a", "b", "c"]
-            .repeat(4)
-            .into_iter()
-            .map(spec)
-            .collect();
+        let kernels: Vec<KernelSpec> = ["a", "b", "c"].repeat(4).into_iter().map(spec).collect();
         let fused = apply_fusion(&kernels, 3);
         assert_eq!(fused.chains_fused, 4);
         assert_eq!(fused.launch_count(), 4);
@@ -156,8 +152,10 @@ mod tests {
 
     #[test]
     fn non_deterministic_streams_pass_through() {
-        let kernels: Vec<KernelSpec> =
-            ["a", "b", "x", "a", "b", "y"].into_iter().map(spec).collect();
+        let kernels: Vec<KernelSpec> = ["a", "b", "x", "a", "b", "y"]
+            .into_iter()
+            .map(spec)
+            .collect();
         let fused = apply_fusion(&kernels, 3);
         // Only the x-anchored chain is deterministic.
         assert_eq!(fused.chains_fused, 1);

@@ -175,6 +175,16 @@ impl GpuModel {
         }
     }
 
+    /// Device memory capacity in bytes (`hbm_capacity_gb` is decimal GB,
+    /// matching the marketing numbers the paper quotes).
+    ///
+    /// This is the budget the KV-cache block pool in `skip-mem` is sized
+    /// from, after subtracting resident weights.
+    #[must_use]
+    pub fn hbm_capacity_bytes(&self) -> u64 {
+        (self.hbm_capacity_gb * 1e9) as u64
+    }
+
     /// Roofline duration of one kernel on this GPU.
     ///
     /// See the module docs for the formula. Monotone in both `flops` and
@@ -221,9 +231,7 @@ mod tests {
     fn null_kernel_durations_match_table_v() {
         assert!((GpuModel::a100_sxm4().nullkernel_duration().as_nanos_f64() - 1440.0).abs() < 1.0);
         assert!((GpuModel::h100_pcie().nullkernel_duration().as_nanos_f64() - 1235.2).abs() < 1.0);
-        assert!(
-            (GpuModel::h100_gh200().nullkernel_duration().as_nanos_f64() - 1171.2).abs() < 1.0
-        );
+        assert!((GpuModel::h100_gh200().nullkernel_duration().as_nanos_f64() - 1171.2).abs() < 1.0);
     }
 
     #[test]
@@ -233,6 +241,16 @@ mod tests {
         let h = GpuModel::h100_pcie().nullkernel_duration();
         let g = GpuModel::h100_gh200().nullkernel_duration();
         assert!(a > h && h > g);
+    }
+
+    #[test]
+    fn hbm_capacity_bytes_matches_marketing_gb() {
+        assert_eq!(GpuModel::a100_sxm4().hbm_capacity_bytes(), 80_000_000_000);
+        assert_eq!(GpuModel::h100_gh200().hbm_capacity_bytes(), 96_000_000_000);
+        assert_eq!(
+            GpuModel::mi300a_cdna3().hbm_capacity_bytes(),
+            128_000_000_000
+        );
     }
 
     #[test]
@@ -271,8 +289,7 @@ mod tests {
         let a100 = GpuModel::a100_sxm4();
         let gh = GpuModel::h100_gh200();
         let w = KernelWork::gemm(32_768, 4096, 4096, 2);
-        let ratio = a100.kernel_duration(&w).as_nanos_f64()
-            / gh.kernel_duration(&w).as_nanos_f64();
+        let ratio = a100.kernel_duration(&w).as_nanos_f64() / gh.kernel_duration(&w).as_nanos_f64();
         // Peak ratio is 990/312 ≈ 3.2; with identical efficiency and fixed
         // costs the large-GEMM ratio approaches it.
         assert!(ratio > 2.5, "ratio = {ratio}");

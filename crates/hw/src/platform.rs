@@ -251,8 +251,7 @@ mod tests {
         assert_eq!(Platform::mi300a().h2d_transfer(1 << 20), SimDuration::ZERO);
         assert!(Platform::gh200().h2d_transfer(1 << 20) > SimDuration::ZERO);
         assert!(
-            Platform::intel_h100().h2d_transfer(1 << 20)
-                > Platform::gh200().h2d_transfer(1 << 20)
+            Platform::intel_h100().h2d_transfer(1 << 20) > Platform::gh200().h2d_transfer(1 << 20)
         );
     }
 

@@ -127,7 +127,10 @@ impl ModelConfig {
     /// `true` when the MLP is gated (two up projections).
     #[must_use]
     pub fn gated_ffn(&self) -> bool {
-        matches!(self.activation, Activation::SiluGated | Activation::GeluGated)
+        matches!(
+            self.activation,
+            Activation::SiluGated | Activation::GeluGated
+        )
     }
 
     /// Whether biases are present on the projections (the Llama family
@@ -161,7 +164,7 @@ impl ModelConfig {
         let attn = h * h + bias * h // Q
             + 2 * (h * kv + bias * kv) // K, V
             + h * h + bias * h; // output
-        // MLP.
+                                // MLP.
         let mlp = if self.gated_ffn() {
             3 * h * ffn
         } else {

@@ -191,8 +191,7 @@ impl<'a> Builder<'a> {
     /// proximity-score analysis (paper Fig. 7/8) while adding no rare
     /// kernel names (the memset kernel itself is identical everywhere).
     fn insert_workspace_memset(&self, layer_ops: &mut Vec<OpNode>) {
-        let spot =
-            (self.layer.get().wrapping_mul(2_654_435_761) >> 7) as usize % layer_ops.len();
+        let spot = (self.layer.get().wrapping_mul(2_654_435_761) >> 7) as usize % layer_ops.len();
         layer_ops.insert(
             spot,
             OpNode::simple(
@@ -650,7 +649,6 @@ impl<'a> Builder<'a> {
         )
     }
 
-
     /// One Llama-family block: 27 kernels (see module docs).
     fn llama_layer(&self, ops: &mut Vec<OpNode>) {
         let cfg = self.cfg;
@@ -669,7 +667,7 @@ impl<'a> Builder<'a> {
         ops.push(self.projection(m, q_dim, h)); // q_proj
         ops.push(self.projection(m, kv, h)); // k_proj
         ops.push(self.projection(m, kv, h)); // v_proj
-        // Rotary embeddings on q and k.
+                                             // Rotary embeddings on q and k.
         ops.push(OpNode::simple(
             "aten::rotary_emb",
             vec![self.ew("rope_q", b * heads * sq * d, 2, 4.0)],
@@ -924,11 +922,7 @@ mod tests {
         let flash = GraphOptions {
             attention: AttentionImpl::FlashAttention2,
         };
-        for cfg in [
-            zoo::bert_base_uncased(),
-            zoo::gpt2(),
-            zoo::llama32_1b(),
-        ] {
+        for cfg in [zoo::bert_base_uncased(), zoo::gpt2(), zoo::llama32_1b()] {
             let wl = Workload::new(cfg.clone(), Phase::Prefill, 4, 512);
             let eager = wl.graph();
             let fused = wl.graph_with(flash);

@@ -60,7 +60,8 @@ impl DlrmConfig {
     /// Total embedding + MLP parameters.
     #[must_use]
     pub fn param_count(&self) -> u64 {
-        let mut p = u64::from(self.num_tables) * self.rows_per_table * u64::from(self.embedding_dim);
+        let mut p =
+            u64::from(self.num_tables) * self.rows_per_table * u64::from(self.embedding_dim);
         let mut prev = u64::from(self.dense_features);
         for &w in &self.bottom_mlp {
             p += prev * u64::from(w) + u64::from(w);

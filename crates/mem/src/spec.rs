@@ -1,0 +1,156 @@
+//! KV-cache geometry: bytes per token, block size, and pool sizing.
+
+use serde::{Deserialize, Serialize};
+use skip_hw::GpuModel;
+use skip_llm::ModelConfig;
+
+/// The memory geometry of one model's KV cache under paged attention.
+///
+/// Derived from the architecture alone: every cached token stores a key and
+/// a value vector of width [`ModelConfig::kv_dim`] per layer, in FP16. The
+/// derivation is GQA-aware — grouped-query models (e.g. Mistral-7B with 8
+/// KV heads against 32 query heads) cache only `kv_heads · head_dim`
+/// columns, which is exactly why they fit 4x more context per GB.
+///
+/// # Example
+///
+/// ```
+/// use skip_llm::zoo;
+/// use skip_mem::KvSpec;
+///
+/// let mha = KvSpec::for_model(&zoo::llama2_7b(), 16);   // 32 KV heads
+/// let gqa = KvSpec::for_model(&zoo::mistral_7b(), 16);  // 8 KV heads
+/// assert_eq!(mha.bytes_per_token, 4 * gqa.bytes_per_token);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvSpec {
+    /// KV bytes appended per cached token: `2 (K,V) · layers · kv_dim ·
+    /// 2 B (FP16)`.
+    pub bytes_per_token: u64,
+    /// Token slots per block (vLLM's default page size is 16).
+    pub block_tokens: u32,
+}
+
+impl KvSpec {
+    /// vLLM's default page size, in token slots.
+    pub const DEFAULT_BLOCK_TOKENS: u32 = 16;
+
+    /// Derives the KV geometry of `model` with `block_tokens`-token pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero or the model has a degenerate
+    /// attention shape (zero heads, indivisible head width).
+    #[must_use]
+    pub fn for_model(model: &ModelConfig, block_tokens: u32) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be positive");
+        let bytes_per_token = 2 * u64::from(model.layers) * u64::from(model.kv_dim()) * 2;
+        KvSpec {
+            bytes_per_token,
+            block_tokens,
+        }
+    }
+
+    /// Bytes of one block (`bytes_per_token · block_tokens`).
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        self.bytes_per_token * u64::from(self.block_tokens)
+    }
+
+    /// Blocks needed to hold `tokens` cached tokens (ceiling division).
+    #[must_use]
+    pub fn blocks_for(&self, tokens: u64) -> u32 {
+        let bt = u64::from(self.block_tokens);
+        let blocks = tokens.div_ceil(bt);
+        u32::try_from(blocks).unwrap_or(u32::MAX)
+    }
+
+    /// KV bytes occupied by `blocks` whole blocks.
+    #[must_use]
+    pub fn bytes_for_blocks(&self, blocks: u32) -> u64 {
+        self.block_bytes() * u64::from(blocks)
+    }
+
+    /// Sizes a block pool from a GPU's HBM budget.
+    ///
+    /// `resident_bytes` (typically the FP16 weights) are subtracted first,
+    /// then `reserve_fraction` of the capacity is held back for activations
+    /// and workspace; the remainder is carved into blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve_fraction` is outside `[0, 1)`.
+    #[must_use]
+    pub fn pool_blocks(&self, gpu: &GpuModel, resident_bytes: u64, reserve_fraction: f64) -> u32 {
+        assert!(
+            (0.0..1.0).contains(&reserve_fraction),
+            "reserve_fraction must be in [0, 1)"
+        );
+        let capacity = gpu.hbm_capacity_bytes();
+        let reserve = (capacity as f64 * reserve_fraction) as u64;
+        let usable = capacity.saturating_sub(resident_bytes + reserve);
+        let blocks = usable / self.block_bytes();
+        u32::try_from(blocks).unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_llm::zoo;
+
+    #[test]
+    fn llama2_7b_is_half_mib_per_token() {
+        // 2 x 32 layers x (32 kv_heads x 128 head_dim) x 2 B = 524288.
+        let spec = KvSpec::for_model(&zoo::llama2_7b(), 16);
+        assert_eq!(spec.bytes_per_token, 524_288);
+        assert_eq!(spec.block_bytes(), 524_288 * 16);
+    }
+
+    #[test]
+    fn gqa_shrinks_cache_by_head_ratio() {
+        let mha = KvSpec::for_model(&zoo::llama2_7b(), 16);
+        let gqa = KvSpec::for_model(&zoo::mistral_7b(), 16);
+        assert_eq!(mha.bytes_per_token, 4 * gqa.bytes_per_token);
+    }
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        let spec = KvSpec::for_model(&zoo::llama2_7b(), 16);
+        assert_eq!(spec.blocks_for(0), 0);
+        assert_eq!(spec.blocks_for(1), 1);
+        assert_eq!(spec.blocks_for(16), 1);
+        assert_eq!(spec.blocks_for(17), 2);
+        assert_eq!(spec.blocks_for(4096), 256);
+    }
+
+    #[test]
+    fn pool_blocks_subtracts_weights_and_reserve() {
+        let gpu = GpuModel::a100_sxm4();
+        let model = zoo::llama2_7b();
+        let spec = KvSpec::for_model(&model, 16);
+        let blocks = spec.pool_blocks(&gpu, model.weight_bytes_fp16(), 0.1);
+        let usable =
+            gpu.hbm_capacity_bytes() - model.weight_bytes_fp16() - gpu.hbm_capacity_bytes() / 10;
+        // Within one block of the exact carve (integer division).
+        assert_eq!(u64::from(blocks), usable / spec.block_bytes());
+        assert!(blocks > 5_000, "A100 should hold thousands of 7B blocks");
+    }
+
+    #[test]
+    fn bigger_hbm_means_more_blocks() {
+        let model = zoo::llama2_7b();
+        let spec = KvSpec::for_model(&model, 16);
+        let w = model.weight_bytes_fp16();
+        let a100 = spec.pool_blocks(&GpuModel::a100_sxm4(), w, 0.1);
+        let gh200 = spec.pool_blocks(&GpuModel::h100_gh200(), w, 0.1);
+        let mi300a = spec.pool_blocks(&GpuModel::mi300a_cdna3(), w, 0.1);
+        assert!(a100 < gh200 && gh200 < mi300a);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_tokens")]
+    fn zero_block_tokens_rejected() {
+        let _ = KvSpec::for_model(&zoo::llama2_7b(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the paged KV-cache allocator invariants.
+
+use proptest::prelude::*;
+use skip_mem::{BlockAllocator, KvSpec};
+use std::collections::BTreeSet;
+
+/// A random allocator op: grow some owner to a token count, or release it.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Grow { owner: u64, tokens: u64 },
+    Release { owner: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u64..8, 0u64..600, 0u32..4).prop_map(|(owner, tokens, kind)| {
+        if kind == 0 {
+            Op::Release { owner }
+        } else {
+            Op::Grow { owner, tokens }
+        }
+    })
+}
+
+fn apply(pool: &mut BlockAllocator, spec: &KvSpec, ops: &[Op]) {
+    for &op in ops {
+        match op {
+            Op::Grow { owner, tokens } => {
+                let _ = pool.grow_to(owner, tokens, spec);
+            }
+            Op::Release { owner } => {
+                pool.release(owner);
+            }
+        }
+    }
+}
+
+proptest! {
+    /// allocated + free == total after every operation, for any sequence.
+    #[test]
+    fn accounting_identity(
+        total in 1u32..64,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let spec = KvSpec { bytes_per_token: 1024, block_tokens: 16 };
+        let mut pool = BlockAllocator::new(total);
+        for &op in &ops {
+            match op {
+                Op::Grow { owner, tokens } => { let _ = pool.grow_to(owner, tokens, &spec); }
+                Op::Release { owner } => { pool.release(owner); }
+            }
+            prop_assert_eq!(pool.used_blocks() + pool.free_blocks(), pool.total_blocks());
+        }
+    }
+
+    /// No block is ever owned by two requests, every owned block is a real
+    /// block id, and owned counts match the used-block counter.
+    #[test]
+    fn no_block_owned_twice(
+        total in 1u32..64,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let spec = KvSpec { bytes_per_token: 1024, block_tokens: 16 };
+        let mut pool = BlockAllocator::new(total);
+        apply(&mut pool, &spec, &ops);
+        let mut seen = BTreeSet::new();
+        let mut owned = 0u32;
+        for owner in pool.owners() {
+            for b in pool.table(owner).unwrap().blocks() {
+                prop_assert!(b.0 < total, "block id {} out of range", b.0);
+                prop_assert!(seen.insert(b.0), "block {} owned twice", b.0);
+                owned += 1;
+            }
+        }
+        prop_assert_eq!(owned, pool.used_blocks());
+    }
+
+    /// Replaying the same operation sequence on two pools yields identical
+    /// states — allocation order is deterministic, never hash-ordered.
+    #[test]
+    fn replay_is_deterministic(
+        total in 1u32..64,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let spec = KvSpec { bytes_per_token: 1024, block_tokens: 16 };
+        let mut a = BlockAllocator::new(total);
+        let mut b = BlockAllocator::new(total);
+        apply(&mut a, &spec, &ops);
+        apply(&mut b, &spec, &ops);
+        prop_assert_eq!(a, b);
+    }
+
+    /// grow + release round-trips: releasing everything restores a pool
+    /// indistinguishable from fresh (modulo cumulative counters).
+    #[test]
+    fn full_release_restores_free_pool(
+        total in 1u32..64,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let spec = KvSpec { bytes_per_token: 1024, block_tokens: 16 };
+        let mut pool = BlockAllocator::new(total);
+        apply(&mut pool, &spec, &ops);
+        for owner in pool.owners() {
+            pool.release(owner);
+        }
+        prop_assert_eq!(pool.free_blocks(), total);
+        prop_assert_eq!(pool.occupancy(), 0.0);
+        prop_assert_eq!(pool.fragmented_tokens(&spec), 0);
+        // A fresh reservation starts from block 0 again.
+        if pool.grow_to(42, 1, &spec).is_ok() {
+            prop_assert_eq!(pool.table(42).unwrap().blocks()[0].0, 0);
+        }
+    }
+
+    /// Failed grows are all-or-nothing: a rejected reservation never
+    /// changes ownership.
+    #[test]
+    fn failed_grow_is_atomic(
+        total in 1u32..16,
+        tokens in 0u64..2_000,
+    ) {
+        let spec = KvSpec { bytes_per_token: 1024, block_tokens: 16 };
+        let mut pool = BlockAllocator::new(total);
+        let before_free = pool.free_blocks();
+        match pool.grow_to(0, tokens, &spec) {
+            Ok(added) => prop_assert_eq!(pool.free_blocks(), before_free - added),
+            Err(e) => {
+                prop_assert_eq!(pool.free_blocks(), before_free);
+                prop_assert!(pool.table(0).is_none());
+                prop_assert!(e.needed > e.free);
+            }
+        }
+    }
+
+    /// Fragmentation is bounded by one partial block per owner.
+    #[test]
+    fn fragmentation_bounded_per_owner(
+        total in 1u32..64,
+        ops in proptest::collection::vec(arb_op(), 1..200),
+    ) {
+        let spec = KvSpec { bytes_per_token: 1024, block_tokens: 16 };
+        let mut pool = BlockAllocator::new(total);
+        apply(&mut pool, &spec, &ops);
+        let owners = pool.owners().len() as u64;
+        prop_assert!(pool.fragmented_tokens(&spec) < owners.max(1) * u64::from(spec.block_tokens));
+    }
+}

@@ -107,10 +107,7 @@ pub fn inductor_stream(graph: &OperatorGraph, _mode: CompileMode) -> Vec<KernelS
             n => {
                 let flops: f64 = run.iter().map(|k| k.work.flops).sum();
                 let total_bytes: f64 = run.iter().map(|k| k.work.bytes).sum();
-                let max_bytes = run
-                    .iter()
-                    .map(|k| k.work.bytes)
-                    .fold(0.0_f64, f64::max);
+                let max_bytes = run.iter().map(|k| k.work.bytes).fold(0.0_f64, f64::max);
                 let bytes = max_bytes + FUSED_RESIDUAL_BYTES * (total_bytes - max_bytes);
                 out.push(KernelSpec::new(
                     format!("triton_fused_{}_{n}", run[0].name),

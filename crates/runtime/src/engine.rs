@@ -9,7 +9,9 @@ use skip_trace::{
     TraceMeta,
 };
 
-use crate::compiled::{self, COMPILED_DISPATCH_NS, CUDAGRAPH_ENTRY_NS, GUARD_EVAL_NS, REPLAY_NODE_NS};
+use crate::compiled::{
+    self, COMPILED_DISPATCH_NS, CUDAGRAPH_ENTRY_NS, GUARD_EVAL_NS, REPLAY_NODE_NS,
+};
 use crate::mode::{CompileMode, ExecMode};
 
 /// Executes workloads on one platform.
@@ -127,7 +129,10 @@ impl Engine {
         } else {
             GUARD_EVAL_NS
         };
-        exec.cpu_op("torch::_dynamo::guard_eval", SimDuration::from_nanos_f64(entry));
+        exec.cpu_op(
+            "torch::_dynamo::guard_eval",
+            SimDuration::from_nanos_f64(entry),
+        );
 
         let gemm_factor = cm.gemm_duration_factor();
         if cm.uses_cuda_graphs() {

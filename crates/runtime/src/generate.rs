@@ -132,7 +132,12 @@ mod tests {
         // work hides in the CPU shadow), but the GPU busy time must grow.
         let engine = Engine::new(Platform::intel_h100());
         let gpu_busy = |past| {
-            let wl = Workload::new(zoo::llama32_1b(), Phase::DecodeStep { past_len: past }, 8, 64);
+            let wl = Workload::new(
+                zoo::llama32_1b(),
+                Phase::DecodeStep { past_len: past },
+                8,
+                64,
+            );
             engine
                 .run(&wl, ExecMode::Eager)
                 .kernels()

@@ -47,8 +47,8 @@
 #![warn(missing_docs)]
 
 mod compiled;
-mod generate;
 mod engine;
+mod generate;
 mod mode;
 mod nullkernel;
 

@@ -61,7 +61,12 @@ impl LatencyModel {
     #[must_use]
     pub fn prefill(&self, batch: u32, prompt_len: u32) -> SimDuration {
         self.cached(0, batch, bucket(prompt_len), || {
-            Workload::new(self.model.clone(), Phase::Prefill, batch, bucket(prompt_len))
+            Workload::new(
+                self.model.clone(),
+                Phase::Prefill,
+                batch,
+                bucket(prompt_len),
+            )
         })
     }
 
@@ -86,7 +91,13 @@ impl LatencyModel {
         self.cache.borrow().len()
     }
 
-    fn cached<F: FnOnce() -> Workload>(&self, phase: u8, batch: u32, len: u32, wl: F) -> SimDuration {
+    fn cached<F: FnOnce() -> Workload>(
+        &self,
+        phase: u8,
+        batch: u32,
+        len: u32,
+        wl: F,
+    ) -> SimDuration {
         let key = (phase, batch, len);
         if let Some(&d) = self.cache.borrow().get(&key) {
             return d;

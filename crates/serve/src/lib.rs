@@ -18,8 +18,14 @@
 //!   (prefill and decode, bucketed by batch size and context length).
 //! * [`Policy`] — static batching (collect B requests or time out) vs
 //!   continuous, iteration-level batching.
+//! * [`KvCacheConfig`] — optional paged KV-cache budget (from `skip-mem`);
+//!   when set, continuous batching becomes memory-aware: admission reserves
+//!   prompt blocks, decode grows tables, and exhaustion preempts the newest
+//!   request, resolving each victim by recompute or coupling-priced
+//!   swap-to-host.
 //! * [`simulate`] — the discrete-event serving loop, returning a
-//!   [`ServingReport`] of latency percentiles and throughput.
+//!   [`ServingReport`] of latency percentiles, throughput, and memory-
+//!   pressure counters.
 //!
 //! # Example
 //!
@@ -37,6 +43,7 @@
 //!     prompt_len: 128,
 //!     new_tokens: 8,
 //!     seed: 7,
+//!     kv: None, // infinite KV cache; Some(..) bounds it
 //! });
 //! assert_eq!(report.completed, 40);
 //! assert!(report.ttft_p50.as_millis_f64() > 0.0);
@@ -51,4 +58,5 @@ mod sim;
 
 pub use latency::LatencyModel;
 pub use request::{Request, RequestStream};
-pub use sim::{simulate, simulate_replicas, Policy, ServingConfig, ServingReport};
+pub use sim::{simulate, simulate_replicas, KvCacheConfig, Policy, ServingConfig, ServingReport};
+pub use skip_mem::OffloadPolicy;

@@ -258,13 +258,11 @@ pub fn from_chrome_trace(json: &str) -> Result<Trace, ImportError> {
                 next_op += 1;
             }
             "cuda_runtime" => {
-                let corr = ev
-                    .args
-                    .as_ref()
-                    .and_then(|a| a.correlation)
-                    .ok_or(ImportError::MissingCorrelation {
+                let corr = ev.args.as_ref().and_then(|a| a.correlation).ok_or(
+                    ImportError::MissingCorrelation {
                         name: ev.name.clone(),
-                    })?;
+                    },
+                )?;
                 trace.push_launch(RuntimeLaunchEvent {
                     name: ev.name,
                     thread: ThreadId::new(ev.tid),
@@ -274,13 +272,11 @@ pub fn from_chrome_trace(json: &str) -> Result<Trace, ImportError> {
                 });
             }
             "kernel" => {
-                let corr = ev
-                    .args
-                    .as_ref()
-                    .and_then(|a| a.correlation)
-                    .ok_or(ImportError::MissingCorrelation {
+                let corr = ev.args.as_ref().and_then(|a| a.correlation).ok_or(
+                    ImportError::MissingCorrelation {
                         name: ev.name.clone(),
-                    })?;
+                    },
+                )?;
                 trace.push_kernel(KernelEvent {
                     name: ev.name,
                     stream: StreamId::new(ev.tid),

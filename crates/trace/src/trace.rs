@@ -344,7 +344,9 @@ mod tests {
         });
         assert_eq!(
             t.validate(),
-            Err(TraceError::DuplicateLaunchCorrelation(CorrelationId::new(1)))
+            Err(TraceError::DuplicateLaunchCorrelation(CorrelationId::new(
+                1
+            )))
         );
     }
 

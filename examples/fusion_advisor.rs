@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example fusion_advisor`
 
-use skip_core::{ProfileReport};
+use skip_core::ProfileReport;
 use skip_fusion::{recommend, FusionAnalysis, KernelSequences};
 use skip_hw::Platform;
 use skip_llm::{zoo, Phase, Workload};

@@ -29,26 +29,33 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 3. Analyze with SKIP.
     let report = ProfileReport::analyze(&trace);
-    println!("== SKIP report: {} on {} ==", workload.model.name, engine.platform().name);
+    println!(
+        "== SKIP report: {} on {} ==",
+        workload.model.name,
+        engine.platform().name
+    );
     println!("inference latency (TTFT) : {}", report.inference_latency);
     println!("TKLQT                    : {}", report.tklqt);
     println!("average kernel duration  : {}", report.akd);
     println!("GPU idle                 : {}", report.gpu_idle);
     println!("CPU idle                 : {}", report.cpu_idle);
     println!("kernels launched         : {}", report.kernel_count);
-    println!("GPU utilization          : {:.1}%", report.gpu_utilization() * 100.0);
+    println!(
+        "GPU utilization          : {:.1}%",
+        report.gpu_utilization() * 100.0
+    );
 
     println!("\ntop-5 kernels by invocation count:");
     for k in top_kernels(&trace, 5) {
-        println!(
-            "  {:>4}x {:<40} total {}",
-            k.count, k.name, k.total_time
-        );
+        println!("  {:>4}x {:<40} total {}", k.count, k.name, k.total_time);
     }
 
     // 4. Export for the Chrome-trace / Perfetto timeline UI.
     let json = chrome::to_chrome_trace(&trace);
     std::fs::write("gpt2_gh200_prefill.trace.json", &json)?;
-    println!("\nwrote gpt2_gh200_prefill.trace.json ({} bytes)", json.len());
+    println!(
+        "\nwrote gpt2_gh200_prefill.trace.json ({} bytes)",
+        json.len()
+    );
     Ok(())
 }

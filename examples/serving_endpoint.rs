@@ -26,6 +26,7 @@ fn p95_ms(platform: &Platform, policy: Policy, load: f64) -> f64 {
         prompt_len: 128,
         new_tokens: 8,
         seed: 99,
+        kv: None,
     })
     .ttft_p95
     .as_millis_f64()

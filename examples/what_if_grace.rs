@@ -43,8 +43,6 @@ fn main() {
         );
     }
 
-    println!(
-        "\nWith a Xeon-class CPU the closely-coupled system dominates at *every* batch size:"
-    );
+    println!("\nWith a Xeon-class CPU the closely-coupled system dominates at *every* batch size:");
     println!("the low-batch penalty is a CPU artifact, not a property of close coupling.");
 }

@@ -16,8 +16,9 @@ use skip_core::{attribute_to_operators, classify_sweep, top_kernels, ProfileRepo
 use skip_fusion::{recommend, FusionAnalysis};
 use skip_hw::Platform;
 use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_mem::KvSpec;
 use skip_runtime::{CompileMode, Engine, ExecMode};
-use skip_serve::{simulate_replicas, Policy, ServingConfig};
+use skip_serve::{simulate_replicas, KvCacheConfig, OffloadPolicy, Policy, ServingConfig};
 use skip_trace::chrome;
 
 const USAGE: &str = "\
@@ -29,6 +30,7 @@ USAGE:
     skip fuse     --model <id> [--platform <id>] [--chain-len N] [--threshold T]
     skip generate --model <id> [--platform <id>] [--batch N] [--seq N] [--tokens N]
     skip serve    --model <id> [--platform <id>] [--qps R] [--requests N] [--max-batch N] [--replicas N]
+                  [--seq N] [--tokens N] [--kv-blocks N] [--offload recompute|swap|auto]
     skip models
     skip platforms
 
@@ -119,8 +121,14 @@ fn cmd_profile(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     println!("TKLQT                    : {}", r.tklqt);
     println!("average kernel duration  : {}", r.akd);
     println!("GPU idle / CPU idle      : {} / {}", r.gpu_idle, r.cpu_idle);
-    println!("kernels / launches / ops : {} / {} / {}", r.kernel_count, r.launch_count, r.cpu_op_count);
-    println!("GPU utilization          : {:.1}%", r.gpu_utilization() * 100.0);
+    println!(
+        "kernels / launches / ops : {} / {} / {}",
+        r.kernel_count, r.launch_count, r.cpu_op_count
+    );
+    println!(
+        "GPU utilization          : {:.1}%",
+        r.gpu_utilization() * 100.0
+    );
 
     println!("\ntop kernels:");
     for k in top_kernels(&trace, 5) {
@@ -155,7 +163,10 @@ fn cmd_sweep(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         let engine = Engine::new(platform.clone());
         let mut points = Vec::new();
         println!("== {} on {} ==", model.name, platform.name);
-        println!("{:>6} {:>12} {:>12} {:>8}", "batch", "ttft_ms", "tklqt_ms", "gpu%");
+        println!(
+            "{:>6} {:>12} {:>12} {:>8}",
+            "batch", "ttft_ms", "tklqt_ms", "gpu%"
+        );
         for bs in [1u32, 2, 4, 8, 16, 32, 64, 128] {
             let wl = Workload::new(model.clone(), Phase::Prefill, bs, seq);
             let r = ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager));
@@ -244,6 +255,32 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     let requests = get_u32(flags, "requests", 100)?;
     let max_batch = get_u32(flags, "max-batch", 16)?;
     let replicas = get_u32(flags, "replicas", 1)?;
+    let offload = flags
+        .get("offload")
+        .map_or(Ok(OffloadPolicy::Auto), |v| OffloadPolicy::parse(v))?;
+    let prompt_len = get_u32(flags, "seq", 128)?;
+    let new_tokens = get_u32(flags, "tokens", 8)?;
+    // --kv-blocks 0 (the default) models an infinite KV cache.
+    let kv = match get_u32(flags, "kv-blocks", 0)? {
+        0 => None,
+        blocks => Some(KvCacheConfig::with_blocks(blocks, offload)),
+    };
+    if let Some(kv) = kv {
+        let need = KvSpec::for_model(&model, kv.block_tokens)
+            .blocks_for(u64::from(prompt_len) + u64::from(new_tokens.max(1)));
+        if kv.blocks_per_replica < need {
+            return Err(format!(
+                "--kv-blocks {}: one {}-token request ({} prompt + {} generated) needs {} blocks of {} tokens",
+                kv.blocks_per_replica,
+                prompt_len + new_tokens.max(1),
+                prompt_len,
+                new_tokens.max(1),
+                need,
+                kv.block_tokens
+            )
+            .into());
+        }
+    }
 
     let report = simulate_replicas(
         &ServingConfig {
@@ -252,9 +289,10 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
             policy: Policy::Continuous { max_batch },
             requests,
             arrival_rate_per_s: qps,
-            prompt_len: get_u32(flags, "seq", 128)?,
-            new_tokens: get_u32(flags, "tokens", 8)?,
+            prompt_len,
+            new_tokens,
             seed: 2026,
+            kv,
         },
         replicas,
     );
@@ -263,10 +301,27 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         model.name, platform.name
     );
     println!("completed    : {} requests", report.completed);
-    println!("TTFT p50/p95/p99 : {} / {} / {}", report.ttft_p50, report.ttft_p95, report.ttft_p99);
+    println!(
+        "TTFT p50/p95/p99 : {} / {} / {}",
+        report.ttft_p50, report.ttft_p95, report.ttft_p99
+    );
     println!("e2e  p50/p95     : {} / {}", report.e2e_p50, report.e2e_p95);
     println!("throughput   : {:.0} tokens/s", report.throughput_tok_s);
     println!("makespan     : {}", report.makespan);
+    if let Some(kv) = kv {
+        println!(
+            "KV cache     : {} blocks/replica x {} tokens | offload {}",
+            kv.blocks_per_replica, kv.block_tokens, kv.offload
+        );
+        println!(
+            "KV pressure  : {} preemptions ({} swapped, {:.1} MB moved; {} tokens recomputed) | peak occupancy {:.0}%",
+            report.preemptions,
+            report.swap_outs,
+            report.swapped_bytes as f64 / 1e6,
+            report.recomputed_tokens,
+            report.kv_peak_occupancy * 100.0
+        );
+    }
     Ok(())
 }
 

@@ -48,5 +48,8 @@ fn serde_round_trip_preserves_traces_exactly() {
     let json = serde_json::to_string(&trace).expect("serialize");
     let back: skip_trace::Trace = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(trace, back);
-    assert_eq!(ProfileReport::analyze(&trace), ProfileReport::analyze(&back));
+    assert_eq!(
+        ProfileReport::analyze(&trace),
+        ProfileReport::analyze(&back)
+    );
 }

@@ -87,7 +87,12 @@ fn table1_bands() {
     let rows = table1::run();
     assert!(rows[3].compile_time_s / rows[0].compile_time_s > 500.0);
     for r in &rows[1..] {
-        assert!((1.1..1.45).contains(&r.speedup), "{}: {}", r.mode, r.speedup);
+        assert!(
+            (1.1..1.45).contains(&r.speedup),
+            "{}: {}",
+            r.mode,
+            r.speedup
+        );
     }
     // Paper ordering: default < reduce-overhead < max-autotune.
     assert!(rows[1].speedup <= rows[2].speedup);

@@ -13,10 +13,10 @@ use skip_runtime::{Engine, ExecMode};
 /// stays fast).
 fn arb_model() -> impl Strategy<Value = ModelConfig> {
     (
-        1u32..4,              // layers
+        1u32..4,                                     // layers
         prop::sample::select(vec![64u32, 128, 256]), // head_dim * heads base
         prop::sample::select(vec![1u32, 2, 4]),      // heads
-        0usize..3,            // arch selector
+        0usize..3,                                   // arch selector
     )
         .prop_map(|(layers, base, heads, arch)| {
             let hidden = base * heads;

@@ -1,0 +1,156 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Compiles the workspace's bench targets against the familiar
+//! `Criterion` / `BenchmarkGroup` / `Bencher` API and, when run via
+//! `cargo bench`, executes each benchmark for a short fixed budget and
+//! prints a coarse mean time. No statistics, warm-up tuning, or HTML
+//! reports — this exists so benches build and produce sane numbers
+//! without the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark (kept short; this is a smoke harness).
+const BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.as_ref(), f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id.as_ref(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&id.0, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a benchmark name and a parameter value.
+    pub fn new(name: impl AsRef<str>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.as_ref(), parameter))
+    }
+
+    /// Builds an id from the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` against the fixed budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let _ = std::hint::black_box(routine());
+            self.iterations += 1;
+            self.elapsed = start.elapsed();
+            if self.elapsed >= BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iterations > 0 {
+        let mean_ns = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+        println!("  {id}: {mean_ns:.0} ns/iter ({} iters)", b.iterations);
+    } else {
+        println!("  {id}: no iterations recorded");
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,548 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the small slice of serde the workspace actually uses, built around a
+//! self-describing [`Value`] tree instead of serde's visitor machinery:
+//!
+//! * [`Serialize`] converts a type **to** a [`Value`];
+//! * [`Deserialize`] reconstructs a type **from** a [`Value`] (borrowing from
+//!   it where the target type borrows, e.g. `&'de str`);
+//! * the `derive` feature re-exports the derive macros from the sibling
+//!   `serde_derive` shim.
+//!
+//! The companion `serde_json` shim renders [`Value`] to and from JSON text,
+//! which is all the workspace needs (Chrome-trace export/import and
+//! round-trip tests).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing tree: the data model every [`Serialize`] impl targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer.
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map (insertion order preserved, keys are strings).
+    Map(Vec<(String, Value)>),
+}
+
+/// A `'static` null, used by derived impls for missing optional fields.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// The sequence contents, if this is a sequence.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// serde_json-compatible alias for [`Value::as_seq`].
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        self.as_seq()
+    }
+
+    /// The map entries, if this is a map.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// serde_json-compatible alias for [`Value::as_map`].
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        self.as_map()
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, coercing from any numeric variant.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(i) => Some(*i as f64),
+            Value::U64(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an in-range integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// `true` when the value is `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Map lookup by key (`None` on non-maps and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_seq().and_then(|s| s.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// Deserialization error: a plain message.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Converts `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// The value-model representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`], borrowing from it where needed.
+pub trait Deserialize<'de>: Sized {
+    /// Parses `Self` out of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `value`'s shape does not match `Self`.
+    fn from_value(value: &'de Value) -> Result<Self, DeError>;
+}
+
+/// A type deserializable from any lifetime (serde's `DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Map-entry lookup used by derived `Deserialize` impls.
+#[must_use]
+pub fn __find<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// serde-compatible module aliases.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// serde-compatible module aliases.
+pub mod de {
+    pub use crate::{DeError as Error, Deserialize, DeserializeOwned};
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(u64::from(*self)) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &'de Value) -> Result<Self, DeError> {
+                let u = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u)
+                    .map_err(|_| DeError::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+impl<'de> Deserialize<'de> for usize {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        let u = value
+            .as_u64()
+            .ok_or_else(|| DeError::custom("expected usize"))?;
+        usize::try_from(u).map_err(|_| DeError::custom("out of range for usize"))
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &'de Value) -> Result<Self, DeError> {
+                let i = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i)
+                    .map_err(|_| DeError::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+impl<'de> Deserialize<'de> for isize {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        i64::from_value(value)
+            .and_then(|i| isize::try_from(i).map_err(|_| DeError::custom("out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::custom("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::custom("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::custom("expected bool"))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl<'de> Deserialize<'de> for &'de str {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected borrowed string"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::custom("expected sequence"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &'de Value) -> Result<Self, DeError> {
+                let s = value
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom("expected tuple sequence"))?;
+                Ok(($($t::from_value(
+                    s.get($n).ok_or_else(|| DeError::custom("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )+};
+}
+ser_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn from_value(value: &'de Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!((f64::from_value(&2.5f64.to_value()).unwrap() - 2.5).abs() < 1e-12);
+        assert_eq!(String::from_value(&"hi".to_value()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn value_accessors_coerce_numbers() {
+        assert_eq!(Value::U64(5).as_f64(), Some(5.0));
+        assert_eq!(Value::I64(5).as_u64(), Some(5));
+        assert_eq!(Value::I64(-5).as_u64(), None);
+        assert_eq!(Value::F64(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn map_indexing() {
+        let v = Value::Map(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v["a"], Value::U64(1));
+        assert!(v["missing"].is_null());
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn borrowed_str_deserializes() {
+        let v = Value::Str("borrow me".into());
+        let s: &str = <&str>::from_value(&v).unwrap();
+        assert_eq!(s, "borrow me");
+    }
+}

@@ -1,0 +1,678 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` cannot be fetched in the air-gapped build
+//! environment, so this crate re-implements the two derive macros against the
+//! simplified value-model serde shim in `vendor/serde`. It parses the item
+//! with nothing but `proc_macro` (no `syn`/`quote`) and emits `impl
+//! serde::Serialize` / `impl serde::Deserialize` blocks that convert through
+//! `serde::Value`.
+//!
+//! Supported container shapes (everything the workspace uses):
+//! * named-field structs, tuple structs, unit structs,
+//! * enums with unit, tuple, and struct variants,
+//! * lifetime and type generics without `where` clauses,
+//! * `#[serde(transparent)]`, `#[serde(default)]`,
+//!   `#[serde(skip_serializing_if = "path")]`.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    skip_if: Option<String>,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Param {
+    is_lifetime: bool,
+    name: String,
+    decl: String,
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    params: Vec<Param>,
+    transparent: bool,
+    body: Body,
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+/// Renders a token slice back to source text, keeping lifetimes glued.
+fn stringify(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) => {
+                out.push(p.as_char());
+                if p.spacing() == Spacing::Alone {
+                    out.push(' ');
+                }
+            }
+            other => {
+                out.push_str(&other.to_string());
+                out.push(' ');
+            }
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Consumes one `#[...]` attribute (cursor is on `#`) and folds any
+/// `#[serde(...)]` arguments into `attrs` / `transparent`.
+fn eat_attribute(cur: &mut Cursor, attrs: &mut FieldAttrs, transparent: &mut bool) {
+    assert!(cur.eat_punct('#'), "attribute must start with '#'");
+    // Inner attributes (`#![..]`) never appear on items handed to derives.
+    let group = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+        other => panic!("serde_derive shim: malformed attribute, got {other:?}"),
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let is_serde = matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let args = match inner.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return,
+    };
+    let mut ac = Cursor::new(args);
+    while ac.peek().is_some() {
+        let key = ac.expect_ident();
+        let mut value = None;
+        if ac.eat_punct('=') {
+            match ac.next() {
+                Some(TokenTree::Literal(l)) => {
+                    value = Some(l.to_string().trim_matches('"').to_string());
+                }
+                other => panic!("serde_derive shim: expected literal after '=', got {other:?}"),
+            }
+        }
+        match key.as_str() {
+            "transparent" => *transparent = true,
+            "default" => attrs.default = true,
+            "skip_serializing_if" => attrs.skip_if = value,
+            // Tolerated but unused by the shim (rename, deny_unknown_fields, ...).
+            _ => {}
+        }
+        ac.eat_punct(',');
+    }
+}
+
+/// Skips all attributes at the cursor, folding serde args into the outputs.
+fn eat_attributes(cur: &mut Cursor, attrs: &mut FieldAttrs, transparent: &mut bool) {
+    while cur.peek_punct('#') {
+        eat_attribute(cur, attrs, transparent);
+    }
+}
+
+fn eat_visibility(cur: &mut Cursor) {
+    if cur.peek_ident("pub") {
+        cur.next();
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.next(); // pub(crate), pub(super), ...
+            }
+        }
+    }
+}
+
+/// Parses `<...>` generics into params; cursor is just past the item name.
+fn parse_generics(cur: &mut Cursor) -> Vec<Param> {
+    if !cur.eat_punct('<') {
+        return Vec::new();
+    }
+    let mut depth = 1usize;
+    let mut groups: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    loop {
+        let t = cur
+            .next()
+            .expect("serde_derive shim: unterminated generics");
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    groups.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        groups.last_mut().expect("non-empty").push(t);
+    }
+    groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|tokens| {
+            let is_lifetime = matches!(&tokens[0], TokenTree::Punct(p) if p.as_char() == '\'');
+            let name = if is_lifetime {
+                format!("'{}", tokens[1])
+            } else if matches!(&tokens[0], TokenTree::Ident(i) if i.to_string() == "const") {
+                tokens[1].to_string()
+            } else {
+                tokens[0].to_string()
+            };
+            // Drop any default (`= ...`) from the declaration.
+            let mut decl_tokens: Vec<TokenTree> = Vec::new();
+            let mut angle = 0usize;
+            for t in &tokens {
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => angle += 1,
+                        '>' => angle = angle.saturating_sub(1),
+                        '=' if angle == 0 => break,
+                        _ => {}
+                    }
+                }
+                decl_tokens.push(t.clone());
+            }
+            Param {
+                is_lifetime,
+                name,
+                decl: stringify(&decl_tokens),
+            }
+        })
+        .collect()
+}
+
+/// Parses the fields of a named-field body (struct or struct variant).
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        let mut _t = false;
+        eat_attributes(&mut cur, &mut attrs, &mut _t);
+        eat_visibility(&mut cur);
+        let name = cur.expect_ident();
+        assert!(
+            cur.eat_punct(':'),
+            "serde_derive shim: expected ':' after field {name}"
+        );
+        // Skip the type: consume until a top-level comma.
+        let mut angle = 0usize;
+        while let Some(t) = cur.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => {
+                        cur.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            cur.next();
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body by top-level commas.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0usize;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma adds a phantom segment.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let mut attrs = FieldAttrs::default();
+        let mut _t = false;
+        eat_attributes(&mut cur, &mut attrs, &mut _t);
+        let name = cur.expect_ident();
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.next();
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.next();
+                VariantKind::Named(parse_named_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if cur.eat_punct('=') {
+            while let Some(t) = cur.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                cur.next();
+            }
+        }
+        cur.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let mut container = FieldAttrs::default();
+    let mut transparent = false;
+    eat_attributes(&mut cur, &mut container, &mut transparent);
+    eat_visibility(&mut cur);
+    let kw = cur.expect_ident();
+    let is_enum = match kw.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde_derive shim: expected struct/enum, got {other}"),
+    };
+    let name = cur.expect_ident();
+    let params = parse_generics(&mut cur);
+    assert!(
+        !cur.peek_ident("where"),
+        "serde_derive shim: where clauses are not supported (on {name})"
+    );
+    let body = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Body::Enum(parse_variants(g.stream()))
+            } else {
+                Body::Named(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+        None => Body::Unit,
+        other => panic!("serde_derive shim: unexpected item body {other:?}"),
+    };
+    Item {
+        name,
+        params,
+        transparent,
+        body,
+    }
+}
+
+/// `impl<decls> Trait for Name<names>` header pieces.
+fn generics_pieces(item: &Item, de: bool) -> (String, String, String) {
+    let mut impl_params: Vec<String> = Vec::new();
+    let mut where_bounds: Vec<String> = Vec::new();
+    if de {
+        impl_params.push("'de".to_string());
+    }
+    for p in &item.params {
+        impl_params.push(p.decl.clone());
+        if p.is_lifetime {
+            if de {
+                where_bounds.push(format!("'de: {}", p.name));
+            }
+        } else if de {
+            where_bounds.push(format!("{}: serde::Deserialize<'de>", p.name));
+        } else {
+            where_bounds.push(format!("{}: serde::Serialize", p.name));
+        }
+    }
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if item.params.is_empty() {
+        String::new()
+    } else {
+        let names: Vec<&str> = item.params.iter().map(|p| p.name.as_str()).collect();
+        format!("<{}>", names.join(", "))
+    };
+    let where_clause = if where_bounds.is_empty() {
+        String::new()
+    } else {
+        format!("where {}", where_bounds.join(", "))
+    };
+    (impl_generics, ty_generics, where_clause)
+}
+
+/// Statements that fill a `__m: Vec<(String, Value)>` binding from fields.
+fn serialize_field_stmts(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let push = format!(
+            "__m.push((\"{n}\".to_string(), serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = accessor(&f.name),
+        );
+        match &f.attrs.skip_if {
+            Some(path) => out.push_str(&format!(
+                "if !({path}({a})) {{ {push} }}\n",
+                a = accessor(&f.name),
+            )),
+            None => out.push_str(&push),
+        }
+    }
+    out
+}
+
+fn deserialize_named_fields(fields: &[Field], source: &str) -> String {
+    // Emits `field: <expr>,` lines reading from the map binding `source`.
+    let mut out = String::new();
+    for f in fields {
+        let missing = if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            // Option fields decode Null as None; everything else errors.
+            format!(
+                "serde::Deserialize::from_value(&serde::NULL).map_err(|_| \
+                 serde::DeError::custom(\"missing field {}\"))?",
+                f.name
+            )
+        };
+        out.push_str(&format!(
+            "{n}: match serde::__find({source}, \"{n}\") {{\n\
+             ::std::option::Option::Some(__x) => serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            n = f.name,
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg, wc) = generics_pieces(item, false);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => "serde::Value::Null".to_string(),
+        Body::Named(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!("serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                format!(
+                    "{}serde::Value::Map(__m)",
+                    serialize_field_stmts(fields, |n| format!("&self.{n}"))
+                )
+            }
+        }
+        Body::Tuple(n) => {
+            if *n == 1 || item.transparent {
+                "serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Map(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let stmts = serialize_field_stmts(fields, |n| n.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{stmts}\
+                             serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(__m))])\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all, clippy::pedantic)]\n\
+         impl{ig} serde::Serialize for {name}{tg} {wc} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (ig, tg, wc) = generics_pieces(item, true);
+    let name = &item.name;
+    let err = |what: &str| {
+        format!("serde::DeError::custom(concat!(\"expected {what} for \", \"{name}\"))")
+    };
+    let body = match &item.body {
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Named(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| {e})?;\n\
+                     ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+                    e = err("map"),
+                    fields = deserialize_named_fields(fields, "__m"),
+                )
+            }
+        }
+        Body::Tuple(n) => {
+            if *n == 1 || item.transparent {
+                format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                format!(
+                    "let __s = __v.as_seq().ok_or_else(|| {e})?;\n\
+                     if __s.len() != {n} {{ return ::std::result::Result::Err({e}); }}\n\
+                     ::std::result::Result::Ok({name}({items}))",
+                    e = err("sequence"),
+                    items = items.join(", "),
+                )
+            }
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __s = __inner.as_seq().ok_or_else(|| {e})?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({items})) }}",
+                                e = err("sequence"),
+                                items = items.join(", "),
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vn}\" => {build},\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __mm = __inner.as_map().ok_or_else(|| {e})?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{fields}\n}})\n\
+                             }},\n",
+                            e = err("map"),
+                            fields = deserialize_named_fields(fields, "__mm"),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => ::std::result::Result::Err({e_var}),\n\
+                 }},\n\
+                 _ => {{\n\
+                 let __m = __v.as_map().ok_or_else(|| {e_map})?;\n\
+                 let (__k, __inner) = __m.first().ok_or_else(|| {e_var})?;\n\
+                 match __k.as_str() {{\n\
+                 {payload_arms}\
+                 _ => ::std::result::Result::Err({e_var}),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                e_var = err("known variant"),
+                e_map = err("map"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused_mut, unused_variables, clippy::all, clippy::pedantic)]\n\
+         impl{ig} serde::Deserialize<'de> for {name}{tg} {wc} {{\n\
+         fn from_value(__v: &'de serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n\
+         {body}\n}}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl must parse")
+}
