@@ -16,4 +16,10 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== cargo test --doc =="
+cargo test --workspace --doc -q
+
+echo "== serving_trace example (lifecycle/counter export end-to-end) =="
+cargo run --release -p skip-suite --example serving_trace
+
 echo "CI OK"

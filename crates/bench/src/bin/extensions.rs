@@ -3,6 +3,7 @@
 //! suite.
 use skip_bench::experiments::{
     ablations, decode, energy, fusion_applied, future_workloads, kv_capacity, seqlen, serving,
+    serving_observability,
 };
 
 fn main() {
@@ -12,6 +13,10 @@ fn main() {
     println!("{}", future_workloads::render_all());
     println!("{}", energy::render(&energy::run()));
     println!("{}", serving::render(&serving::run()));
+    println!(
+        "{}",
+        serving_observability::render(&serving_observability::run())
+    );
     println!("{}", seqlen::render(&seqlen::run()));
     println!("{}", kv_capacity::render(&kv_capacity::run()));
 }

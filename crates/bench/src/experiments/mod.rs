@@ -22,6 +22,7 @@
 //! | [`future_workloads`] | §VI workload scope: DLRM and GCN characterization |
 //! | [`energy`] | joules-per-request across coupling paradigms (Table IV envelopes) |
 //! | [`serving`] | online serving: load vs p95 TTFT, static vs continuous batching |
+//! | [`serving_observability`] | SLO attainment & goodput vs load from lifecycle-traced serving |
 //! | [`seqlen`] | sequence-length sensitivity: the Fig. 6 transition along the seq axis |
 //! | [`kv_capacity`] | paged-KV capacity: load × model × block budget, coupling-aware offload |
 
@@ -40,5 +41,6 @@ pub mod future_workloads;
 pub mod kv_capacity;
 pub mod seqlen;
 pub mod serving;
+pub mod serving_observability;
 pub mod table1;
 pub mod table5;

@@ -13,7 +13,7 @@
 use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
-use skip_serve::{simulate, Policy, ServingConfig, ServingReport};
+use skip_serve::{simulate, Policy, ServingConfig, ServingReport, SloTargets};
 
 use crate::TextTable;
 
@@ -44,6 +44,7 @@ fn run_one(platform: &Platform, policy: Policy, load: f64) -> ServingRow {
         new_tokens: 8,
         seed: 2026,
         kv: None,
+        slo: SloTargets::default(),
     });
     ServingRow {
         platform: platform.name.clone(),

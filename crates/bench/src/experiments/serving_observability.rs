@@ -1,0 +1,174 @@
+//! **Extension** — serving-floor observability: SLO attainment and goodput
+//! vs offered load, scored from the lifecycle-traced serving loop.
+//!
+//! The serving extension reports tail latency; this one scores the same
+//! endpoint the way an operator would — against an explicit SLO (§II-A's
+//! ~200 ms interactive target) — using the per-request lifecycle records
+//! from `skip_serve::simulate_traced`. Attainment and goodput come straight
+//! from the recorded arrival→first-token→completion transitions, and every
+//! run is audited against the counter conservation law (admitted =
+//! completed + running + parked at every iteration boundary), which is
+//! exactly the invariant the pre-fix flush-timer bug violated in spirit:
+//! requests silently aging in the queue while the timer slid.
+
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::zoo;
+use skip_serve::{simulate_traced, Policy, ServingConfig, ServingReport, ServingTrace, SloTargets};
+
+use crate::TextTable;
+
+/// Offered loads swept, requests/second.
+pub const LOADS: [f64; 4] = [5.0, 20.0, 50.0, 100.0];
+
+/// The interactive-serving TTFT target (§II-A frames ~200 ms SLOs).
+pub const SLO_TTFT_MS: u64 = 200;
+
+/// End-to-end target: first token plus a comfortable decode allowance.
+pub const SLO_E2E_MS: u64 = 1000;
+
+/// Requests per simulation.
+pub const REQUESTS: u32 = 120;
+
+/// One observed serving point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservabilityRow {
+    /// Platform name.
+    pub platform: String,
+    /// Offered load, req/s.
+    pub load: f64,
+    /// Scalar report (including the SLO block).
+    pub report: ServingReport,
+    /// The full lifecycle/counter recording behind it.
+    pub trace: ServingTrace,
+}
+
+fn targets() -> SloTargets {
+    SloTargets {
+        ttft: Some(SimDuration::from_millis(SLO_TTFT_MS)),
+        e2e: Some(SimDuration::from_millis(SLO_E2E_MS)),
+    }
+}
+
+fn run_one(platform: &Platform, load: f64) -> ObservabilityRow {
+    let (report, trace) = simulate_traced(
+        &ServingConfig {
+            platform: platform.clone(),
+            model: zoo::gpt2(),
+            policy: Policy::Continuous { max_batch: 16 },
+            requests: REQUESTS,
+            arrival_rate_per_s: load,
+            prompt_len: 128,
+            new_tokens: 8,
+            seed: 2026,
+            kv: None,
+            slo: targets(),
+        },
+        1,
+    );
+    ObservabilityRow {
+        platform: platform.name.clone(),
+        load,
+        report,
+        trace,
+    }
+}
+
+/// Runs the SLO sweep over the paper trio.
+#[must_use]
+pub fn run() -> Vec<ObservabilityRow> {
+    let mut out = Vec::new();
+    for platform in Platform::paper_trio() {
+        for load in LOADS {
+            out.push(run_one(&platform, load));
+        }
+    }
+    out
+}
+
+/// Renders the attainment/goodput panel.
+#[must_use]
+pub fn render(rows: &[ObservabilityRow]) -> String {
+    let mut out = format!(
+        "Serving observability: GPT2 endpoint, TTFT<={SLO_TTFT_MS}ms & e2e<={SLO_E2E_MS}ms, \
+         attainment% (goodput req/s) vs offered load\n\n"
+    );
+    let mut t = TextTable::new(vec!["load", "amd_a100", "intel_h100", "gh200"]);
+    for load in LOADS {
+        let cell = |p: &str| {
+            let r = rows
+                .iter()
+                .find(|r| r.platform == p && r.load == load)
+                .expect("row");
+            let slo = &r.report.slo;
+            format!(
+                "{:.0}% ({:.1})",
+                100.0 * f64::from(slo.slo_completions) / f64::from(slo.completed.max(1)),
+                slo.goodput_req_s
+            )
+        };
+        t.row(vec![
+            format!("{load:.0}"),
+            cell("amd_a100"),
+            cell("intel_h100"),
+            cell("gh200"),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attainment(rows: &[ObservabilityRow], platform: &str, load: f64) -> f64 {
+        let r = rows
+            .iter()
+            .find(|r| r.platform == platform && r.load == load)
+            .expect("row");
+        f64::from(r.report.slo.slo_completions) / f64::from(r.report.slo.completed.max(1))
+    }
+
+    #[test]
+    fn every_run_completes_and_conserves() {
+        for r in run() {
+            assert_eq!(r.report.completed, REQUESTS, "{}@{}", r.platform, r.load);
+            assert!(
+                r.trace.conserves_requests(),
+                "conservation violated on {}@{}",
+                r.platform,
+                r.load
+            );
+            assert_eq!(r.trace.lifecycles.len() as u32, REQUESTS);
+        }
+    }
+
+    #[test]
+    fn attainment_degrades_under_load() {
+        let rows = run();
+        for p in ["amd_a100", "intel_h100", "gh200"] {
+            assert!(
+                attainment(&rows, p, 100.0) <= attainment(&rows, p, 5.0),
+                "{p}"
+            );
+        }
+    }
+
+    #[test]
+    fn goodput_never_exceeds_throughput() {
+        // goodput counts only SLO-meeting completions; it can never beat
+        // the raw request throughput over the same makespan.
+        for r in run() {
+            let tput_req_s = r.report.throughput_tok_s / 8.0;
+            assert!(
+                r.report.slo.goodput_req_s <= tput_req_s + 1e-9,
+                "{}@{}: goodput {} vs throughput {}",
+                r.platform,
+                r.load,
+                r.report.slo.goodput_req_s,
+                tput_req_s
+            );
+        }
+    }
+}

@@ -50,6 +50,27 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     sorted[rank.saturating_sub(1)]
 }
 
+/// Fraction of `samples` at or below `threshold` — SLO attainment.
+///
+/// An empty slice attains vacuously (`1.0`): no sample violated the
+/// threshold.
+///
+/// # Example
+///
+/// ```
+/// let lat = [80.0, 120.0, 95.0, 400.0];
+/// assert_eq!(skip_des::attainment(&lat, 100.0), 0.5);
+/// assert_eq!(skip_des::attainment(&lat, 400.0), 1.0);
+/// assert_eq!(skip_des::attainment(&[], 1.0), 1.0);
+/// ```
+#[must_use]
+pub fn attainment(samples: &[f64], threshold: f64) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    samples.iter().filter(|&&s| s <= threshold).count() as f64 / samples.len() as f64
+}
+
 /// A five-number-ish summary of a sample set.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Summary {
@@ -136,5 +157,13 @@ mod tests {
     #[test]
     fn summary_of_empty_is_default() {
         assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    #[test]
+    fn attainment_is_inclusive_and_vacuous_on_empty() {
+        assert_eq!(attainment(&[1.0, 2.0, 3.0, 4.0], 2.0), 0.5);
+        assert_eq!(attainment(&[1.0], 1.0), 1.0, "threshold is inclusive");
+        assert_eq!(attainment(&[2.0], 1.0), 0.0);
+        assert_eq!(attainment(&[], 0.0), 1.0);
     }
 }

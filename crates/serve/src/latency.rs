@@ -3,8 +3,12 @@
 //! A serving simulation executes thousands of scheduler iterations; running
 //! the full operator-graph simulation for each would be wasteful when the
 //! result is fully determined by (phase, batch size, context length). This
-//! model buckets context lengths to powers of two and memoizes engine runs
-//! per (phase, batch, bucket).
+//! model memoizes engine runs at power-of-two context lengths and prices an
+//! arbitrary length by interpolating linearly between the two surrounding
+//! memoized runs, so the charged latency is monotone in the actual length
+//! instead of jumping to the next bucket's price (a 520-token prompt used
+//! to be charged as 1024 tokens — up to ~2× TTFT error that also corrupted
+//! the recompute-vs-swap break-even of the offload policy).
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -58,29 +62,28 @@ impl LatencyModel {
     }
 
     /// Latency of a prefill pass over `prompt_len` tokens at `batch`.
+    ///
+    /// Interpolated between the surrounding power-of-two engine runs, so
+    /// the price is monotone in `prompt_len` (exact at powers of two).
     #[must_use]
     pub fn prefill(&self, batch: u32, prompt_len: u32) -> SimDuration {
-        self.cached(0, batch, bucket(prompt_len), || {
-            Workload::new(
-                self.model.clone(),
-                Phase::Prefill,
-                batch,
-                bucket(prompt_len),
-            )
+        self.interpolated(0, batch, prompt_len, |len| {
+            Workload::new(self.model.clone(), Phase::Prefill, batch, len)
         })
     }
 
     /// Latency of one decode step at `batch` with `ctx` cached tokens.
+    ///
+    /// Interpolated between the surrounding power-of-two engine runs, so
+    /// the price is monotone in `ctx` (exact at powers of two).
     #[must_use]
     pub fn decode_step(&self, batch: u32, ctx: u32) -> SimDuration {
-        self.cached(1, batch, bucket(ctx), || {
+        self.interpolated(1, batch, ctx, |len| {
             Workload::new(
                 self.model.clone(),
-                Phase::DecodeStep {
-                    past_len: bucket(ctx),
-                },
+                Phase::DecodeStep { past_len: len },
                 batch,
-                bucket(ctx),
+                len,
             )
         })
     }
@@ -91,7 +94,29 @@ impl LatencyModel {
         self.cache.borrow().len()
     }
 
-    fn cached<F: FnOnce() -> Workload>(
+    /// Prices `len` by linear interpolation between the memoized engine
+    /// runs at the surrounding powers of two (one run when `len` is itself
+    /// a power of two).
+    fn interpolated<F: Fn(u32) -> Workload>(
+        &self,
+        phase: u8,
+        batch: u32,
+        len: u32,
+        wl: F,
+    ) -> SimDuration {
+        let len = len.max(1);
+        let hi = bucket(len);
+        if hi == len {
+            return self.cached(phase, batch, hi, &wl);
+        }
+        let lo = hi / 2;
+        let d_lo = self.cached(phase, batch, lo, &wl).as_nanos_f64();
+        let d_hi = self.cached(phase, batch, hi, &wl).as_nanos_f64();
+        let frac = f64::from(len - lo) / f64::from(hi - lo);
+        SimDuration::from_nanos_f64(d_lo + (d_hi - d_lo) * frac)
+    }
+
+    fn cached<F: Fn(u32) -> Workload>(
         &self,
         phase: u8,
         batch: u32,
@@ -102,7 +127,7 @@ impl LatencyModel {
         if let Some(&d) = self.cache.borrow().get(&key) {
             return d;
         }
-        let d = latency(&self.engine.run(&wl(), ExecMode::Eager));
+        let d = latency(&self.engine.run(&wl(len), ExecMode::Eager));
         self.cache.borrow_mut().insert(key, d);
         d
     }
@@ -116,13 +141,46 @@ mod tests {
     #[test]
     fn memoization_hits_after_first_run() {
         let m = LatencyModel::new(Platform::intel_h100(), zoo::gpt2());
-        let a = m.prefill(2, 100); // buckets to 128
+        let a = m.prefill(2, 128); // exact power of two: one engine run
         assert_eq!(m.cache_entries(), 1);
-        let b = m.prefill(2, 128);
-        assert_eq!(m.cache_entries(), 1, "bucketed to the same entry");
-        assert_eq!(a, b);
+        let b = m.prefill(2, 100); // interpolates between 64 and 128
+        assert_eq!(m.cache_entries(), 2, "only the 64-run is new");
+        assert!(b < a, "interpolated 100 must undercut the 128 run");
+        let c = m.prefill(2, 100);
+        assert_eq!(m.cache_entries(), 2, "repeat lengths hit the memo");
+        assert_eq!(b, c);
         let _ = m.decode_step(2, 128);
-        assert_eq!(m.cache_entries(), 2);
+        assert_eq!(m.cache_entries(), 3);
+    }
+
+    /// Regression test for the power-of-two overcharge: a 520-token prompt
+    /// used to be priced as a 1024-token one. The charge must now sit
+    /// strictly between the surrounding bucket runs and be monotone in the
+    /// actual prompt length.
+    #[test]
+    fn charged_latency_is_monotone_in_prompt_length() {
+        let m = LatencyModel::new(Platform::intel_h100(), zoo::gpt2());
+        let at_512 = m.prefill(1, 512);
+        let at_520 = m.prefill(1, 520);
+        let at_1024 = m.prefill(1, 1024);
+        assert!(
+            at_520 > at_512 && at_520 < at_1024,
+            "520 tokens must price between the 512 and 1024 runs, \
+             got {at_512} / {at_520} / {at_1024}"
+        );
+        let lens = [1u32, 37, 64, 100, 128, 129, 200, 512, 520, 900, 1024];
+        let mut prev = SimDuration::ZERO;
+        for len in lens {
+            let d = m.prefill(1, len);
+            assert!(d >= prev, "prefill({len}) = {d} undercuts {prev}");
+            prev = d;
+        }
+        let mut prev = SimDuration::ZERO;
+        for len in lens {
+            let d = m.decode_step(1, len);
+            assert!(d >= prev, "decode_step({len}) = {d} undercuts {prev}");
+            prev = d;
+        }
     }
 
     #[test]

@@ -24,39 +24,62 @@
 //!   request, resolving each victim by recompute or coupling-priced
 //!   swap-to-host.
 //! * [`simulate`] — the discrete-event serving loop, returning a
-//!   [`ServingReport`] of latency percentiles, throughput, and memory-
-//!   pressure counters.
+//!   [`ServingReport`] of latency percentiles, throughput, memory-pressure
+//!   counters, and SLO attainment.
+//! * [`simulate_traced`] — the same loop, additionally returning the full
+//!   [`ServingTrace`] observability recording: per-request lifecycle
+//!   records, counter tracks sampled at iteration boundaries, all
+//!   exportable to the Perfetto/Chrome timeline via `skip-trace`.
 //!
 //! # Example
 //!
 //! ```
+//! use skip_des::SimDuration;
 //! use skip_hw::Platform;
 //! use skip_llm::zoo;
-//! use skip_serve::{simulate, Policy, ServingConfig};
+//! use skip_serve::{simulate_traced, Policy, ServingConfig, SloTargets};
 //!
-//! let report = simulate(&ServingConfig {
-//!     platform: Platform::gh200(),
-//!     model: zoo::gpt2(),
-//!     policy: Policy::Continuous { max_batch: 16 },
-//!     requests: 40,
-//!     arrival_rate_per_s: 20.0,
-//!     prompt_len: 128,
-//!     new_tokens: 8,
-//!     seed: 7,
-//!     kv: None, // infinite KV cache; Some(..) bounds it
-//! });
+//! let (report, trace) = simulate_traced(
+//!     &ServingConfig {
+//!         platform: Platform::gh200(),
+//!         model: zoo::gpt2(),
+//!         policy: Policy::Continuous { max_batch: 16 },
+//!         requests: 40,
+//!         arrival_rate_per_s: 20.0,
+//!         prompt_len: 128,
+//!         new_tokens: 8,
+//!         seed: 7,
+//!         kv: None, // infinite KV cache; Some(..) bounds it
+//!         slo: SloTargets {
+//!             ttft: Some(SimDuration::from_millis(200)),
+//!             e2e: None,
+//!         },
+//!     },
+//!     1,
+//! );
 //! assert_eq!(report.completed, 40);
 //! assert!(report.ttft_p50.as_millis_f64() > 0.0);
+//! assert!(report.slo.ttft_attainment > 0.0);
+//! assert_eq!(trace.lifecycles.len(), 40);
+//! assert!(trace.conserves_requests());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod latency;
+mod observe;
 mod request;
 mod sim;
 
 pub use latency::LatencyModel;
+pub use observe::{
+    CounterSample, LifecycleEvent, LifecycleKind, RequestLifecycle, ResumeAction, ServingTrace,
+    SloReport, SloTargets,
+};
 pub use request::{Request, RequestStream};
-pub use sim::{simulate, simulate_replicas, KvCacheConfig, Policy, ServingConfig, ServingReport};
+pub use sim::{
+    simulate, simulate_replicas, simulate_traced, KvCacheConfig, Policy, ServingConfig,
+    ServingReport,
+};
 pub use skip_mem::OffloadPolicy;

@@ -6,6 +6,9 @@
 //! appear on CPU thread tracks, kernels on per-stream GPU tracks, each
 //! launch→kernel correlation is drawn as a flow arrow, and (as in PyTorch
 //! exports) the correlation ID is also carried in the event `args`.
+//! Counter samples ([`CounterEvent`]) export as `ph: "C"` events and render
+//! as Perfetto counter tracks — the serving simulator uses them for queue
+//! depth, batch size, and KV-pool occupancy time series.
 //!
 //! [`from_chrome_trace`] parses the format back, which means the SKIP
 //! profiler can consume timestamp-faithful Chrome-trace exports of *real*
@@ -14,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 use skip_des::{SimDuration, SimTime};
 
-use crate::event::{CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
+use crate::event::{CounterEvent, CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
 use crate::ids::{CorrelationId, OpId, StreamId, ThreadId};
 use crate::trace::{Trace, TraceMeta};
 
@@ -23,11 +26,17 @@ use crate::trace::{Trace, TraceMeta};
 const CPU_PID: u32 = 1;
 /// See [`CPU_PID`].
 const GPU_PID: u32 = 2;
+/// Counter tracks live under their own pid so Perfetto groups them apart
+/// from the slice tracks.
+const COUNTER_PID: u32 = 3;
 
 #[derive(Serialize, Deserialize)]
 struct EventArgs {
     #[serde(skip_serializing_if = "Option::is_none")]
     correlation: Option<u64>,
+    /// Counter sample value (`ph: "C"` events only).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    value: Option<f64>,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -70,6 +79,7 @@ impl<'a> ChromeEvent<'a> {
             bp: None,
             args: correlation.map(|c| EventArgs {
                 correlation: Some(c),
+                value: None,
             }),
         }
     }
@@ -151,6 +161,23 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
             args: None,
         });
     }
+    for c in trace.counters() {
+        events.push(ChromeEvent {
+            name: &c.track,
+            cat: "counter",
+            ph: "C",
+            ts: c.at.as_micros_f64(),
+            dur: None,
+            pid: COUNTER_PID,
+            tid: 0,
+            id: None,
+            bp: None,
+            args: Some(EventArgs {
+                correlation: None,
+                value: Some(c.value),
+            }),
+        });
+    }
 
     serde_json::to_string(&events).expect("chrome trace serialization cannot fail")
 }
@@ -166,6 +193,11 @@ pub enum ImportError {
         /// The event's name.
         name: String,
     },
+    /// A counter (`ph: "C"`) event lacked `args.value`.
+    MissingCounterValue {
+        /// The counter track's name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for ImportError {
@@ -175,6 +207,9 @@ impl std::fmt::Display for ImportError {
             ImportError::MissingCorrelation { name } => {
                 write!(f, "event {name} lacks args.correlation")
             }
+            ImportError::MissingCounterValue { name } => {
+                write!(f, "counter event {name} lacks args.value")
+            }
         }
     }
 }
@@ -183,7 +218,9 @@ impl std::error::Error for ImportError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ImportError::Json(e) => Some(e),
-            ImportError::MissingCorrelation { .. } => None,
+            ImportError::MissingCorrelation { .. } | ImportError::MissingCounterValue { .. } => {
+                None
+            }
         }
     }
 }
@@ -200,15 +237,16 @@ fn micros_to_time(us: f64) -> SimTime {
 
 /// Parses a Chrome-trace JSON array (our export format, which mirrors
 /// PyTorch Profiler's `cpu_op` / `cuda_runtime` / `kernel` categories and
-/// `args.correlation`) back into a [`Trace`].
+/// `args.correlation`, plus `ph: "C"` counter samples) back into a
+/// [`Trace`].
 ///
 /// Flow events and unknown categories are skipped; operator IDs are
 /// regenerated in event order. Timestamps are rounded to the nanosecond.
 ///
 /// # Errors
 ///
-/// Returns [`ImportError`] on malformed JSON or on runtime/kernel events
-/// without a correlation ID.
+/// Returns [`ImportError`] on malformed JSON, on runtime/kernel events
+/// without a correlation ID, or on counter events without a value.
 ///
 /// # Example
 ///
@@ -241,8 +279,23 @@ pub fn from_chrome_trace(json: &str) -> Result<Trace, ImportError> {
     let mut trace = Trace::new(TraceMeta::default());
     let mut next_op = 0u64;
     for ev in raw {
+        if ev.ph == "C" {
+            let value =
+                ev.args
+                    .as_ref()
+                    .and_then(|a| a.value)
+                    .ok_or(ImportError::MissingCounterValue {
+                        name: ev.name.clone(),
+                    })?;
+            trace.push_counter(CounterEvent {
+                track: ev.name,
+                at: micros_to_time(ev.ts),
+                value,
+            });
+            continue;
+        }
         if ev.ph != "X" {
-            continue; // flows, counters, metadata
+            continue; // flows, metadata
         }
         let begin = micros_to_time(ev.ts);
         let end = begin + SimDuration::from_nanos_f64(ev.dur * 1e3);
@@ -371,6 +424,38 @@ mod tests {
     fn empty_trace_exports_empty_array() {
         assert_eq!(to_chrome_trace(&Trace::default()), "[]");
         assert!(from_chrome_trace("[]").unwrap().is_empty());
+    }
+
+    #[test]
+    fn counters_round_trip_as_ph_c_events() {
+        let mut t = sample();
+        t.push_counter(CounterEvent {
+            track: "queue_depth".into(),
+            at: SimTime::from_nanos(1_500),
+            value: 4.0,
+        });
+        t.push_counter(CounterEvent {
+            track: "queue_depth".into(),
+            at: SimTime::from_nanos(3_000),
+            value: 2.5,
+        });
+        let json = to_chrome_trace(&t);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"value\":4.0") || json.contains("\"value\":4"));
+        let back = from_chrome_trace(&json).unwrap();
+        assert_eq!(back.counters().len(), 2);
+        assert_eq!(back.counters()[0].track, "queue_depth");
+        assert_eq!(back.counters()[0].at, SimTime::from_nanos(1_500));
+        assert!((back.counters()[1].value - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn import_rejects_counters_without_value() {
+        let json = r#"[{"name":"queue_depth","cat":"counter","ph":"C","ts":1.0,"pid":3,"tid":0}]"#;
+        assert!(matches!(
+            from_chrome_trace(json),
+            Err(ImportError::MissingCounterValue { .. })
+        ));
     }
 
     #[test]

@@ -42,6 +42,22 @@ pub struct RuntimeLaunchEvent {
     pub correlation: CorrelationId,
 }
 
+/// One sample of a named time-series counter (queue depth, pool occupancy,
+/// …), rendered by Perfetto as a counter track.
+///
+/// Counters are instantaneous: each event pins `track` to `value` at `at`
+/// until the next sample on the same track. They carry no thread/stream —
+/// a counter track is global to the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEvent {
+    /// Counter track name, e.g. `"queue_depth"`.
+    pub track: String,
+    /// Sample instant.
+    pub at: SimTime,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// A kernel execution on a GPU stream.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KernelEvent {

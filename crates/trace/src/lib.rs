@@ -58,6 +58,6 @@ mod event;
 mod ids;
 mod trace;
 
-pub use event::{CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
+pub use event::{CounterEvent, CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
 pub use ids::{CorrelationId, OpId, StreamId, ThreadId};
 pub use trace::{Trace, TraceError, TraceMeta};

@@ -7,7 +7,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 use skip_des::{SimDuration, SimTime};
 
-use crate::event::{CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
+use crate::event::{CounterEvent, CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
 use crate::ids::{CorrelationId, StreamId};
 
 /// Descriptive metadata attached to a trace: which workload, which platform,
@@ -50,6 +50,11 @@ pub enum TraceError {
         /// The stream on which the overlap occurred.
         stream: StreamId,
     },
+    /// A counter sample holds a NaN or infinite value.
+    NonFiniteCounter {
+        /// The counter track the bad sample belongs to.
+        track: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -73,6 +78,9 @@ impl fmt::Display for TraceError {
             TraceError::StreamOverlap { stream } => {
                 write!(f, "overlapping kernels on {stream}")
             }
+            TraceError::NonFiniteCounter { track } => {
+                write!(f, "counter track {track} holds a non-finite sample")
+            }
         }
     }
 }
@@ -91,6 +99,9 @@ pub struct Trace {
     cpu_ops: Vec<CpuOpEvent>,
     launches: Vec<RuntimeLaunchEvent>,
     kernels: Vec<KernelEvent>,
+    /// Absent from traces serialized before counter support existed.
+    #[serde(default)]
+    counters: Vec<CounterEvent>,
 }
 
 impl Trace {
@@ -142,13 +153,25 @@ impl Trace {
         self.kernels.push(ev);
     }
 
+    /// Counter samples in insertion order.
+    #[must_use]
+    pub fn counters(&self) -> &[CounterEvent] {
+        &self.counters
+    }
+
+    /// Appends a counter sample.
+    pub fn push_counter(&mut self, ev: CounterEvent) {
+        self.counters.push(ev);
+    }
+
     /// Earliest begin timestamp across all events, or `None` if empty.
     #[must_use]
     pub fn first_timestamp(&self) -> Option<SimTime> {
         let ops = self.cpu_ops.iter().map(|e| e.begin);
         let ls = self.launches.iter().map(|e| e.begin);
         let ks = self.kernels.iter().map(|e| e.begin);
-        ops.chain(ls).chain(ks).min()
+        let cs = self.counters.iter().map(|e| e.at);
+        ops.chain(ls).chain(ks).chain(cs).min()
     }
 
     /// Latest end timestamp across all events, or `None` if empty.
@@ -157,7 +180,8 @@ impl Trace {
         let ops = self.cpu_ops.iter().map(|e| e.end);
         let ls = self.launches.iter().map(|e| e.end);
         let ks = self.kernels.iter().map(|e| e.end);
-        ops.chain(ls).chain(ks).max()
+        let cs = self.counters.iter().map(|e| e.at);
+        ops.chain(ls).chain(ks).chain(cs).max()
     }
 
     /// Wall-clock span of the trace (last end − first begin).
@@ -172,7 +196,7 @@ impl Trace {
     /// Total number of events of all kinds.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.cpu_ops.len() + self.launches.len() + self.kernels.len()
+        self.cpu_ops.len() + self.launches.len() + self.kernels.len() + self.counters.len()
     }
 
     /// `true` if the trace holds no events.
@@ -256,6 +280,13 @@ impl Trace {
                 if w[1].begin < w[0].end {
                     return Err(TraceError::StreamOverlap { stream });
                 }
+            }
+        }
+        for c in &self.counters {
+            if !c.value.is_finite() {
+                return Err(TraceError::NonFiniteCounter {
+                    track: c.track.clone(),
+                });
             }
         }
         Ok(())
@@ -431,6 +462,49 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn counters_extend_span_and_len() {
+        let mut t = sample_trace();
+        let before = t.len();
+        t.push_counter(CounterEvent {
+            track: "queue_depth".into(),
+            at: ns(500),
+            value: 3.0,
+        });
+        t.validate().unwrap();
+        assert_eq!(t.len(), before + 1);
+        assert_eq!(t.counters().len(), 1);
+        assert_eq!(t.last_timestamp(), Some(ns(500)));
+    }
+
+    #[test]
+    fn non_finite_counter_rejected() {
+        let mut t = Trace::default();
+        t.push_counter(CounterEvent {
+            track: "bad".into(),
+            at: ns(0),
+            value: f64::NAN,
+        });
+        assert_eq!(
+            t.validate(),
+            Err(TraceError::NonFiniteCounter {
+                track: "bad".into()
+            })
+        );
+    }
+
+    #[test]
+    fn pre_counter_serialization_still_parses() {
+        // Traces written before counter support lack the field entirely.
+        let t: Trace = serde_json::from_str(
+            r#"{"meta":{"model":"","platform":"","exec_mode":"","phase":"",
+                 "batch_size":0,"seq_len":0},
+                "cpu_ops":[],"launches":[],"kernels":[]}"#,
+        )
+        .unwrap();
+        assert!(t.counters().is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
-use skip_serve::{simulate, Policy, ServingConfig};
+use skip_serve::{simulate, Policy, ServingConfig, SloTargets};
 
 const SLO_MS: f64 = 200.0;
 
@@ -27,6 +27,7 @@ fn p95_ms(platform: &Platform, policy: Policy, load: f64) -> f64 {
         new_tokens: 8,
         seed: 99,
         kv: None,
+        slo: SloTargets::default(),
     })
     .ttft_p95
     .as_millis_f64()

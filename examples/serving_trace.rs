@@ -1,0 +1,93 @@
+//! Tracing a serving run down to per-request lifecycles.
+//!
+//! The scalar `ServingReport` tells you *that* tail latency blew up;
+//! the observability layer tells you *why*. This example serves a
+//! Llama-2-7B endpoint under KV-cache pressure, scores it against an SLO,
+//! digs into the recorded lifecycles for the slowest request's
+//! preemption history, and writes the whole run — per-request tracks,
+//! preempt→resume flow arrows, queue/KV counter tracks — as a Chrome
+//! trace for https://ui.perfetto.dev.
+//!
+//! Run with: `cargo run --release -p skip-suite --example serving_trace`
+
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::zoo;
+use skip_mem::{KvSpec, OffloadPolicy};
+use skip_serve::{simulate_traced, KvCacheConfig, Policy, ServingConfig, SloTargets};
+use skip_trace::chrome;
+
+fn main() {
+    let model = zoo::llama2_7b();
+    // A pool two blocks short of two full request lifetimes: admission
+    // overcommits, decode growth forces preemptions, and the offload
+    // policy prices each eviction over the platform's interconnect.
+    let spec = KvSpec::for_model(&model, KvSpec::DEFAULT_BLOCK_TOKENS);
+    let full = spec.blocks_for(1024 + 128);
+    let cfg = ServingConfig {
+        platform: Platform::gh200(),
+        model,
+        policy: Policy::Continuous { max_batch: 4 },
+        requests: 12,
+        arrival_rate_per_s: 50.0,
+        prompt_len: 1024,
+        new_tokens: 128,
+        seed: 7,
+        kv: Some(KvCacheConfig::with_blocks(
+            full * 2 - 2,
+            OffloadPolicy::Auto,
+        )),
+        slo: SloTargets {
+            ttft: Some(SimDuration::from_millis(200)),
+            e2e: Some(SimDuration::from_secs(20)),
+        },
+    };
+
+    let (report, trace) = simulate_traced(&cfg, 1);
+    println!(
+        "== {} on {} | KV pool {} blocks | {} req/s ==",
+        cfg.model.name,
+        cfg.platform.name,
+        full * 2 - 2,
+        cfg.arrival_rate_per_s
+    );
+    println!(
+        "completed {} | TTFT p95 {} | e2e p95 {} | {} preemptions",
+        report.completed, report.ttft_p95, report.e2e_p95, report.preemptions
+    );
+    println!(
+        "SLO: ttft attainment {:.0}% | e2e attainment {:.0}% | goodput {:.2} req/s",
+        report.slo.ttft_attainment * 100.0,
+        report.slo.e2e_attainment * 100.0,
+        report.slo.goodput_req_s
+    );
+    assert!(trace.conserves_requests(), "counter conservation must hold");
+
+    // The worst request, explained from its lifecycle record.
+    let worst = trace
+        .lifecycles
+        .iter()
+        .max_by_key(|lc| lc.e2e().unwrap_or(SimDuration::ZERO))
+        .expect("at least one request");
+    println!(
+        "\nslowest request #{}: e2e {}, ttft {}, {} preemption(s)",
+        worst.id,
+        worst.e2e().expect("completed"),
+        worst.ttft().expect("completed"),
+        worst.preemptions()
+    );
+    for ev in &worst.events {
+        println!("  {:>12}  {:?}", format!("{}", ev.at), ev.kind);
+    }
+
+    let out = "target/serving_trace.json";
+    let exported = trace.to_trace();
+    exported.validate().expect("exported trace must validate");
+    std::fs::write(out, chrome::to_chrome_trace(&exported)).expect("write trace");
+    println!(
+        "\nwrote {out} ({} events) — load it in https://ui.perfetto.dev:\n\
+         one track per request, flow arrows from each preemption to its\n\
+         resume, and counter tracks for queue depth / KV occupancy.",
+        exported.len()
+    );
+}

@@ -13,12 +13,15 @@ use std::error::Error;
 use std::process::ExitCode;
 
 use skip_core::{attribute_to_operators, classify_sweep, top_kernels, ProfileReport, SweepPoint};
+use skip_des::SimDuration;
 use skip_fusion::{recommend, FusionAnalysis};
 use skip_hw::Platform;
 use skip_llm::{zoo, ModelConfig, Phase, Workload};
 use skip_mem::KvSpec;
 use skip_runtime::{CompileMode, Engine, ExecMode};
-use skip_serve::{simulate_replicas, KvCacheConfig, OffloadPolicy, Policy, ServingConfig};
+use skip_serve::{
+    simulate_traced, KvCacheConfig, OffloadPolicy, Policy, ServingConfig, SloTargets,
+};
 use skip_trace::chrome;
 
 const USAGE: &str = "\
@@ -31,6 +34,7 @@ USAGE:
     skip generate --model <id> [--platform <id>] [--batch N] [--seq N] [--tokens N]
     skip serve    --model <id> [--platform <id>] [--qps R] [--requests N] [--max-batch N] [--replicas N]
                   [--seq N] [--tokens N] [--kv-blocks N] [--offload recompute|swap|auto]
+                  [--trace-out FILE] [--slo-ttft-ms T] [--slo-e2e-ms T]
     skip models
     skip platforms
 
@@ -260,6 +264,20 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         .map_or(Ok(OffloadPolicy::Auto), |v| OffloadPolicy::parse(v))?;
     let prompt_len = get_u32(flags, "seq", 128)?;
     let new_tokens = get_u32(flags, "tokens", 8)?;
+    let slo_ms = |key: &str| -> Result<Option<SimDuration>, String> {
+        flags
+            .get(key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map(|ms| SimDuration::from_nanos_f64(ms * 1e6))
+                    .map_err(|_| format!("--{key}: bad number '{v}'"))
+            })
+            .transpose()
+    };
+    let slo = SloTargets {
+        ttft: slo_ms("slo-ttft-ms")?,
+        e2e: slo_ms("slo-e2e-ms")?,
+    };
     // --kv-blocks 0 (the default) models an infinite KV cache.
     let kv = match get_u32(flags, "kv-blocks", 0)? {
         0 => None,
@@ -282,7 +300,7 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         }
     }
 
-    let report = simulate_replicas(
+    let (report, strace) = simulate_traced(
         &ServingConfig {
             platform: platform.clone(),
             model: model.clone(),
@@ -293,6 +311,7 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
             new_tokens,
             seed: 2026,
             kv,
+            slo,
         },
         replicas,
     );
@@ -320,6 +339,34 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
             report.swapped_bytes as f64 / 1e6,
             report.recomputed_tokens,
             report.kv_peak_occupancy * 100.0
+        );
+    }
+    if slo.is_set() {
+        let target = |t: Option<SimDuration>| {
+            t.map_or_else(|| "-".to_owned(), |t| format!("{:.0}ms", t.as_millis_f64()))
+        };
+        println!(
+            "SLO          : ttft<={} {:.1}% | e2e<={} {:.1}% | {} / {} in SLO",
+            target(slo.ttft),
+            report.slo.ttft_attainment * 100.0,
+            target(slo.e2e),
+            report.slo.e2e_attainment * 100.0,
+            report.slo.slo_completions,
+            report.completed
+        );
+        println!(
+            "goodput      : {:.2} req/s | {:.0} tokens/s under SLO",
+            report.slo.goodput_req_s, report.slo.goodput_tok_s
+        );
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let trace = strace.to_trace();
+        trace.validate()?;
+        std::fs::write(path, chrome::to_chrome_trace(&trace))?;
+        println!(
+            "wrote serving trace to {path} ({} requests, {} counter samples) — open in https://ui.perfetto.dev",
+            strace.lifecycles.len(),
+            strace.samples.len()
         );
     }
     Ok(())
