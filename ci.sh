@@ -22,4 +22,11 @@ cargo test --workspace --doc -q
 echo "== serving_trace example (lifecycle/counter export end-to-end) =="
 cargo run --release -p skip-suite --example serving_trace
 
+echo "== parallel determinism (byte-identical renders at any --threads) =="
+cargo test --release --test parallel_determinism -q
+
+echo "== perf suite (writes BENCH_SUITE.json; >2x regression gate) =="
+cargo run --release -p skip-bench --bin perf -- --baseline BENCH_BASELINE.json
+test -s BENCH_SUITE.json || { echo "BENCH_SUITE.json missing"; exit 1; }
+
 echo "CI OK"

@@ -7,6 +7,7 @@ use skip_bench::experiments::{
 };
 
 fn main() {
+    skip_bench::harness::init_from_args();
     println!("{}", fusion_applied::render(&fusion_applied::run()));
     println!("{}", decode::render(&decode::run()));
     println!("{}", ablations::render_all());

@@ -1,0 +1,226 @@
+//! Performance runner: times the canonical workloads and writes
+//! `BENCH_SUITE.json`.
+//!
+//! Workloads timed (wall clock, one process):
+//!
+//! * `profile_big_trace` — engine runs + full SKIP analysis (depgraph,
+//!   metrics, attribution) across the BERT batch sweep on Intel+H100: the
+//!   allocation-lean interned-trace hot path.
+//! * `fig10_sweep_serial` / `fig10_sweep_parallel` — the Fig. 10 BERT
+//!   sweep at `--threads 1` vs the configured worker count: the
+//!   deterministic fan-out harness' speedup on the multi-experiment path.
+//! * `serving_sim` — the serving extension sweep (30 discrete-event
+//!   simulations).
+//! * `fusion_recommend` — chain extraction + recommendation over a GPT2
+//!   prefill trace, iterated for a stable reading.
+//!
+//! Flags: `--threads N` (parallel worker count; default = harness
+//! resolution), `--out PATH` (default `BENCH_SUITE.json`), `--baseline
+//! PATH` (compare against a committed baseline and exit non-zero if any
+//! workload regresses more than 2x).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use skip_bench::experiments::{fig10, serving};
+use skip_bench::harness;
+use skip_core::ProfileReport;
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::{Engine, ExecMode};
+
+/// One timed workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchEntry {
+    /// Workload name.
+    name: String,
+    /// Wall-clock time, milliseconds.
+    wall_ms: f64,
+    /// Simulated trace events processed per second, where meaningful.
+    events_per_s: Option<f64>,
+    /// Process peak RSS after the workload, KiB (`/proc/self/status`).
+    peak_rss_kb: Option<u64>,
+}
+
+/// The whole suite, as written to `BENCH_SUITE.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchSuite {
+    /// Parallel worker count the `*_parallel` entries ran with.
+    threads: usize,
+    /// One entry per workload.
+    entries: Vec<BenchEntry>,
+}
+
+/// Peak resident set size in KiB, if the platform exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Times `work`, which reports how many trace events it processed.
+fn timed(name: &str, work: impl FnOnce() -> Option<u64>) -> BenchEntry {
+    let start = Instant::now();
+    let events = work();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let entry = BenchEntry {
+        name: name.to_owned(),
+        wall_ms,
+        events_per_s: events.map(|e| e as f64 / (wall_ms / 1e3)),
+        peak_rss_kb: peak_rss_kb(),
+    };
+    let eps = entry
+        .events_per_s
+        .map_or(String::new(), |e| format!("  ({e:.0} events/s)"));
+    println!("{name}: {wall_ms:.1} ms{eps}");
+    entry
+}
+
+/// Iterations for the sub-10ms workloads, for stable wall readings.
+const ITERS: u64 = 20;
+
+fn profile_big_trace() -> Option<u64> {
+    let engine = Engine::new(Platform::intel_h100());
+    let mut events = 0u64;
+    for _ in 0..ITERS {
+        for &bs in &skip_bench::BATCH_SWEEP {
+            let wl = Workload::new(
+                zoo::bert_base_uncased(),
+                Phase::Prefill,
+                bs,
+                skip_bench::SEQ_LEN,
+            );
+            let trace = engine.run(&wl, ExecMode::Eager);
+            events +=
+                (trace.cpu_ops().len() + trace.launches().len() + trace.kernels().len()) as u64;
+            let _ = ProfileReport::analyze(&trace);
+        }
+    }
+    Some(events)
+}
+
+fn fusion_recommend() -> Option<u64> {
+    let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, skip_bench::SEQ_LEN);
+    let trace = Engine::new(Platform::intel_h100()).run(&wl, ExecMode::Eager);
+    let events = trace.kernels().len() as u64;
+    let iters = 500u64;
+    for _ in 0..iters {
+        let _ = skip_fusion::recommend(&trace, 16, 0.8);
+    }
+    Some(events * iters)
+}
+
+fn parse_args() -> (usize, String, Option<String>) {
+    let mut threads = 0usize;
+    let mut out = String::from("BENCH_SUITE.json");
+    let mut baseline = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    (threads, out, baseline)
+}
+
+/// Compares against a committed baseline; returns the names that regressed
+/// more than 2x.
+fn regressions(suite: &BenchSuite, baseline: &BenchSuite) -> Vec<String> {
+    let mut bad = Vec::new();
+    for base in &baseline.entries {
+        if let Some(now) = suite.entries.iter().find(|e| e.name == base.name) {
+            if now.wall_ms > base.wall_ms * 2.0 {
+                bad.push(format!(
+                    "{}: {:.1} ms vs baseline {:.1} ms",
+                    base.name, now.wall_ms, base.wall_ms
+                ));
+            }
+        }
+    }
+    bad
+}
+
+fn main() {
+    let (threads, out, baseline) = parse_args();
+    if threads > 0 {
+        harness::set_threads(threads);
+    }
+    let workers = harness::threads();
+    println!("perf suite: {workers} parallel workers\n");
+
+    let mut entries = Vec::new();
+    entries.push(timed("profile_big_trace", profile_big_trace));
+
+    harness::set_threads(1);
+    entries.push(timed("fig10_sweep_serial", || {
+        for _ in 0..ITERS {
+            let _ = fig10::run();
+        }
+        None
+    }));
+    harness::set_threads(workers);
+    entries.push(timed("fig10_sweep_parallel", || {
+        for _ in 0..ITERS {
+            let _ = fig10::run();
+        }
+        None
+    }));
+
+    entries.push(timed("serving_sim", || {
+        let _ = serving::run();
+        None
+    }));
+    entries.push(timed("fusion_recommend", fusion_recommend));
+
+    let serial = entries
+        .iter()
+        .find(|e| e.name == "fig10_sweep_serial")
+        .expect("serial entry")
+        .wall_ms;
+    let parallel = entries
+        .iter()
+        .find(|e| e.name == "fig10_sweep_parallel")
+        .expect("parallel entry")
+        .wall_ms;
+    println!(
+        "\nfig10 sweep speedup: {:.2}x ({workers} workers)",
+        serial / parallel
+    );
+
+    let suite = BenchSuite {
+        threads: workers,
+        entries,
+    };
+    let json = serde_json::to_string_pretty(&suite).expect("suite serializes");
+    std::fs::write(&out, json + "\n").expect("write BENCH_SUITE.json");
+    println!("wrote {out}");
+
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let base: BenchSuite = serde_json::from_str(&text).expect("baseline parses");
+                let bad = regressions(&suite, &base);
+                if !bad.is_empty() {
+                    eprintln!("PERF REGRESSION (>2x over {path}):");
+                    for b in &bad {
+                        eprintln!("  {b}");
+                    }
+                    std::process::exit(1);
+                }
+                println!("no >2x regression vs {path}");
+            }
+            Err(e) => {
+                eprintln!("baseline {path} unreadable: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -36,83 +36,74 @@ pub struct AblationRow {
 /// the (modified) GH200.
 #[must_use]
 pub fn single_thread_sweep() -> Vec<AblationRow> {
-    [0.36, 0.5, 0.7, 1.0, 1.2]
-        .into_iter()
-        .map(|st| {
-            let mut cpu = Platform::gh200().cpu;
-            cpu.single_thread = st;
-            let p = PlatformBuilder::from(Platform::gh200())
-                .name(format!("gh200_st{st}"))
-                .cpu(cpu)
-                .build();
-            let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, 1, SEQ_LEN);
-            AblationRow {
-                factor: st,
-                response: ttft_ms(&p, &wl, ExecMode::Eager),
-            }
-        })
-        .collect()
+    crate::harness::map(vec![0.36, 0.5, 0.7, 1.0, 1.2], |st| {
+        let mut cpu = Platform::gh200().cpu;
+        cpu.single_thread = st;
+        let p = PlatformBuilder::from(Platform::gh200())
+            .name(format!("gh200_st{st}"))
+            .cpu(cpu)
+            .build();
+        let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, 1, SEQ_LEN);
+        AblationRow {
+            factor: st,
+            response: ttft_ms(&p, &wl, ExecMode::Eager),
+        }
+    })
 }
 
 /// Scales the GH200's HBM bandwidth and reports the Fig. 6 transition
 /// batch for BERT.
 #[must_use]
 pub fn bandwidth_sweep() -> Vec<AblationRow> {
-    [2_000.0, 3_000.0, 4_000.0, 5_300.0]
-        .into_iter()
-        .map(|bw| {
-            let mut gpu = Platform::gh200().gpu;
-            gpu.hbm_gbps = bw;
-            let p = PlatformBuilder::from(Platform::gh200())
-                .name(format!("gh200_bw{bw}"))
-                .gpu(gpu)
-                .build();
-            let engine = Engine::new(p);
-            let points: Vec<SweepPoint> = BATCH_SWEEP
-                .iter()
-                .map(|&bs| {
-                    let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, bs, SEQ_LEN);
-                    SweepPoint {
-                        batch_size: bs,
-                        tklqt: ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager)).tklqt,
-                    }
-                })
-                .collect();
-            let star = classify_sweep(&points)
-                .transition_batch
-                .map_or(f64::from(*BATCH_SWEEP.last().unwrap()) * 2.0, f64::from);
-            AblationRow {
-                factor: bw,
-                response: star,
-            }
-        })
-        .collect()
+    crate::harness::map(vec![2_000.0, 3_000.0, 4_000.0, 5_300.0], |bw| {
+        let mut gpu = Platform::gh200().gpu;
+        gpu.hbm_gbps = bw;
+        let p = PlatformBuilder::from(Platform::gh200())
+            .name(format!("gh200_bw{bw}"))
+            .gpu(gpu)
+            .build();
+        let engine = Engine::new(p);
+        let points: Vec<SweepPoint> = BATCH_SWEEP
+            .iter()
+            .map(|&bs| {
+                let wl = Workload::new(zoo::bert_base_uncased(), Phase::Prefill, bs, SEQ_LEN);
+                SweepPoint {
+                    batch_size: bs,
+                    tklqt: ProfileReport::analyze(&engine.run(&wl, ExecMode::Eager)).tklqt,
+                }
+            })
+            .collect();
+        let star = classify_sweep(&points)
+            .transition_batch
+            .map_or(f64::from(*BATCH_SWEEP.last().unwrap()) * 2.0, f64::from);
+        AblationRow {
+            factor: bw,
+            response: star,
+        }
+    })
 }
 
 /// Scales the Intel+H100 launch overhead (both CPU call and wire latency)
 /// and reports GPT2 batch-1 TTFT.
 #[must_use]
 pub fn launch_overhead_sweep() -> Vec<AblationRow> {
-    [0.5, 1.0, 2.0, 4.0]
-        .into_iter()
-        .map(|scale| {
-            let base = Platform::intel_h100();
-            let mut cpu = base.cpu.clone();
-            cpu.launch_call_ns *= scale;
-            let mut ic = base.interconnect.clone();
-            ic.launch_latency_ns *= scale;
-            let p = PlatformBuilder::from(base)
-                .name(format!("intel_h100_launch{scale}"))
-                .cpu(cpu)
-                .interconnect(ic)
-                .build();
-            let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, SEQ_LEN);
-            AblationRow {
-                factor: scale,
-                response: ttft_ms(&p, &wl, ExecMode::Eager),
-            }
-        })
-        .collect()
+    crate::harness::map(vec![0.5, 1.0, 2.0, 4.0], |scale| {
+        let base = Platform::intel_h100();
+        let mut cpu = base.cpu.clone();
+        cpu.launch_call_ns *= scale;
+        let mut ic = base.interconnect.clone();
+        ic.launch_latency_ns *= scale;
+        let p = PlatformBuilder::from(base)
+            .name(format!("intel_h100_launch{scale}"))
+            .cpu(cpu)
+            .interconnect(ic)
+            .build();
+        let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, SEQ_LEN);
+        AblationRow {
+            factor: scale,
+            response: ttft_ms(&p, &wl, ExecMode::Eager),
+        }
+    })
 }
 
 /// One coupling-comparison row: TTFT per platform at a given batch size.
@@ -131,20 +122,17 @@ pub struct CouplingRow {
 pub fn coupling_comparison() -> Vec<CouplingRow> {
     let mut platforms = Platform::paper_trio();
     platforms.push(Platform::mi300a());
-    platforms
-        .into_iter()
-        .map(|p| {
-            let t = |bs: u32| {
-                let wl = Workload::new(zoo::llama32_1b(), Phase::Prefill, bs, SEQ_LEN);
-                ttft_ms(&p, &wl, ExecMode::Eager)
-            };
-            CouplingRow {
-                platform: p.name.clone(),
-                coupling: p.coupling,
-                ttft_ms: [t(1), t(16), t(64)],
-            }
-        })
-        .collect()
+    crate::harness::map(platforms, |p| {
+        let t = |bs: u32| {
+            let wl = Workload::new(zoo::llama32_1b(), Phase::Prefill, bs, SEQ_LEN);
+            ttft_ms(&p, &wl, ExecMode::Eager)
+        };
+        CouplingRow {
+            platform: p.name.clone(),
+            coupling: p.coupling,
+            ttft_ms: [t(1), t(16), t(64)],
+        }
+    })
 }
 
 /// Runs and renders every ablation.

@@ -30,25 +30,30 @@ pub struct SweepRow {
     pub cpu_idle_ms: f64,
 }
 
-/// Sweeps one model across the paper's batch sizes and platforms.
+/// Sweeps one model across the paper's batch sizes and platforms. Each
+/// (platform, batch) cell is an independent engine run, fanned out across
+/// the [`harness`](crate::harness) workers; row order matches the serial
+/// nested loops.
 #[must_use]
 pub fn sweep_model(model: &ModelConfig) -> Vec<SweepRow> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for platform in Platform::paper_trio() {
         for &bs in &BATCH_SWEEP {
-            let wl = Workload::new(model.clone(), Phase::Prefill, bs, SEQ_LEN);
-            let r = profile(&platform, &wl, ExecMode::Eager);
-            out.push(SweepRow {
-                model: model.name.clone(),
-                platform: platform.name.clone(),
-                batch: bs,
-                ttft_ms: r.inference_latency.as_millis_f64(),
-                gpu_idle_ms: r.gpu_idle.as_millis_f64(),
-                cpu_idle_ms: r.cpu_idle.as_millis_f64(),
-            });
+            cells.push((platform.clone(), bs));
         }
     }
-    out
+    crate::harness::map(cells, |(platform, bs)| {
+        let wl = Workload::new(model.clone(), Phase::Prefill, bs, SEQ_LEN);
+        let r = profile(&platform, &wl, ExecMode::Eager);
+        SweepRow {
+            model: model.name.clone(),
+            platform: platform.name.clone(),
+            batch: bs,
+            ttft_ms: r.inference_latency.as_millis_f64(),
+            gpu_idle_ms: r.gpu_idle.as_millis_f64(),
+            cpu_idle_ms: r.cpu_idle.as_millis_f64(),
+        }
+    })
 }
 
 /// Runs the Fig. 10 experiment (both encoder models).

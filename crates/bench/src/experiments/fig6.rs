@@ -47,16 +47,18 @@ fn sweep(model: &ModelConfig, platform: &Platform) -> TklqtSweep {
     }
 }
 
-/// Runs the Fig. 6 experiment: both encoders × three platforms.
+/// Runs the Fig. 6 experiment: both encoders × three platforms, fanned
+/// out across the [`harness`](crate::harness) workers (results in the
+/// same order as the serial nested loops).
 #[must_use]
 pub fn run() -> Vec<TklqtSweep> {
-    let mut out = Vec::new();
+    let mut pairs = Vec::new();
     for model in [zoo::bert_base_uncased(), zoo::xlm_roberta_base()] {
         for platform in Platform::paper_trio() {
-            out.push(sweep(&model, &platform));
+            pairs.push((model.clone(), platform));
         }
     }
-    out
+    crate::harness::map(pairs, |(model, platform)| sweep(&model, &platform))
 }
 
 /// Renders the paper-style series (one row per batch size, a `*` marking

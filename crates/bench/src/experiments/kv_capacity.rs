@@ -96,20 +96,25 @@ fn run_one(platform: &Platform, model: &ModelConfig, load: f64, budget: u32) -> 
     }
 }
 
-/// Runs the full sweep: model × budget × load × platform.
+/// Runs the full sweep: model × budget × load × platform. Every cell is an
+/// independent simulation, fanned out across the
+/// [`harness`](crate::harness) workers; row order matches the serial
+/// nested loops.
 #[must_use]
 pub fn run() -> Vec<KvCapacityRow> {
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for model in models() {
         for budget in [TIGHT_BLOCKS, ROOMY_BLOCKS] {
             for load in LOADS {
                 for platform in Platform::paper_trio() {
-                    out.push(run_one(&platform, &model, load, budget));
+                    cells.push((model.clone(), budget, load, platform));
                 }
             }
         }
     }
-    out
+    crate::harness::map(cells, |(model, budget, load, platform)| {
+        run_one(&platform, &model, load, budget)
+    })
 }
 
 /// Looks up one row of a sweep result.

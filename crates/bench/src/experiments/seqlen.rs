@@ -56,16 +56,18 @@ fn sweep(model: &ModelConfig, platform: &Platform) -> SeqSweep {
     }
 }
 
-/// Runs the sweep for BERT and Llama-3.2-1B on the three platforms.
+/// Runs the sweep for BERT and Llama-3.2-1B on the three platforms,
+/// fanned out across the [`harness`](crate::harness) workers (results in
+/// the same order as the serial nested loops).
 #[must_use]
 pub fn run() -> Vec<SeqSweep> {
-    let mut out = Vec::new();
+    let mut pairs = Vec::new();
     for model in [zoo::bert_base_uncased(), zoo::llama32_1b()] {
         for platform in Platform::paper_trio() {
-            out.push(sweep(&model, &platform));
+            pairs.push((model.clone(), platform));
         }
     }
-    out
+    crate::harness::map(pairs, |(model, platform)| sweep(&model, &platform))
 }
 
 /// Renders the sweep.

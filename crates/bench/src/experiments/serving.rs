@@ -57,7 +57,10 @@ fn run_one(platform: &Platform, policy: Policy, load: f64) -> ServingRow {
     }
 }
 
-/// Runs the serving sweep.
+/// Runs the serving sweep. Each (platform, policy, load) cell is an
+/// independent simulation, fanned out across the
+/// [`harness`](crate::harness) workers; row order matches the serial
+/// nested loops.
 #[must_use]
 pub fn run() -> Vec<ServingRow> {
     let policies = [
@@ -67,15 +70,17 @@ pub fn run() -> Vec<ServingRow> {
         },
         Policy::Continuous { max_batch: 16 },
     ];
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
     for platform in Platform::paper_trio() {
         for policy in policies {
             for load in LOADS {
-                out.push(run_one(&platform, policy, load));
+                cells.push((platform.clone(), policy, load));
             }
         }
     }
-    out
+    crate::harness::map(cells, |(platform, policy, load)| {
+        run_one(&platform, policy, load)
+    })
 }
 
 /// Renders the load-vs-tail-latency panels.

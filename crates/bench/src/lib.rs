@@ -24,6 +24,7 @@
 
 mod chart;
 pub mod experiments;
+pub mod harness;
 mod table;
 
 pub use chart::AsciiChart;

@@ -1,0 +1,81 @@
+//! Criterion bench pinning the dependency-graph + metrics pipeline at
+//! O(n log n): a synthetic 1M-event trace (ops, launches, kernels across
+//! several threads and streams) built once outside the timed loop, then
+//! analyzed end to end. A quadratic launch-attachment pass — the bug class
+//! this bench guards against — would take minutes here instead of
+//! fractions of a second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skip_core::{DependencyGraph, ProfileReport};
+use skip_des::SimTime;
+use skip_trace::{
+    CorrelationId, CpuOpEvent, KernelEvent, OpId, RuntimeLaunchEvent, StreamId, ThreadId, Trace,
+    TraceMeta,
+};
+use std::hint::black_box;
+
+/// Deterministic LCG so the trace shape is identical run to run.
+fn lcg(state: &mut u64, modulus: u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 33) % modulus
+}
+
+/// Builds a ~1M-event trace: 400k ops, 300k launches, 300k kernels.
+fn million_event_trace() -> Trace {
+    let mut t = Trace::new(TraceMeta::default());
+    let mut state = 0x2545_f491_u64;
+    let names: Vec<_> = (0..64).map(|i| t.intern(&format!("aten::op{i}"))).collect();
+    let launch = t.intern("cudaLaunchKernel");
+    let knames: Vec<_> = (0..64).map(|i| t.intern(&format!("kernel_{i}"))).collect();
+
+    const OPS: u64 = 400_000;
+    const LAUNCHES: u64 = 300_000;
+    for i in 0..OPS {
+        let begin = lcg(&mut state, OPS * 10);
+        let dur = lcg(&mut state, 200);
+        t.push_cpu_op(CpuOpEvent {
+            id: OpId::new(i),
+            name: names[(i % 64) as usize],
+            thread: ThreadId::new((i % 4) as u32),
+            begin: SimTime::from_nanos(begin),
+            end: SimTime::from_nanos(begin + dur),
+        });
+    }
+    for i in 0..LAUNCHES {
+        let begin = lcg(&mut state, OPS * 10);
+        let corr = CorrelationId::new(i);
+        t.push_launch(RuntimeLaunchEvent {
+            name: launch,
+            thread: ThreadId::new((i % 4) as u32),
+            begin: SimTime::from_nanos(begin),
+            end: SimTime::from_nanos(begin + 5),
+            correlation: corr,
+        });
+        let kbegin = begin + 100 + lcg(&mut state, 500);
+        t.push_kernel(KernelEvent {
+            name: knames[(i % 64) as usize],
+            stream: StreamId::new((i % 8) as u32),
+            begin: SimTime::from_nanos(kbegin),
+            end: SimTime::from_nanos(kbegin + 50 + lcg(&mut state, 100)),
+            correlation: corr,
+        });
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = million_event_trace();
+    let mut g = c.benchmark_group("million_events");
+    g.bench_function("depgraph_build", |b| {
+        b.iter(|| black_box(DependencyGraph::build(black_box(&trace))))
+    });
+    g.bench_function("profile_report", |b| {
+        b.iter(|| black_box(ProfileReport::analyze(black_box(&trace))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use skip_des::SimDuration;
-use skip_trace::Trace;
+use skip_trace::{NameId, Trace};
 
 use crate::depgraph::DependencyGraph;
 
@@ -68,7 +68,9 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
         gpu_time: SimDuration,
         lq_time: SimDuration,
     }
-    let mut agg: BTreeMap<String, Acc> = BTreeMap::new();
+    // Aggregate by interned name id (`None` = no containing operator);
+    // names materialize once per aggregate, not once per kernel.
+    let mut agg: BTreeMap<Option<NameId>, Acc> = BTreeMap::new();
 
     for link in graph.launches() {
         let Some(kidx) = link.kernel_idx else {
@@ -79,9 +81,9 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
         let (name, instance) = match link.parent_op {
             Some(op) => {
                 let root = graph.root_ancestor(op);
-                (ops[root].name.clone(), root)
+                (Some(ops[root].name), root)
             }
-            None => ("<no operator>".to_owned(), usize::MAX),
+            None => (None, usize::MAX),
         };
         let acc = agg.entry(name).or_insert_with(|| Acc {
             instances: std::collections::BTreeSet::new(),
@@ -98,7 +100,10 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
     let mut stats: Vec<OpStat> = agg
         .into_iter()
         .map(|(name, a)| OpStat {
-            name,
+            name: match name {
+                Some(id) => trace.name(id).to_owned(),
+                None => "<no operator>".to_owned(),
+            },
             instances: a.instances.len(),
             kernels: a.kernels,
             gpu_time: a.gpu_time,
@@ -130,37 +135,32 @@ mod tests {
     /// and "aten::softmax" (1 kernel).
     fn sample() -> Trace {
         let mut t = Trace::new(TraceMeta::default());
-        t.push_cpu_op(CpuOpEvent {
-            id: OpId::new(0),
-            name: "aten::linear".into(),
-            thread: ThreadId::MAIN,
-            begin: ns(0),
-            end: ns(100),
-        });
-        t.push_cpu_op(CpuOpEvent {
-            id: OpId::new(1),
-            name: "aten::addmm".into(),
-            thread: ThreadId::MAIN,
-            begin: ns(10),
-            end: ns(90),
-        });
-        t.push_cpu_op(CpuOpEvent {
-            id: OpId::new(2),
-            name: "aten::softmax".into(),
-            thread: ThreadId::MAIN,
-            begin: ns(100),
-            end: ns(200),
-        });
+        for (id, name, begin, end) in [
+            (0u64, "aten::linear", 0u64, 100u64),
+            (1, "aten::addmm", 10, 90),
+            (2, "aten::softmax", 100, 200),
+        ] {
+            let name = t.intern(name);
+            t.push_cpu_op(CpuOpEvent {
+                id: OpId::new(id),
+                name,
+                thread: ThreadId::MAIN,
+                begin: ns(begin),
+                end: ns(end),
+            });
+        }
+        let cuda_launch = t.intern("cudaLaunchKernel");
         let mut launch = |begin: u64, corr: u64, kb: u64, ke: u64| {
             t.push_launch(RuntimeLaunchEvent {
-                name: "cudaLaunchKernel".into(),
+                name: cuda_launch,
                 thread: ThreadId::MAIN,
                 begin: ns(begin),
                 end: ns(begin + 5),
                 correlation: CorrelationId::new(corr),
             });
+            let kname = t.intern(&format!("k{corr}"));
             t.push_kernel(KernelEvent {
-                name: format!("k{corr}"),
+                name: kname,
                 stream: StreamId::DEFAULT,
                 begin: ns(kb),
                 end: ns(ke),
@@ -190,15 +190,17 @@ mod tests {
     #[test]
     fn orphan_launches_bucket_separately() {
         let mut t = Trace::new(TraceMeta::default());
+        let graph_launch = t.intern("cudaGraphLaunch");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaGraphLaunch".into(),
+            name: graph_launch,
             thread: ThreadId::MAIN,
             begin: ns(0),
             end: ns(5),
             correlation: CorrelationId::new(1),
         });
+        let k = t.intern("k");
         t.push_kernel(KernelEvent {
-            name: "k".into(),
+            name: k,
             stream: StreamId::DEFAULT,
             begin: ns(10),
             end: ns(20),

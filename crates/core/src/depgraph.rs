@@ -10,7 +10,10 @@
 //! The construction is a per-thread interval sweep: events sorted by
 //! `(begin asc, end desc)` visit parents before their children, so a stack
 //! of currently-open operators yields each node's innermost parent in
-//! O(n log n).
+//! O(n log n). Launch calls are attached by a second sweep over the same
+//! sorted operator list — launches sorted by begin advance through the
+//! operator stack, so attachment is O((n + m) log (n + m)) rather than the
+//! naive O(n·m) all-pairs containment scan.
 
 use std::collections::BTreeMap;
 
@@ -62,22 +65,24 @@ impl DependencyGraph {
         let mut children: Vec<Vec<OpRef>> = vec![Vec::new(); n];
         let mut roots = Vec::new();
 
-        // Group op indices per thread.
+        // Group op indices per thread, sorted parents-before-children:
+        // earlier begin first; on ties the longer (outer) interval first.
+        // The sorted lists drive both the hierarchy sweep and the launch
+        // attachment sweep below.
         let mut per_thread: BTreeMap<ThreadId, Vec<OpRef>> = BTreeMap::new();
         for (i, op) in ops.iter().enumerate() {
             per_thread.entry(op.thread).or_default().push(i);
         }
-
-        for indices in per_thread.values() {
-            let mut sorted = indices.clone();
-            // Parents before children: earlier begin first; on ties the
-            // longer (outer) interval first.
+        for sorted in per_thread.values_mut() {
             sorted.sort_by(|&a, &b| {
                 (ops[a].begin, std::cmp::Reverse(ops[a].end))
                     .cmp(&(ops[b].begin, std::cmp::Reverse(ops[b].end)))
             });
+        }
+
+        for sorted in per_thread.values() {
             let mut stack: Vec<OpRef> = Vec::new();
-            for &i in &sorted {
+            for &i in sorted {
                 while let Some(&top) = stack.last() {
                     // `top` contains `i` if i begins before top ends.
                     if ops[i].begin < ops[top].end && ops[i].end <= ops[top].end {
@@ -108,26 +113,74 @@ impl DependencyGraph {
             .map(|(i, k)| (k.correlation, i))
             .collect();
 
-        // Attach launches to the innermost containing operator.
+        // Attach launches to the innermost containing operator. Launches
+        // sorted by begin sweep through the same per-thread operator stack
+        // as the hierarchy pass: at each launch instant the stack holds
+        // exactly the operators containing it (a nesting chain), so the
+        // innermost container is read off the top instead of re-scanning
+        // every operator per launch (the former O(n·m) hot spot).
+        //
+        // Tie-break matches the scan it replaces: among containing
+        // operators sharing the maximal begin, the lowest trace index wins.
+        // Equal-begin operators never pop each other (the sort nests the
+        // shorter inside the longer), so that group is a contiguous suffix
+        // of the stack.
+        let mut launch_parent: Vec<Option<OpRef>> = vec![None; trace.launches().len()];
+        let mut launches_per_thread: BTreeMap<ThreadId, Vec<usize>> = BTreeMap::new();
+        for (i, l) in trace.launches().iter().enumerate() {
+            launches_per_thread.entry(l.thread).or_default().push(i);
+        }
+        for (thread, launch_idxs) in &mut launches_per_thread {
+            let Some(sorted) = per_thread.get(thread) else {
+                continue; // no operators on this thread
+            };
+            launch_idxs.sort_by_key(|&i| (trace.launches()[i].begin, i));
+            let mut stack: Vec<OpRef> = Vec::new();
+            let mut next_op = 0;
+            for &li in launch_idxs.iter() {
+                let at = trace.launches()[li].begin;
+                // Open every operator that has begun by `at`.
+                while next_op < sorted.len() && ops[sorted[next_op]].begin <= at {
+                    let i = sorted[next_op];
+                    while let Some(&top) = stack.last() {
+                        if ops[i].begin < ops[top].end && ops[i].end <= ops[top].end {
+                            break;
+                        }
+                        stack.pop();
+                    }
+                    stack.push(i);
+                    next_op += 1;
+                }
+                // Close operators that ended at or before `at`.
+                while let Some(&top) = stack.last() {
+                    if ops[top].end > at {
+                        break;
+                    }
+                    stack.pop();
+                }
+                if let Some(&top) = stack.last() {
+                    let max_begin = ops[top].begin;
+                    let mut choice = top;
+                    for &cand in stack.iter().rev().skip(1) {
+                        if ops[cand].begin != max_begin {
+                            break;
+                        }
+                        if cand < choice {
+                            choice = cand;
+                        }
+                    }
+                    launch_parent[li] = Some(choice);
+                }
+            }
+        }
         let launches = trace
             .launches()
             .iter()
             .enumerate()
-            .map(|(launch_idx, l)| {
-                let mut best: Option<OpRef> = None;
-                for (i, op) in ops.iter().enumerate() {
-                    if op.thread == l.thread && op.contains(l.begin) {
-                        best = match best {
-                            Some(b) if ops[b].begin >= op.begin => Some(b),
-                            _ => Some(i),
-                        };
-                    }
-                }
-                LaunchLink {
-                    launch_idx,
-                    parent_op: best,
-                    kernel_idx: kernel_by_corr.get(&l.correlation).copied(),
-                }
+            .map(|(launch_idx, l)| LaunchLink {
+                launch_idx,
+                parent_op: launch_parent[launch_idx],
+                kernel_idx: kernel_by_corr.get(&l.correlation).copied(),
             })
             .collect();
 
@@ -190,10 +243,11 @@ mod tests {
         SimTime::from_nanos(v)
     }
 
-    fn op(id: u64, name: &str, begin: u64, end: u64) -> CpuOpEvent {
+    fn op(t: &mut Trace, id: u64, name: &str, begin: u64, end: u64) -> CpuOpEvent {
+        let name = t.intern(name);
         CpuOpEvent {
             id: OpId::new(id),
-            name: name.into(),
+            name,
             thread: ThreadId::MAIN,
             begin: ns(begin),
             end: ns(end),
@@ -204,18 +258,23 @@ mod tests {
     /// [10,90), which contains the launch at [20,25) → kernel corr 7.
     fn nested_trace() -> Trace {
         let mut t = Trace::new(TraceMeta::default());
-        t.push_cpu_op(op(0, "aten::linear", 0, 100));
-        t.push_cpu_op(op(1, "aten::t", 5, 10));
-        t.push_cpu_op(op(2, "aten::addmm", 10, 90));
+        let ev = op(&mut t, 0, "aten::linear", 0, 100);
+        t.push_cpu_op(ev);
+        let ev = op(&mut t, 1, "aten::t", 5, 10);
+        t.push_cpu_op(ev);
+        let ev = op(&mut t, 2, "aten::addmm", 10, 90);
+        t.push_cpu_op(ev);
+        let launch = t.intern("cudaLaunchKernel");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: launch,
             thread: ThreadId::MAIN,
             begin: ns(20),
             end: ns(25),
             correlation: CorrelationId::new(7),
         });
+        let gemm = t.intern("gemm");
         t.push_kernel(KernelEvent {
-            name: "gemm".into(),
+            name: gemm,
             stream: StreamId::DEFAULT,
             begin: ns(40),
             end: ns(80),
@@ -256,9 +315,10 @@ mod tests {
     #[test]
     fn sibling_ops_do_not_nest() {
         let mut t = Trace::new(TraceMeta::default());
-        t.push_cpu_op(op(0, "a", 0, 10));
-        t.push_cpu_op(op(1, "b", 10, 20));
-        t.push_cpu_op(op(2, "c", 20, 30));
+        for (id, begin) in [(0u64, 0u64), (1, 10), (2, 20)] {
+            let ev = op(&mut t, id, "sib", begin, begin + 10);
+            t.push_cpu_op(ev);
+        }
         let g = DependencyGraph::build(&t);
         assert_eq!(g.roots(), &[0, 1, 2]);
     }
@@ -266,8 +326,9 @@ mod tests {
     #[test]
     fn different_threads_never_nest() {
         let mut t = Trace::new(TraceMeta::default());
-        t.push_cpu_op(op(0, "outer", 0, 100));
-        let mut other = op(1, "elsewhere", 10, 20);
+        let ev = op(&mut t, 0, "outer", 0, 100);
+        t.push_cpu_op(ev);
+        let mut other = op(&mut t, 1, "elsewhere", 10, 20);
         other.thread = ThreadId::new(5);
         t.push_cpu_op(other);
         let g = DependencyGraph::build(&t);
@@ -278,8 +339,10 @@ mod tests {
     #[test]
     fn equal_begin_ties_resolve_outer_first() {
         let mut t = Trace::new(TraceMeta::default());
-        t.push_cpu_op(op(0, "inner", 0, 10)); // same begin, shorter
-        t.push_cpu_op(op(1, "outer", 0, 50));
+        let ev = op(&mut t, 0, "inner", 0, 10); // same begin, shorter
+        t.push_cpu_op(ev);
+        let ev = op(&mut t, 1, "outer", 0, 50);
+        t.push_cpu_op(ev);
         let g = DependencyGraph::build(&t);
         assert_eq!(g.parent_of(0), Some(1));
         assert_eq!(g.roots(), &[1]);
@@ -288,8 +351,9 @@ mod tests {
     #[test]
     fn orphan_launch_has_no_parent() {
         let mut t = Trace::new(TraceMeta::default());
+        let memcpy = t.intern("cudaMemcpyAsync");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaMemcpyAsync".into(),
+            name: memcpy,
             thread: ThreadId::MAIN,
             begin: ns(5),
             end: ns(6),
@@ -304,12 +368,72 @@ mod tests {
     fn deep_nesting_chain() {
         let mut t = Trace::new(TraceMeta::default());
         for i in 0..10u64 {
-            t.push_cpu_op(op(i, "level", i, 100 - i));
+            let ev = op(&mut t, i, "level", i, 100 - i);
+            t.push_cpu_op(ev);
         }
         let g = DependencyGraph::build(&t);
         for i in 1..10usize {
             assert_eq!(g.parent_of(i), Some(i - 1));
         }
         assert_eq!(g.root_ancestor(9), 0);
+    }
+
+    /// The sweep-based launch attachment must agree with the naive
+    /// all-pairs containment scan it replaced, including its tie-breaks:
+    /// among containing ops attaining the maximal begin, lowest trace
+    /// index wins.
+    #[test]
+    fn launch_attachment_matches_naive_scan() {
+        // Deterministic pseudo-random interval soup: nested, overlapping,
+        // zero-length, equal-begin, multi-thread, plus launches at op
+        // boundaries (begin == launch instant, end == launch instant).
+        let mut state = 0x2545f491u64;
+        let mut next = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let mut t = Trace::new(TraceMeta::default());
+        let mut raw_ops = Vec::new();
+        for i in 0..400u64 {
+            let begin = next(1_000);
+            let dur = next(120); // zero-length allowed
+            let thread = ThreadId::new(next(3) as u32);
+            let mut ev = op(&mut t, i, "soup", begin, begin + dur);
+            ev.thread = thread;
+            raw_ops.push(ev.clone());
+            t.push_cpu_op(ev);
+        }
+        let launch = t.intern("cudaLaunchKernel");
+        for c in 0..300u64 {
+            let begin = next(1_100);
+            t.push_launch(RuntimeLaunchEvent {
+                name: launch,
+                thread: ThreadId::new(next(3) as u32),
+                begin: ns(begin),
+                end: ns(begin + 1),
+                correlation: CorrelationId::new(c),
+            });
+        }
+        let g = DependencyGraph::build(&t);
+        for (li, l) in t.launches().iter().enumerate() {
+            let mut best: Option<usize> = None;
+            for (i, o) in raw_ops.iter().enumerate() {
+                if o.thread == l.thread && o.contains(l.begin) {
+                    best = match best {
+                        Some(b) if raw_ops[b].begin >= o.begin => Some(b),
+                        _ => Some(i),
+                    };
+                }
+            }
+            assert_eq!(
+                g.launches()[li].parent_op,
+                best,
+                "launch {li} at {:?} on {:?}",
+                l.begin,
+                l.thread
+            );
+        }
     }
 }

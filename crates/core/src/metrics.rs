@@ -154,23 +154,26 @@ mod tests {
     /// launch at 30 → kernel [60,90).
     fn two_kernel_trace() -> Trace {
         let mut t = Trace::new(TraceMeta::default());
+        let linear = t.intern("aten::linear");
         t.push_cpu_op(CpuOpEvent {
             id: OpId::new(0),
-            name: "aten::linear".into(),
+            name: linear,
             thread: ThreadId::MAIN,
             begin: ns(0),
             end: ns(100),
         });
+        let launch = t.intern("cudaLaunchKernel");
+        let k = t.intern("k");
         for (corr, lb, kb, ke) in [(1u64, 10u64, 20u64, 50u64), (2, 30, 60, 90)] {
             t.push_launch(RuntimeLaunchEvent {
-                name: "cudaLaunchKernel".into(),
+                name: launch,
                 thread: ThreadId::MAIN,
                 begin: ns(lb),
                 end: ns(lb + 5),
                 correlation: CorrelationId::new(corr),
             });
             t.push_kernel(KernelEvent {
-                name: "k".into(),
+                name: k,
                 stream: StreamId::DEFAULT,
                 begin: ns(kb),
                 end: ns(ke),
@@ -210,22 +213,25 @@ mod tests {
     fn cpu_idle_appears_when_gpu_runs_long() {
         // CPU finishes at 40, last kernel ends at 200 → CPU idles 160.
         let mut t = Trace::new(TraceMeta::default());
+        let mm = t.intern("aten::mm");
         t.push_cpu_op(CpuOpEvent {
             id: OpId::new(0),
-            name: "aten::mm".into(),
+            name: mm,
             thread: ThreadId::MAIN,
             begin: ns(0),
             end: ns(40),
         });
+        let launch = t.intern("cudaLaunchKernel");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: launch,
             thread: ThreadId::MAIN,
             begin: ns(10),
             end: ns(15),
             correlation: CorrelationId::new(1),
         });
+        let gemm = t.intern("gemm");
         t.push_kernel(KernelEvent {
-            name: "gemm".into(),
+            name: gemm,
             stream: StreamId::DEFAULT,
             begin: ns(50),
             end: ns(200),

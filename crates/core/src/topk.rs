@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 use skip_des::SimDuration;
-use skip_trace::Trace;
+use skip_trace::{NameId, Trace};
 use std::collections::BTreeMap;
 
 /// Aggregate statistics for one kernel name.
@@ -47,18 +47,18 @@ impl KernelStat {
 /// ```
 #[must_use]
 pub fn top_kernels(trace: &Trace, k: usize) -> Vec<KernelStat> {
-    let mut agg: BTreeMap<&str, (usize, SimDuration)> = BTreeMap::new();
+    // Aggregate by interned id — no string hashing or cloning on the scan;
+    // names materialize only for the k survivors.
+    let mut agg: BTreeMap<NameId, (usize, SimDuration)> = BTreeMap::new();
     for kernel in trace.kernels() {
-        let e = agg
-            .entry(kernel.name.as_str())
-            .or_insert((0, SimDuration::ZERO));
+        let e = agg.entry(kernel.name).or_insert((0, SimDuration::ZERO));
         e.0 += 1;
         e.1 += kernel.duration();
     }
     let mut stats: Vec<KernelStat> = agg
         .into_iter()
         .map(|(name, (count, total_time))| KernelStat {
-            name: name.to_owned(),
+            name: trace.name(name).to_owned(),
             count,
             total_time,
         })
@@ -83,17 +83,19 @@ mod tests {
 
     fn trace_with(names: &[&str]) -> Trace {
         let mut t = Trace::new(TraceMeta::default());
+        let launch = t.intern("cudaLaunchKernel");
         let mut clock = 0u64;
         for (i, name) in names.iter().enumerate() {
             t.push_launch(RuntimeLaunchEvent {
-                name: "cudaLaunchKernel".into(),
+                name: launch,
                 thread: ThreadId::MAIN,
                 begin: SimTime::from_nanos(clock),
                 end: SimTime::from_nanos(clock + 1),
                 correlation: CorrelationId::new(i as u64),
             });
+            let name = t.intern(name);
             t.push_kernel(KernelEvent {
-                name: (*name).into(),
+                name,
                 stream: StreamId::DEFAULT,
                 begin: SimTime::from_nanos(clock + 2),
                 end: SimTime::from_nanos(clock + 12),

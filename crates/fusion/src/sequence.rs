@@ -22,20 +22,38 @@ pub struct KernelSequences {
 
 impl KernelSequences {
     /// Extracts sequences from `trace`.
+    ///
+    /// The trace's kernel names are already interned, so this remaps trace
+    /// [`NameId`]s to dense first-seen ids through a direct-indexed table —
+    /// no string hashing or per-kernel allocation. The dense-id assignment
+    /// (first appearance across streams) is identical to interning the name
+    /// strings directly.
+    ///
+    /// [`NameId`]: skip_trace::NameId
     #[must_use]
     pub fn from_trace(trace: &Trace) -> Self {
-        let seqs: Vec<Vec<&str>> = trace
-            .streams()
-            .into_iter()
-            .map(|s| {
-                trace
-                    .kernels_on(s)
-                    .into_iter()
-                    .map(|k| k.name.as_str())
-                    .collect()
-            })
-            .collect();
-        Self::from_name_sequences(&seqs)
+        let mut remap: Vec<Option<u32>> = vec![None; trace.names().len()];
+        let mut names: Vec<String> = Vec::new();
+        let mut sequences = Vec::new();
+        for s in trace.streams() {
+            let kernels = trace.kernels_on(s);
+            let mut ids = Vec::with_capacity(kernels.len());
+            for k in kernels {
+                let slot = &mut remap[k.name.get() as usize];
+                let id = match *slot {
+                    Some(id) => id,
+                    None => {
+                        let id = names.len() as u32;
+                        names.push(trace.name(k.name).to_owned());
+                        *slot = Some(id);
+                        id
+                    }
+                };
+                ids.push(id);
+            }
+            sequences.push(ids);
+        }
+        KernelSequences { names, sequences }
     }
 
     /// Builds sequences directly from name lists (useful for tests and for

@@ -1,12 +1,14 @@
 //! The execution engine: walks operator graphs on the platform model and
 //! emits CUPTI-style traces.
 
+use std::collections::HashMap;
+
 use skip_des::{FifoResource, IdAllocator, SimDuration, SimTime};
 use skip_hw::{KernelClass, Platform};
 use skip_llm::{AttentionImpl, GraphOptions, KernelSpec, OpNode, Workload};
 use skip_trace::{
-    CorrelationId, CpuOpEvent, KernelEvent, OpId, RuntimeLaunchEvent, StreamId, ThreadId, Trace,
-    TraceMeta,
+    CorrelationId, CpuOpEvent, KernelEvent, NameId, OpId, RuntimeLaunchEvent, StreamId, ThreadId,
+    Trace, TraceMeta,
 };
 
 use crate::compiled::{
@@ -72,14 +74,25 @@ impl Engine {
     #[must_use]
     pub fn replay_stream(&self, kernels: &[KernelSpec], meta: TraceMeta) -> Trace {
         let mut exec = Exec::new(&self.platform, meta);
+        // The `replay::<kernel>` label is built (and interned) once per
+        // *distinct* kernel name, not once per launch.
+        let mut replay_names: HashMap<&str, NameId> = HashMap::new();
         for spec in kernels {
+            let name = match replay_names.get(spec.name.as_str()) {
+                Some(&id) => id,
+                None => {
+                    let id = exec.trace.intern(&format!("replay::{}", spec.name));
+                    replay_names.insert(&spec.name, id);
+                    id
+                }
+            };
             let begin = exec.cpu_now;
             let id = OpId::new(exec.op_ids.next_id());
             exec.cpu_now += self.platform.cpu.op_cost(skip_hw::OpComplexity::Simple);
             exec.launch_kernel(spec, 1.0);
             exec.trace.push_cpu_op(CpuOpEvent {
                 id,
-                name: format!("replay::{}", spec.name),
+                name,
                 thread: ThreadId::MAIN,
                 begin,
                 end: exec.cpu_now,
@@ -129,15 +142,14 @@ impl Engine {
         } else {
             GUARD_EVAL_NS
         };
-        exec.cpu_op(
-            "torch::_dynamo::guard_eval",
-            SimDuration::from_nanos_f64(entry),
-        );
+        let guard_eval = exec.trace.intern("torch::_dynamo::guard_eval");
+        exec.cpu_op(guard_eval, SimDuration::from_nanos_f64(entry));
 
         let gemm_factor = cm.gemm_duration_factor();
         if cm.uses_cuda_graphs() {
             // One cudaGraphLaunch; every captured node becomes available the
             // moment the graph reaches the device.
+            let graph_launch = exec.trace.intern("cudaGraphLaunch");
             let launch_begin = exec.cpu_now;
             exec.cpu_now += self.platform.cpu.launch_call_cost();
             let launch_end = exec.cpu_now;
@@ -145,17 +157,18 @@ impl Engine {
             for spec in &stream {
                 let corr = CorrelationId::new(exec.corr.next_id());
                 exec.trace.push_launch(RuntimeLaunchEvent {
-                    name: "cudaGraphLaunch".into(),
+                    name: graph_launch,
                     thread: ThreadId::MAIN,
                     begin: launch_begin,
                     end: launch_end,
                     correlation: corr,
                 });
+                let name = exec.trace.intern(&spec.name);
                 let dur = exec.kernel_duration(spec, gemm_factor)
                     + SimDuration::from_nanos_f64(REPLAY_NODE_NS);
                 let busy = exec.stream.admit(arrival, dur);
                 exec.trace.push_kernel(KernelEvent {
-                    name: spec.name.clone(),
+                    name,
                     stream: StreamId::DEFAULT,
                     begin: busy.start,
                     end: busy.end,
@@ -165,9 +178,10 @@ impl Engine {
         } else {
             // Default mode: compiled wrapper dispatches each (fused) kernel
             // with a much cheaper CPU cost than eager ATen dispatch.
+            let inductor_call = exec.trace.intern("inductor::call");
             for spec in &stream {
                 exec.cpu_op(
-                    "inductor::call",
+                    inductor_call,
                     SimDuration::from_nanos_f64(COMPILED_DISPATCH_NS),
                 );
                 exec.launch_kernel(spec, gemm_factor);
@@ -185,17 +199,29 @@ struct Exec<'a> {
     cpu_now: SimTime,
     corr: IdAllocator,
     op_ids: IdAllocator,
+    /// Runtime API names interned once per run — the hot launch path never
+    /// touches the intern hash map, let alone allocates.
+    n_launch: NameId,
+    n_memcpy: NameId,
+    n_aten_to: NameId,
 }
 
 impl<'a> Exec<'a> {
     fn new(platform: &'a Platform, meta: TraceMeta) -> Self {
+        let mut trace = Trace::new(meta);
+        let n_launch = trace.intern("cudaLaunchKernel");
+        let n_memcpy = trace.intern("cudaMemcpyAsync");
+        let n_aten_to = trace.intern("aten::to");
         Exec {
             platform,
-            trace: Trace::new(meta),
+            trace,
             stream: FifoResource::new(),
             cpu_now: SimTime::ZERO,
             corr: IdAllocator::starting_at(1),
             op_ids: IdAllocator::new(),
+            n_launch,
+            n_memcpy,
+            n_aten_to,
         }
     }
 
@@ -208,7 +234,7 @@ impl<'a> Exec<'a> {
         let begin = self.cpu_now;
         let corr = CorrelationId::new(self.corr.next_id());
         self.trace.push_launch(RuntimeLaunchEvent {
-            name: "cudaMemcpyAsync".into(),
+            name: self.n_memcpy,
             thread: ThreadId::MAIN,
             begin,
             end: begin + copy,
@@ -217,7 +243,7 @@ impl<'a> Exec<'a> {
         self.cpu_now += copy;
         self.trace.push_cpu_op(CpuOpEvent {
             id: OpId::new(self.op_ids.next_id()),
-            name: "aten::to".into(),
+            name: self.n_aten_to,
             thread: ThreadId::MAIN,
             begin,
             end: self.cpu_now,
@@ -225,12 +251,12 @@ impl<'a> Exec<'a> {
     }
 
     /// Records a plain CPU operator of the given duration.
-    fn cpu_op(&mut self, name: &str, dur: SimDuration) {
+    fn cpu_op(&mut self, name: NameId, dur: SimDuration) {
         let begin = self.cpu_now;
         self.cpu_now += dur;
         self.trace.push_cpu_op(CpuOpEvent {
             id: OpId::new(self.op_ids.next_id()),
-            name: name.into(),
+            name,
             thread: ThreadId::MAIN,
             begin,
             end: self.cpu_now,
@@ -242,6 +268,7 @@ impl<'a> Exec<'a> {
     fn exec_op(&mut self, op: &OpNode) {
         let begin = self.cpu_now;
         let id = OpId::new(self.op_ids.next_id());
+        let name = self.trace.intern(&op.name);
         self.cpu_now += self.platform.cpu.op_cost(op.complexity);
         for child in &op.children {
             self.exec_op(child);
@@ -251,7 +278,7 @@ impl<'a> Exec<'a> {
         }
         self.trace.push_cpu_op(CpuOpEvent {
             id,
-            name: op.name.clone(),
+            name,
             thread: ThreadId::MAIN,
             begin,
             end: self.cpu_now,
@@ -266,19 +293,22 @@ impl<'a> Exec<'a> {
         let launch_end = self.cpu_now;
         let corr = CorrelationId::new(self.corr.next_id());
         self.trace.push_launch(RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: self.n_launch,
             thread: ThreadId::MAIN,
             begin: launch_begin,
             end: launch_end,
             correlation: corr,
         });
+        // Kernel names repeat across layers, so this is a hash hit (no
+        // allocation) for all but the first launch of each distinct shape.
+        let name = self.trace.intern(&spec.name);
         // The kernel reaches the head of the stream one full launch
         // overhead after the launch call started (CPU call + wire/driver).
         let arrival = launch_begin + self.platform.launch_overhead();
         let dur = self.kernel_duration(spec, gemm_factor);
         let busy = self.stream.admit(arrival, dur);
         self.trace.push_kernel(KernelEvent {
-            name: spec.name.clone(),
+            name,
             stream: StreamId::DEFAULT,
             begin: busy.start,
             end: busy.end,
@@ -379,7 +409,7 @@ mod tests {
         let graph_launches: Vec<_> = t
             .launches()
             .iter()
-            .filter(|l| l.name == "cudaGraphLaunch")
+            .filter(|l| t.name(l.name) == "cudaGraphLaunch")
             .collect();
         assert!(!graph_launches.is_empty());
         // All replayed nodes share the same launch-call window.
@@ -410,9 +440,15 @@ mod tests {
     fn tight_coupling_skips_input_copy() {
         let engine = Engine::new(Platform::mi300a());
         let t = engine.run(&wl(1), ExecMode::Eager);
-        assert!(t.launches().iter().all(|l| l.name != "cudaMemcpyAsync"));
+        assert!(t
+            .launches()
+            .iter()
+            .all(|l| t.name(l.name) != "cudaMemcpyAsync"));
         let lc = Engine::new(Platform::intel_h100()).run(&wl(1), ExecMode::Eager);
-        assert!(lc.launches().iter().any(|l| l.name == "cudaMemcpyAsync"));
+        assert!(lc
+            .launches()
+            .iter()
+            .any(|l| lc.name(l.name) == "cudaMemcpyAsync"));
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Allocation budget of the simulation hot path.
+//!
+//! The interned-trace refactor removed the per-event `format!`/`String`
+//! clones from the engine: event names are `NameId`s, the runtime API
+//! names (`cudaLaunchKernel`, `Memcpy HtoD`, `aten::to`) are interned once
+//! per engine run, and kernel names hash-hit after their first layer. What
+//! remains on the hot path is amortized `Vec` growth plus one interning
+//! per *distinct* name — so a full prefill forward must heap-allocate
+//! fewer times than it simulates kernels (the pre-interning engine paid
+//! several allocations per kernel: a `String` clone per event name plus a
+//! `format!` per launch).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use skip_hw::Platform;
+use skip_llm::{zoo, Phase, Workload};
+use skip_runtime::Engine;
+use skip_trace::TraceMeta;
+
+/// System allocator wrapper counting every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn engine_allocates_less_than_once_per_kernel() {
+    let engine = Engine::new(Platform::intel_h100());
+    let wl = Workload::new(zoo::gpt2(), Phase::Prefill, 1, 512);
+    // Build the operator graph outside the measured window: the budget
+    // under test is the *simulation* path, not workload construction.
+    let graph = wl.graph();
+    let input_bytes = wl.input_bytes();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let trace = engine.run_graph(&graph, input_bytes, TraceMeta::default());
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    let kernels = trace.kernels().len() as u64;
+    assert!(kernels > 300, "expected a full prefill trace: {kernels}");
+    assert!(
+        allocs < kernels,
+        "hot path allocated {allocs} times for {kernels} kernels \
+         (pre-interning budget was >5 per kernel)"
+    );
+}

@@ -10,8 +10,8 @@
 //! to be charged as 1024 tokens — up to ~2× TTFT error that also corrupted
 //! the recompute-vs-swap break-even of the offload policy).
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use skip_des::{SimDuration, SimTime};
 use skip_hw::Platform;
@@ -20,11 +20,16 @@ use skip_runtime::{Engine, ExecMode};
 use skip_trace::Trace;
 
 /// Memoizing wrapper around [`Engine`] for serving simulations.
+///
+/// The memo is behind a [`Mutex`] (not a `RefCell`) so a `LatencyModel` is
+/// `Sync` and one instance can serve concurrent sweep workers. Engine runs
+/// happen outside the lock; two workers racing on the same cold key both
+/// compute the same deterministic value, and the second insert is a no-op.
 #[derive(Debug)]
 pub struct LatencyModel {
     engine: Engine,
     model: ModelConfig,
-    cache: RefCell<BTreeMap<(u8, u32, u32), SimDuration>>,
+    cache: Mutex<BTreeMap<(u8, u32, u32), SimDuration>>,
 }
 
 fn latency(trace: &Trace) -> SimDuration {
@@ -51,7 +56,7 @@ impl LatencyModel {
         LatencyModel {
             engine: Engine::new(platform),
             model,
-            cache: RefCell::new(BTreeMap::new()),
+            cache: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -91,7 +96,7 @@ impl LatencyModel {
     /// Number of distinct engine runs performed so far.
     #[must_use]
     pub fn cache_entries(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.lock().expect("latency cache poisoned").len()
     }
 
     /// Prices `len` by linear interpolation between the memoized engine
@@ -124,11 +129,16 @@ impl LatencyModel {
         wl: F,
     ) -> SimDuration {
         let key = (phase, batch, len);
-        if let Some(&d) = self.cache.borrow().get(&key) {
+        if let Some(&d) = self.cache.lock().expect("latency cache poisoned").get(&key) {
             return d;
         }
+        // Compute outside the lock: an engine run is milliseconds of work
+        // and the result is deterministic, so a racing duplicate is benign.
         let d = latency(&self.engine.run(&wl(len), ExecMode::Eager));
-        self.cache.borrow_mut().insert(key, d);
+        self.cache
+            .lock()
+            .expect("latency cache poisoned")
+            .insert(key, d);
         d
     }
 }

@@ -402,13 +402,11 @@ impl ServingTrace {
             for pair in lc.events.windows(2) {
                 let (cur, next) = (&pair[0], &pair[1]);
                 let name = match cur.kind {
-                    LifecycleKind::Arrived => "queued".to_owned(),
-                    LifecycleKind::Admitted { .. } => "prefill".to_owned(),
-                    LifecycleKind::FirstToken | LifecycleKind::Resumed { .. } => {
-                        "decode".to_owned()
-                    }
+                    LifecycleKind::Arrived => t.intern("queued"),
+                    LifecycleKind::Admitted { .. } => t.intern("prefill"),
+                    LifecycleKind::FirstToken | LifecycleKind::Resumed { .. } => t.intern("decode"),
                     LifecycleKind::Preempted { action, .. } => {
-                        format!("parked:{}", action.label())
+                        t.intern(&format!("parked:{}", action.label()))
                     }
                     LifecycleKind::Completed { .. } => continue,
                 };
@@ -428,15 +426,17 @@ impl ServingTrace {
                         if let Some(preempted_at) = pending_preempt.take() {
                             let corr = CorrelationId::new(next_corr);
                             next_corr += 1;
+                            let preempt = t.intern("preempt");
                             t.push_launch(RuntimeLaunchEvent {
-                                name: "preempt".into(),
+                                name: preempt,
                                 thread: tid,
                                 begin: preempted_at,
                                 end: preempted_at,
                                 correlation: corr,
                             });
+                            let resume = t.intern("resume");
                             t.push_kernel(KernelEvent {
-                                name: "resume".into(),
+                                name: resume,
                                 stream: StreamId::new(lc.id as u32),
                                 begin: ev.at,
                                 end: ev.at,
@@ -539,7 +539,7 @@ mod tests {
         let t = st.to_trace();
         t.validate().unwrap();
         // queued, prefill, decode, parked:swap, decode — five slices.
-        let names: Vec<&str> = t.cpu_ops().iter().map(|o| o.name.as_str()).collect();
+        let names: Vec<&str> = t.cpu_ops().iter().map(|o| t.name(o.name)).collect();
         assert_eq!(
             names,
             vec!["queued", "prefill", "decode", "parked:swap", "decode"]

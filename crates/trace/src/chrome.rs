@@ -104,7 +104,7 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
 
     for op in trace.cpu_ops() {
         events.push(ChromeEvent::complete(
-            &op.name,
+            trace.name(op.name),
             "cpu_op",
             op.begin.as_micros_f64(),
             op.duration().as_micros_f64(),
@@ -115,7 +115,7 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
     }
     for l in trace.launches() {
         events.push(ChromeEvent::complete(
-            &l.name,
+            trace.name(l.name),
             "cuda_runtime",
             l.begin.as_micros_f64(),
             l.duration().as_micros_f64(),
@@ -139,7 +139,7 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
     }
     for k in trace.kernels() {
         events.push(ChromeEvent::complete(
-            &k.name,
+            trace.name(k.name),
             "kernel",
             k.begin.as_micros_f64(),
             k.duration().as_micros_f64(),
@@ -301,9 +301,10 @@ pub fn from_chrome_trace(json: &str) -> Result<Trace, ImportError> {
         let end = begin + SimDuration::from_nanos_f64(ev.dur * 1e3);
         match ev.cat.as_str() {
             "cpu_op" => {
+                let name = trace.intern(&ev.name);
                 trace.push_cpu_op(CpuOpEvent {
                     id: OpId::new(next_op),
-                    name: ev.name,
+                    name,
                     thread: ThreadId::new(ev.tid),
                     begin,
                     end,
@@ -316,8 +317,9 @@ pub fn from_chrome_trace(json: &str) -> Result<Trace, ImportError> {
                         name: ev.name.clone(),
                     },
                 )?;
+                let name = trace.intern(&ev.name);
                 trace.push_launch(RuntimeLaunchEvent {
-                    name: ev.name,
+                    name,
                     thread: ThreadId::new(ev.tid),
                     begin,
                     end,
@@ -330,8 +332,9 @@ pub fn from_chrome_trace(json: &str) -> Result<Trace, ImportError> {
                         name: ev.name.clone(),
                     },
                 )?;
+                let name = trace.intern(&ev.name);
                 trace.push_kernel(KernelEvent {
-                    name: ev.name,
+                    name,
                     stream: StreamId::new(ev.tid),
                     begin,
                     end,
@@ -350,22 +353,25 @@ mod tests {
 
     fn sample() -> Trace {
         let mut t = Trace::new(TraceMeta::default());
+        let linear = t.intern("aten::linear");
         t.push_cpu_op(CpuOpEvent {
             id: OpId::new(0),
-            name: "aten::linear".into(),
+            name: linear,
             thread: ThreadId::MAIN,
             begin: SimTime::from_nanos(0),
             end: SimTime::from_nanos(1_000),
         });
+        let launch = t.intern("cudaLaunchKernel");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: launch,
             thread: ThreadId::MAIN,
             begin: SimTime::from_nanos(100),
             end: SimTime::from_nanos(200),
             correlation: CorrelationId::new(42),
         });
+        let gemm = t.intern("gemm_kernel");
         t.push_kernel(KernelEvent {
-            name: "gemm_kernel".into(),
+            name: gemm,
             stream: StreamId::DEFAULT,
             begin: SimTime::from_nanos(2_500),
             end: SimTime::from_nanos(3_500),
@@ -396,28 +402,32 @@ mod tests {
         assert_eq!(back.cpu_ops().len(), 1);
         assert_eq!(back.launches().len(), 1);
         assert_eq!(back.kernels().len(), 1);
-        assert_eq!(back.cpu_ops()[0].name, "aten::linear");
+        assert_eq!(back.name(back.cpu_ops()[0].name), "aten::linear");
         assert_eq!(back.cpu_ops()[0].begin, SimTime::from_nanos(0));
         assert_eq!(back.cpu_ops()[0].end, SimTime::from_nanos(1_000));
         assert_eq!(back.launches()[0].correlation, CorrelationId::new(42));
         assert_eq!(back.kernels()[0].begin, SimTime::from_nanos(2_500));
         assert_eq!(back.kernels()[0].correlation, CorrelationId::new(42));
         back.validate().unwrap();
+        // Semantic equality holds even though import interns in export
+        // order, which may differ from the producer's interning order.
+        assert_eq!(back, original);
     }
 
     #[test]
     fn kernel_names_are_json_escaped() {
         let mut t = Trace::new(TraceMeta::default());
+        let evil = t.intern("aten::pad\"evil\\name");
         t.push_cpu_op(CpuOpEvent {
             id: OpId::new(0),
-            name: "aten::pad\"evil\\name".into(),
+            name: evil,
             thread: ThreadId::MAIN,
             begin: SimTime::from_nanos(0),
             end: SimTime::from_nanos(1),
         });
         let json = to_chrome_trace(&t);
         let back = from_chrome_trace(&json).unwrap();
-        assert_eq!(back.cpu_ops()[0].name, "aten::pad\"evil\\name");
+        assert_eq!(back.name(back.cpu_ops()[0].name), "aten::pad\"evil\\name");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use skip_des::{SimDuration, SimTime};
 
-use crate::ids::{CorrelationId, OpId, StreamId, ThreadId};
+use crate::ids::{CorrelationId, NameId, OpId, StreamId, ThreadId};
 
 /// A CPU-side framework operator event (an ATen operator in PyTorch terms).
 ///
@@ -11,12 +11,18 @@ use crate::ids::{CorrelationId, OpId, StreamId, ThreadId};
 /// `cudaLaunchKernel` runtime call. Nesting is *not* stored here — like a
 /// real profiler trace, only `(thread, begin, end)` is recorded, and the
 /// SKIP profiler recovers the hierarchy by time containment.
+///
+/// The operator name is interned: `name` resolves through the owning
+/// trace's [`NameTable`] (see [`Trace::name`]).
+///
+/// [`NameTable`]: crate::NameTable
+/// [`Trace::name`]: crate::Trace::name
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CpuOpEvent {
     /// Unique ID within the trace.
     pub id: OpId,
-    /// Operator name, e.g. `"aten::linear"`.
-    pub name: String,
+    /// Interned operator name, e.g. `"aten::linear"`.
+    pub name: NameId,
     /// The CPU thread the operator ran on.
     pub thread: ThreadId,
     /// Start timestamp.
@@ -30,8 +36,9 @@ pub struct CpuOpEvent {
 /// it to the resulting [`KernelEvent`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RuntimeLaunchEvent {
-    /// Runtime API name, e.g. `"cudaLaunchKernel"` or `"cudaGraphLaunch"`.
-    pub name: String,
+    /// Interned runtime API name, e.g. `"cudaLaunchKernel"` or
+    /// `"cudaGraphLaunch"`.
+    pub name: NameId,
     /// The CPU thread the call ran on.
     pub thread: ThreadId,
     /// Start timestamp of the runtime call.
@@ -61,8 +68,9 @@ pub struct CounterEvent {
 /// A kernel execution on a GPU stream.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KernelEvent {
-    /// Kernel (mangled) name, e.g. `"ampere_fp16_s16816gemm_fp16_128x128"`.
-    pub name: String,
+    /// Interned kernel (mangled) name, e.g.
+    /// `"ampere_fp16_s16816gemm_fp16_128x128"`.
+    pub name: NameId,
     /// Stream the kernel executed on.
     pub stream: StreamId,
     /// Start of execution on the GPU.
@@ -80,10 +88,10 @@ impl CpuOpEvent {
     ///
     /// ```
     /// # use skip_des::{SimDuration, SimTime};
-    /// # use skip_trace::{CpuOpEvent, OpId, ThreadId};
+    /// # use skip_trace::{CpuOpEvent, NameId, OpId, ThreadId};
     /// let op = CpuOpEvent {
     ///     id: OpId::new(0),
-    ///     name: "aten::linear".into(),
+    ///     name: NameId::new(0), // interned "aten::linear"
     ///     thread: ThreadId::MAIN,
     ///     begin: SimTime::from_nanos(10),
     ///     end: SimTime::from_nanos(35),
@@ -125,7 +133,7 @@ mod tests {
     fn op(begin: u64, end: u64) -> CpuOpEvent {
         CpuOpEvent {
             id: OpId::new(1),
-            name: "aten::t".into(),
+            name: NameId::new(0),
             thread: ThreadId::MAIN,
             begin: SimTime::from_nanos(begin),
             end: SimTime::from_nanos(end),
@@ -145,7 +153,7 @@ mod tests {
     fn durations_subtract_begin_from_end() {
         assert_eq!(op(5, 9).duration(), SimDuration::from_nanos(4));
         let k = KernelEvent {
-            name: "k".into(),
+            name: NameId::new(1),
             stream: StreamId::DEFAULT,
             begin: SimTime::from_nanos(100),
             end: SimTime::from_nanos(130),
@@ -153,7 +161,7 @@ mod tests {
         };
         assert_eq!(k.duration(), SimDuration::from_nanos(30));
         let l = RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: NameId::new(2),
             thread: ThreadId::MAIN,
             begin: SimTime::from_nanos(1),
             end: SimTime::from_nanos(3),

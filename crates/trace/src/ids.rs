@@ -80,6 +80,20 @@ id_newtype!(
     "op"
 );
 
+id_newtype!(
+    /// An interned event-name identifier, resolved through the owning
+    /// trace's [`NameTable`].
+    ///
+    /// Event structs store a `NameId` instead of a `String` so the hot
+    /// simulation path never heap-allocates per event; names materialize
+    /// only at serialization boundaries (Chrome export, error messages).
+    ///
+    /// [`NameTable`]: crate::NameTable
+    NameId,
+    u32,
+    "name"
+);
+
 impl ThreadId {
     /// The main Python/launcher thread in a single-threaded inference run.
     pub const MAIN: ThreadId = ThreadId(0);
@@ -100,6 +114,8 @@ mod tests {
         assert_eq!(StreamId::from(9).get(), 9);
         assert_eq!(CorrelationId::new(u64::MAX).get(), u64::MAX);
         assert_eq!(OpId::new(17).get(), 17);
+        assert_eq!(NameId::new(5).get(), 5);
+        assert_eq!(NameId::new(5).to_string(), "name5");
     }
 
     #[test]

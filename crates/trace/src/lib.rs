@@ -32,21 +32,24 @@
 //! };
 //!
 //! let mut trace = Trace::new(TraceMeta::default());
+//! let launch = trace.intern("cudaLaunchKernel");
 //! trace.push_launch(RuntimeLaunchEvent {
-//!     name: "cudaLaunchKernel".into(),
+//!     name: launch,
 //!     thread: ThreadId::MAIN,
 //!     begin: SimTime::from_nanos(0),
 //!     end: SimTime::from_nanos(500),
 //!     correlation: CorrelationId::new(1),
 //! });
+//! let gemm = trace.intern("ampere_fp16_s16816gemm");
 //! trace.push_kernel(KernelEvent {
-//!     name: "ampere_fp16_s16816gemm".into(),
+//!     name: gemm,
 //!     stream: StreamId::DEFAULT,
 //!     begin: SimTime::from_nanos(1_000),
 //!     end: SimTime::from_nanos(5_000),
 //!     correlation: CorrelationId::new(1),
 //! });
 //! assert_eq!(trace.kernels().len(), 1);
+//! assert_eq!(trace.name(trace.kernels()[0].name), "ampere_fp16_s16816gemm");
 //! trace.validate().unwrap();
 //! ```
 
@@ -56,8 +59,10 @@
 pub mod chrome;
 mod event;
 mod ids;
+mod names;
 mod trace;
 
 pub use event::{CounterEvent, CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
-pub use ids::{CorrelationId, OpId, StreamId, ThreadId};
+pub use ids::{CorrelationId, NameId, OpId, StreamId, ThreadId};
+pub use names::NameTable;
 pub use trace::{Trace, TraceError, TraceMeta};

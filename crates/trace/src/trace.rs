@@ -8,7 +8,8 @@ use serde::{Deserialize, Serialize};
 use skip_des::{SimDuration, SimTime};
 
 use crate::event::{CounterEvent, CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
-use crate::ids::{CorrelationId, StreamId};
+use crate::ids::{CorrelationId, NameId, StreamId};
+use crate::names::NameTable;
 
 /// Descriptive metadata attached to a trace: which workload, which platform,
 /// which execution mode produced it.
@@ -55,6 +56,8 @@ pub enum TraceError {
         /// The counter track the bad sample belongs to.
         track: String,
     },
+    /// An event's name id does not resolve through the trace's name table.
+    UnknownName(NameId),
 }
 
 impl fmt::Display for TraceError {
@@ -81,6 +84,9 @@ impl fmt::Display for TraceError {
             TraceError::NonFiniteCounter { track } => {
                 write!(f, "counter track {track} holds a non-finite sample")
             }
+            TraceError::UnknownName(id) => {
+                write!(f, "event name {id} is not in the trace's name table")
+            }
         }
     }
 }
@@ -93,9 +99,20 @@ impl Error for TraceError {}
 /// Events are stored in insertion order; producers append in timestamp order
 /// per thread/stream (as a real profiler does), and consumers that need
 /// global orderings sort themselves.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Event names are interned in the trace's [`NameTable`]: producers call
+/// [`Trace::intern`] before pushing an event, consumers resolve with
+/// [`Trace::name`]. Two traces compare equal when their events carry the
+/// same *resolved* names — the numeric id assignment (which depends on
+/// interning order) is not observable.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     meta: TraceMeta,
+    /// Interned event names. Absent from traces serialized before interning
+    /// existed (all of which carried names inline — see `chrome` import for
+    /// the migration path).
+    #[serde(default)]
+    names: NameTable,
     cpu_ops: Vec<CpuOpEvent>,
     launches: Vec<RuntimeLaunchEvent>,
     kernels: Vec<KernelEvent>,
@@ -118,6 +135,27 @@ impl Trace {
     #[must_use]
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
+    }
+
+    /// Interns an event name, returning its stable id (idempotent).
+    pub fn intern(&mut self, name: &str) -> NameId {
+        self.names.intern(name)
+    }
+
+    /// Resolves an interned event name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not interned in this trace.
+    #[must_use]
+    pub fn name(&self, id: NameId) -> &str {
+        self.names.resolve(id)
+    }
+
+    /// The trace's name table.
+    #[must_use]
+    pub fn names(&self) -> &NameTable {
+        &self.names
     }
 
     /// CPU operator events in insertion order.
@@ -222,23 +260,26 @@ impl Trace {
     }
 
     /// Checks the structural invariants a CUPTI trace satisfies:
-    /// non-negative durations, unique correlation IDs per side, every kernel
-    /// matched to a launch that precedes it, and non-overlapping kernels per
-    /// stream.
+    /// non-negative durations, every event name resolvable, unique
+    /// correlation IDs per side, every kernel matched to a launch that
+    /// precedes it, and non-overlapping kernels per stream.
     ///
     /// # Errors
     ///
     /// Returns the first violated invariant.
     pub fn validate(&self) -> Result<(), TraceError> {
+        let resolve = |id: NameId| self.names.get(id).ok_or(TraceError::UnknownName(id));
         for o in &self.cpu_ops {
+            let name = resolve(o.name)?;
             if o.end < o.begin {
                 return Err(TraceError::NegativeDuration {
-                    what: format!("cpu op {} ({})", o.id, o.name),
+                    what: format!("cpu op {} ({name})", o.id),
                 });
             }
         }
         let mut launch_ids = BTreeSet::new();
         for l in &self.launches {
+            resolve(l.name)?;
             if l.end < l.begin {
                 return Err(TraceError::NegativeDuration {
                     what: format!("launch {}", l.correlation),
@@ -250,9 +291,10 @@ impl Trace {
         }
         let mut kernel_ids = BTreeSet::new();
         for k in &self.kernels {
+            let name = resolve(k.name)?;
             if k.end < k.begin {
                 return Err(TraceError::NegativeDuration {
-                    what: format!("kernel {} ({})", k.correlation, k.name),
+                    what: format!("kernel {} ({name})", k.correlation),
                 });
             }
             if !kernel_ids.insert(k.correlation) {
@@ -293,6 +335,44 @@ impl Trace {
     }
 }
 
+/// Semantic equality: meta, counters, and events with *resolved* names.
+///
+/// Two traces that record identical events may still assign different
+/// numeric name ids (interning order depends on the producer — e.g. a
+/// Chrome-trace import interns in export order, not simulation order), so
+/// comparing raw `NameId`s would be wrong. Names are compared through each
+/// trace's own table instead.
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.meta == other.meta
+            && self.counters == other.counters
+            && self.cpu_ops.len() == other.cpu_ops.len()
+            && self.launches.len() == other.launches.len()
+            && self.kernels.len() == other.kernels.len()
+            && self.cpu_ops.iter().zip(&other.cpu_ops).all(|(a, b)| {
+                a.id == b.id
+                    && a.thread == b.thread
+                    && a.begin == b.begin
+                    && a.end == b.end
+                    && self.names.get(a.name) == other.names.get(b.name)
+            })
+            && self.launches.iter().zip(&other.launches).all(|(a, b)| {
+                a.thread == b.thread
+                    && a.begin == b.begin
+                    && a.end == b.end
+                    && a.correlation == b.correlation
+                    && self.names.get(a.name) == other.names.get(b.name)
+            })
+            && self.kernels.iter().zip(&other.kernels).all(|(a, b)| {
+                a.stream == b.stream
+                    && a.begin == b.begin
+                    && a.end == b.end
+                    && a.correlation == b.correlation
+                    && self.names.get(a.name) == other.names.get(b.name)
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,22 +391,25 @@ mod tests {
             batch_size: 1,
             seq_len: 512,
         });
+        let linear = t.intern("aten::linear");
         t.push_cpu_op(CpuOpEvent {
             id: OpId::new(0),
-            name: "aten::linear".into(),
+            name: linear,
             thread: ThreadId::MAIN,
             begin: ns(0),
             end: ns(100),
         });
+        let launch = t.intern("cudaLaunchKernel");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: launch,
             thread: ThreadId::MAIN,
             begin: ns(10),
             end: ns(20),
             correlation: CorrelationId::new(1),
         });
+        let gemm = t.intern("gemm");
         t.push_kernel(KernelEvent {
-            name: "gemm".into(),
+            name: gemm,
             stream: StreamId::DEFAULT,
             begin: ns(30),
             end: ns(80),
@@ -348,10 +431,89 @@ mod tests {
     }
 
     #[test]
+    fn names_resolve_through_the_trace() {
+        let t = sample_trace();
+        assert_eq!(t.name(t.cpu_ops()[0].name), "aten::linear");
+        assert_eq!(t.name(t.launches()[0].name), "cudaLaunchKernel");
+        assert_eq!(t.name(t.kernels()[0].name), "gemm");
+        assert_eq!(t.names().len(), 3);
+    }
+
+    #[test]
+    fn unknown_name_rejected() {
+        let mut t = Trace::default();
+        t.push_cpu_op(CpuOpEvent {
+            id: OpId::new(0),
+            name: NameId::new(7), // never interned
+            thread: ThreadId::MAIN,
+            begin: ns(0),
+            end: ns(1),
+        });
+        assert_eq!(t.validate(), Err(TraceError::UnknownName(NameId::new(7))));
+    }
+
+    #[test]
+    fn equality_is_by_resolved_name_not_raw_id() {
+        // Same events, opposite interning order → equal anyway.
+        let build = |flip: bool| {
+            let mut t = Trace::default();
+            let (a, b) = if flip {
+                let b = t.intern("b");
+                let a = t.intern("a");
+                (a, b)
+            } else {
+                let a = t.intern("a");
+                let b = t.intern("b");
+                (a, b)
+            };
+            let l = t.intern("cudaLaunchKernel");
+            for (corr, name) in [(1u64, a), (2, b)] {
+                t.push_launch(RuntimeLaunchEvent {
+                    name: l,
+                    thread: ThreadId::MAIN,
+                    begin: ns(corr * 10),
+                    end: ns(corr * 10 + 1),
+                    correlation: CorrelationId::new(corr),
+                });
+                t.push_kernel(KernelEvent {
+                    name,
+                    stream: StreamId::DEFAULT,
+                    begin: ns(corr * 20),
+                    end: ns(corr * 20 + 5),
+                    correlation: CorrelationId::new(corr),
+                });
+            }
+            t
+        };
+        assert_eq!(build(false), build(true));
+        // …and different resolved names are unequal even with equal ids.
+        let mut x = Trace::default();
+        let nx = x.intern("x");
+        x.push_kernel(KernelEvent {
+            name: nx,
+            stream: StreamId::DEFAULT,
+            begin: ns(0),
+            end: ns(1),
+            correlation: CorrelationId::new(1),
+        });
+        let mut y = Trace::default();
+        let ny = y.intern("y");
+        y.push_kernel(KernelEvent {
+            name: ny,
+            stream: StreamId::DEFAULT,
+            begin: ns(0),
+            end: ns(1),
+            correlation: CorrelationId::new(1),
+        });
+        assert_ne!(x, y);
+    }
+
+    #[test]
     fn orphan_kernel_rejected() {
         let mut t = sample_trace();
+        let orphan = t.intern("orphan");
         t.push_kernel(KernelEvent {
-            name: "orphan".into(),
+            name: orphan,
             stream: StreamId::DEFAULT,
             begin: ns(90),
             end: ns(95),
@@ -366,8 +528,9 @@ mod tests {
     #[test]
     fn duplicate_correlations_rejected() {
         let mut t = sample_trace();
+        let launch = t.intern("cudaLaunchKernel");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: launch,
             thread: ThreadId::MAIN,
             begin: ns(40),
             end: ns(45),
@@ -384,15 +547,17 @@ mod tests {
     #[test]
     fn kernel_before_launch_rejected() {
         let mut t = Trace::default();
+        let launch = t.intern("cudaLaunchKernel");
+        let k = t.intern("k");
         t.push_launch(RuntimeLaunchEvent {
-            name: "cudaLaunchKernel".into(),
+            name: launch,
             thread: ThreadId::MAIN,
             begin: ns(50),
             end: ns(60),
             correlation: CorrelationId::new(1),
         });
         t.push_kernel(KernelEvent {
-            name: "k".into(),
+            name: k,
             stream: StreamId::DEFAULT,
             begin: ns(40),
             end: ns(70),
@@ -407,16 +572,18 @@ mod tests {
     #[test]
     fn stream_overlap_rejected() {
         let mut t = Trace::default();
+        let launch = t.intern("cudaLaunchKernel");
+        let k = t.intern("k");
         for (corr, (b, e)) in [(1u64, (10u64, 50u64)), (2, (40, 60))] {
             t.push_launch(RuntimeLaunchEvent {
-                name: "cudaLaunchKernel".into(),
+                name: launch,
                 thread: ThreadId::MAIN,
                 begin: ns(0),
                 end: ns(5),
                 correlation: CorrelationId::new(corr),
             });
             t.push_kernel(KernelEvent {
-                name: "k".into(),
+                name: k,
                 stream: StreamId::DEFAULT,
                 begin: ns(b),
                 end: ns(e),
@@ -434,9 +601,10 @@ mod tests {
     #[test]
     fn negative_duration_rejected() {
         let mut t = Trace::default();
+        let bad = t.intern("aten::bad");
         t.push_cpu_op(CpuOpEvent {
             id: OpId::new(0),
-            name: "aten::bad".into(),
+            name: bad,
             thread: ThreadId::MAIN,
             begin: ns(10),
             end: ns(5),
@@ -462,6 +630,9 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+        // The id assignment itself round-trips too.
+        assert_eq!(t.names(), back.names());
+        assert_eq!(t.kernels()[0].name, back.kernels()[0].name);
     }
 
     #[test]
@@ -497,7 +668,8 @@ mod tests {
 
     #[test]
     fn pre_counter_serialization_still_parses() {
-        // Traces written before counter support lack the field entirely.
+        // Traces written before counter (and name-table) support lack both
+        // fields entirely.
         let t: Trace = serde_json::from_str(
             r#"{"meta":{"model":"","platform":"","exec_mode":"","phase":"",
                  "batch_size":0,"seq_len":0},
@@ -505,21 +677,24 @@ mod tests {
         )
         .unwrap();
         assert!(t.counters().is_empty());
+        assert!(t.names().is_empty());
     }
 
     #[test]
     fn kernels_on_sorts_by_begin() {
         let mut t = Trace::default();
+        let launch = t.intern("cudaLaunchKernel");
         for (corr, b) in [(1u64, 100u64), (2, 10)] {
             t.push_launch(RuntimeLaunchEvent {
-                name: "cudaLaunchKernel".into(),
+                name: launch,
                 thread: ThreadId::MAIN,
                 begin: ns(0),
                 end: ns(1),
                 correlation: CorrelationId::new(corr),
             });
+            let name = t.intern(&format!("k{corr}"));
             t.push_kernel(KernelEvent {
-                name: format!("k{corr}"),
+                name,
                 stream: StreamId::DEFAULT,
                 begin: ns(b),
                 end: ns(b + 5),
@@ -529,7 +704,7 @@ mod tests {
         let names: Vec<&str> = t
             .kernels_on(StreamId::DEFAULT)
             .iter()
-            .map(|k| k.name.as_str())
+            .map(|k| t.name(k.name))
             .collect();
         assert_eq!(names, vec!["k2", "k1"]);
     }

@@ -1,0 +1,127 @@
+//! Golden-bytes regression tests for the Chrome exporter, plus property
+//! tests over the name table and the export→import round trip.
+//!
+//! `golden_chrome.json` was captured from the exporter *before* event names
+//! were interned; these tests pin the serialization boundary so interning
+//! stays invisible in the on-disk format.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use skip_des::SimTime;
+use skip_trace::{
+    chrome, CorrelationId, CounterEvent, CpuOpEvent, KernelEvent, NameTable, OpId,
+    RuntimeLaunchEvent, StreamId, ThreadId, Trace, TraceMeta,
+};
+
+const GOLDEN: &str = include_str!("golden_chrome.json");
+
+fn golden_trace() -> Trace {
+    let mut t = Trace::new(TraceMeta::default());
+    let linear = t.intern("aten::linear");
+    t.push_cpu_op(CpuOpEvent {
+        id: OpId::new(0),
+        name: linear,
+        thread: ThreadId::MAIN,
+        begin: SimTime::from_nanos(0),
+        end: SimTime::from_nanos(1_000),
+    });
+    let launch = t.intern("cudaLaunchKernel");
+    t.push_launch(RuntimeLaunchEvent {
+        name: launch,
+        thread: ThreadId::MAIN,
+        begin: SimTime::from_nanos(100),
+        end: SimTime::from_nanos(200),
+        correlation: CorrelationId::new(42),
+    });
+    let gemm = t.intern("gemm_kernel");
+    t.push_kernel(KernelEvent {
+        name: gemm,
+        stream: StreamId::DEFAULT,
+        begin: SimTime::from_nanos(2_500),
+        end: SimTime::from_nanos(3_500),
+        correlation: CorrelationId::new(42),
+    });
+    t.push_counter(CounterEvent {
+        track: "queue_depth".into(),
+        at: SimTime::from_nanos(1_500),
+        value: 4.0,
+    });
+    t
+}
+
+#[test]
+fn export_matches_pre_interning_golden_bytes() {
+    assert_eq!(chrome::to_chrome_trace(&golden_trace()), GOLDEN.trim_end());
+}
+
+#[test]
+fn golden_imports_to_the_same_trace() {
+    let back = chrome::from_chrome_trace(GOLDEN.trim_end()).unwrap();
+    assert_eq!(back, golden_trace());
+    // And re-exports to the identical bytes.
+    assert_eq!(chrome::to_chrome_trace(&back), GOLDEN.trim_end());
+}
+
+/// A strategy over event-name strings that stays JSON-friendly but covers
+/// the characters real kernel names use.
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "aten", "cuda", "gemm", "::", "_", "<", ">", "128x128", "fp16", "void ",
+        ]),
+        1..5,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn name_table_serde_round_trips(names in prop::collection::vec(arb_name(), 0..20)) {
+        let mut table = NameTable::new();
+        for n in &names {
+            table.intern(n);
+        }
+        let back = NameTable::from_value(&table.to_value()).unwrap();
+        prop_assert_eq!(&table, &back);
+        for (id, name) in table.iter() {
+            prop_assert_eq!(back.lookup(name), Some(id));
+        }
+    }
+
+    #[test]
+    fn chrome_export_import_round_trips(
+        names in prop::collection::vec(arb_name(), 1..8),
+        spans in prop::collection::vec((0u64..10_000, 1u64..5_000), 1..8),
+    ) {
+        // One launch+kernel pair per span, names drawn cyclically so some
+        // repeat (exercising intern hits) and interleaved so import order
+        // differs from intern order.
+        let mut t = Trace::new(TraceMeta::default());
+        let launch = t.intern("cudaLaunchKernel");
+        let ids: Vec<_> = names.iter().map(|n| t.intern(n)).collect();
+        for (i, (begin, dur)) in spans.iter().enumerate() {
+            let corr = CorrelationId::new(i as u64 + 1);
+            t.push_launch(RuntimeLaunchEvent {
+                name: launch,
+                thread: ThreadId::MAIN,
+                begin: SimTime::from_nanos(*begin),
+                end: SimTime::from_nanos(begin + dur),
+                correlation: corr,
+            });
+            t.push_kernel(KernelEvent {
+                name: ids[i % ids.len()],
+                // Distinct streams so overlap never arises.
+                stream: StreamId::new(i as u32),
+                begin: SimTime::from_nanos(begin + dur),
+                end: SimTime::from_nanos(begin + 2 * dur),
+                correlation: corr,
+            });
+        }
+        let json = chrome::to_chrome_trace(&t);
+        let back = chrome::from_chrome_trace(&json).unwrap();
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(chrome::to_chrome_trace(&back), json);
+    }
+}

@@ -1,0 +1,33 @@
+//! The acceptance gate for the fan-out harness: every experiment's
+//! rendered output must be byte-identical at any `--threads` value.
+//!
+//! One `#[test]` drives all three experiments (fig6, serving,
+//! kv_capacity) so the process-wide [`harness::set_threads`] override is
+//! never mutated concurrently by the test runner.
+
+use skip_bench::experiments::{fig6, kv_capacity, serving};
+use skip_bench::harness;
+
+#[test]
+fn parallel_renders_are_byte_identical_to_serial() {
+    harness::set_threads(1);
+    let fig6_serial = fig6::render(&fig6::run());
+    let serving_serial = serving::render(&serving::run());
+    let kv_serial = kv_capacity::render(&kv_capacity::run());
+
+    for workers in [2, 4] {
+        harness::set_threads(workers);
+        assert_eq!(fig6::render(&fig6::run()), fig6_serial, "fig6 @ {workers}");
+        assert_eq!(
+            serving::render(&serving::run()),
+            serving_serial,
+            "serving @ {workers}"
+        );
+        assert_eq!(
+            kv_capacity::render(&kv_capacity::run()),
+            kv_serial,
+            "kv_capacity @ {workers}"
+        );
+    }
+    harness::set_threads(0);
+}
