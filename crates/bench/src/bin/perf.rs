@@ -6,18 +6,25 @@
 //! * `profile_big_trace` — engine runs + full SKIP analysis (depgraph,
 //!   metrics, attribution) across the BERT batch sweep on Intel+H100: the
 //!   allocation-lean interned-trace hot path.
+//! * `engine_run_summary` — the same engine runs through the summary sink
+//!   (no trace materialized): the serving latency model's cold-key path.
 //! * `fig10_sweep_serial` / `fig10_sweep_parallel` — the Fig. 10 BERT
-//!   sweep at `--threads 1` vs the configured worker count: the
-//!   deterministic fan-out harness' speedup on the multi-experiment path.
+//!   sweep pinned to 1 worker vs [`PARALLEL_WORKERS`]: the deterministic
+//!   fan-out harness' speedup on the multi-experiment path. Each entry
+//!   records the worker count it actually ran with; the speedup line is
+//!   skipped on single-core hosts, where the comparison measures only
+//!   fan-out overhead.
 //! * `serving_sim` — the serving extension sweep (30 discrete-event
 //!   simulations).
+//! * `latency_cold_keys` — cold-cache `LatencyModel` pricing over the
+//!   serving key grid, a fresh model each iteration.
 //! * `fusion_recommend` — chain extraction + recommendation over a GPT2
 //!   prefill trace, iterated for a stable reading.
 //!
-//! Flags: `--threads N` (parallel worker count; default = harness
-//! resolution), `--out PATH` (default `BENCH_SUITE.json`), `--baseline
-//! PATH` (compare against a committed baseline and exit non-zero if any
-//! workload regresses more than 2x).
+//! Flags: `--threads N` (parallel worker count; default 4), `--out PATH`
+//! (default `BENCH_SUITE.json`), `--baseline PATH` (print per-entry deltas
+//! against a committed baseline and exit non-zero if any workload
+//! regresses more than 2x).
 
 use std::time::Instant;
 
@@ -28,6 +35,7 @@ use skip_core::ProfileReport;
 use skip_hw::Platform;
 use skip_llm::{zoo, Phase, Workload};
 use skip_runtime::{Engine, ExecMode};
+use skip_serve::LatencyModel;
 
 /// One timed workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,6 +44,10 @@ struct BenchEntry {
     name: String,
     /// Wall-clock time, milliseconds.
     wall_ms: f64,
+    /// Parallel worker count this entry ran with (1 = serial; 0 = a
+    /// legacy suite file that predates per-entry counts).
+    #[serde(default)]
+    threads: usize,
     /// Simulated trace events processed per second, where meaningful.
     events_per_s: Option<f64>,
     /// Process peak RSS after the workload, KiB (`/proc/self/status`).
@@ -45,11 +57,14 @@ struct BenchEntry {
 /// The whole suite, as written to `BENCH_SUITE.json`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchSuite {
-    /// Parallel worker count the `*_parallel` entries ran with.
-    threads: usize,
     /// One entry per workload.
     entries: Vec<BenchEntry>,
 }
+
+/// Worker count for the `*_parallel` entries unless `--threads` overrides
+/// it. Pinned rather than host-resolved so the committed baseline compares
+/// like against like on machines with different core counts.
+const PARALLEL_WORKERS: usize = 4;
 
 /// Peak resident set size in KiB, if the platform exposes it.
 fn peak_rss_kb() -> Option<u64> {
@@ -58,21 +73,23 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-/// Times `work`, which reports how many trace events it processed.
-fn timed(name: &str, work: impl FnOnce() -> Option<u64>) -> BenchEntry {
+/// Times `work` on `threads` workers; `work` reports how many trace events
+/// it processed.
+fn timed(name: &str, threads: usize, work: impl FnOnce() -> Option<u64>) -> BenchEntry {
     let start = Instant::now();
     let events = work();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let entry = BenchEntry {
         name: name.to_owned(),
         wall_ms,
+        threads,
         events_per_s: events.map(|e| e as f64 / (wall_ms / 1e3)),
         peak_rss_kb: peak_rss_kb(),
     };
     let eps = entry
         .events_per_s
         .map_or(String::new(), |e| format!("  ({e:.0} events/s)"));
-    println!("{name}: {wall_ms:.1} ms{eps}");
+    println!("{name}: {wall_ms:.1} ms [{threads}t]{eps}");
     entry
 }
 
@@ -97,6 +114,44 @@ fn profile_big_trace() -> Option<u64> {
         }
     }
     Some(events)
+}
+
+/// The `profile_big_trace` engine runs through the summary sink: same
+/// simulated work, no trace materialization and no analysis — isolates
+/// what the serving stack pays per cold latency key.
+fn engine_run_summary() -> Option<u64> {
+    let engine = Engine::new(Platform::intel_h100());
+    let mut events = 0u64;
+    for _ in 0..ITERS {
+        for &bs in &skip_bench::BATCH_SWEEP {
+            let wl = Workload::new(
+                zoo::bert_base_uncased(),
+                Phase::Prefill,
+                bs,
+                skip_bench::SEQ_LEN,
+            );
+            let s = engine.run_summary(&wl, ExecMode::Eager);
+            events += s.cpu_ops() + s.launches() + s.kernels();
+        }
+    }
+    Some(events)
+}
+
+/// Cold-cache `LatencyModel` pricing: a fresh model every iteration prices
+/// the serving key grid, so every key is a cold engine run.
+fn latency_cold_keys() -> Option<u64> {
+    let mut runs = 0u64;
+    for _ in 0..ITERS {
+        let m = LatencyModel::new(Platform::intel_h100(), zoo::gpt2());
+        for batch in [1u32, 4, 16] {
+            let _ = m.prefill(batch, 128);
+            let _ = m.prefill(batch, 100); // + the 64 bucket
+            let _ = m.decode_step(batch, 128);
+            let _ = m.decode_step(batch, 200); // + the 256 bucket
+        }
+        runs += m.engine_runs();
+    }
+    Some(runs)
 }
 
 fn fusion_recommend() -> Option<u64> {
@@ -131,18 +186,36 @@ fn parse_args() -> (usize, String, Option<String>) {
     (threads, out, baseline)
 }
 
-/// Compares against a committed baseline; returns the names that regressed
-/// more than 2x.
-fn regressions(suite: &BenchSuite, baseline: &BenchSuite) -> Vec<String> {
+/// Prints the per-entry delta of every workload against the baseline and
+/// returns the names that regressed more than 2x.
+fn compare(suite: &BenchSuite, baseline: &BenchSuite) -> Vec<String> {
     let mut bad = Vec::new();
+    println!("\nvs baseline:");
     for base in &baseline.entries {
-        if let Some(now) = suite.entries.iter().find(|e| e.name == base.name) {
-            if now.wall_ms > base.wall_ms * 2.0 {
-                bad.push(format!(
-                    "{}: {:.1} ms vs baseline {:.1} ms",
-                    base.name, now.wall_ms, base.wall_ms
-                ));
-            }
+        let Some(now) = suite.entries.iter().find(|e| e.name == base.name) else {
+            println!("  {:<24} missing from this run", base.name);
+            continue;
+        };
+        let delta = (now.wall_ms / base.wall_ms - 1.0) * 100.0;
+        let regressed = now.wall_ms > base.wall_ms * 2.0;
+        println!(
+            "  {:<24} {:>8.1} ms  base {:>8.1} ms  {:>+7.1}%{}",
+            base.name,
+            now.wall_ms,
+            base.wall_ms,
+            delta,
+            if regressed { "  REGRESSED >2x" } else { "" }
+        );
+        if regressed {
+            bad.push(format!(
+                "{}: {:.1} ms vs baseline {:.1} ms",
+                base.name, now.wall_ms, base.wall_ms
+            ));
+        }
+    }
+    for now in &suite.entries {
+        if !baseline.entries.iter().any(|b| b.name == now.name) {
+            println!("  {:<24} {:>8.1} ms  (new entry)", now.name, now.wall_ms);
         }
     }
     bad
@@ -150,55 +223,58 @@ fn regressions(suite: &BenchSuite, baseline: &BenchSuite) -> Vec<String> {
 
 fn main() {
     let (threads, out, baseline) = parse_args();
-    if threads > 0 {
-        harness::set_threads(threads);
-    }
-    let workers = harness::threads();
+    let workers = if threads > 0 {
+        threads
+    } else {
+        PARALLEL_WORKERS
+    };
     println!("perf suite: {workers} parallel workers\n");
 
     let mut entries = Vec::new();
-    entries.push(timed("profile_big_trace", profile_big_trace));
+    entries.push(timed("profile_big_trace", 1, profile_big_trace));
+    entries.push(timed("engine_run_summary", 1, engine_run_summary));
 
-    harness::set_threads(1);
-    entries.push(timed("fig10_sweep_serial", || {
+    entries.push(timed("fig10_sweep_serial", 1, || {
         for _ in 0..ITERS {
-            let _ = fig10::run();
+            let _ = fig10::run_with(1);
         }
         None
     }));
-    harness::set_threads(workers);
-    entries.push(timed("fig10_sweep_parallel", || {
+    entries.push(timed("fig10_sweep_parallel", workers, || {
         for _ in 0..ITERS {
-            let _ = fig10::run();
+            let _ = fig10::run_with(workers);
         }
         None
     }));
 
-    entries.push(timed("serving_sim", || {
+    entries.push(timed("serving_sim", harness::threads(), || {
         let _ = serving::run();
         None
     }));
-    entries.push(timed("fusion_recommend", fusion_recommend));
+    entries.push(timed("latency_cold_keys", 1, latency_cold_keys));
+    entries.push(timed("fusion_recommend", 1, fusion_recommend));
 
-    let serial = entries
-        .iter()
-        .find(|e| e.name == "fig10_sweep_serial")
-        .expect("serial entry")
-        .wall_ms;
-    let parallel = entries
-        .iter()
-        .find(|e| e.name == "fig10_sweep_parallel")
-        .expect("parallel entry")
-        .wall_ms;
-    println!(
-        "\nfig10 sweep speedup: {:.2}x ({workers} workers)",
-        serial / parallel
-    );
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if cores >= 2 {
+        let serial = entries
+            .iter()
+            .find(|e| e.name == "fig10_sweep_serial")
+            .expect("serial entry")
+            .wall_ms;
+        let parallel = entries
+            .iter()
+            .find(|e| e.name == "fig10_sweep_parallel")
+            .expect("parallel entry")
+            .wall_ms;
+        println!(
+            "\nfig10 sweep speedup: {:.2}x ({workers} workers)",
+            serial / parallel
+        );
+    } else {
+        println!("\nfig10 sweep speedup: skipped (single-core host)");
+    }
 
-    let suite = BenchSuite {
-        threads: workers,
-        entries,
-    };
+    let suite = BenchSuite { entries };
     let json = serde_json::to_string_pretty(&suite).expect("suite serializes");
     std::fs::write(&out, json + "\n").expect("write BENCH_SUITE.json");
     println!("wrote {out}");
@@ -207,7 +283,7 @@ fn main() {
         match std::fs::read_to_string(&path) {
             Ok(text) => {
                 let base: BenchSuite = serde_json::from_str(&text).expect("baseline parses");
-                let bad = regressions(&suite, &base);
+                let bad = compare(&suite, &base);
                 if !bad.is_empty() {
                     eprintln!("PERF REGRESSION (>2x over {path}):");
                     for b in &bad {

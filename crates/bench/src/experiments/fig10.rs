@@ -36,13 +36,21 @@ pub struct SweepRow {
 /// nested loops.
 #[must_use]
 pub fn sweep_model(model: &ModelConfig) -> Vec<SweepRow> {
+    sweep_model_with(crate::harness::threads(), model)
+}
+
+/// [`sweep_model`] with an explicit worker count, bypassing the global
+/// harness resolution — the perf runner uses this to pin its serial and
+/// parallel entries to known counts instead of whatever the host resolves.
+#[must_use]
+pub fn sweep_model_with(workers: usize, model: &ModelConfig) -> Vec<SweepRow> {
     let mut cells = Vec::new();
     for platform in Platform::paper_trio() {
         for &bs in &BATCH_SWEEP {
             cells.push((platform.clone(), bs));
         }
     }
-    crate::harness::map(cells, |(platform, bs)| {
+    crate::harness::map_with(workers, cells, |(platform, bs)| {
         let wl = Workload::new(model.clone(), Phase::Prefill, bs, SEQ_LEN);
         let r = profile(&platform, &wl, ExecMode::Eager);
         SweepRow {
@@ -59,8 +67,17 @@ pub fn sweep_model(model: &ModelConfig) -> Vec<SweepRow> {
 /// Runs the Fig. 10 experiment (both encoder models).
 #[must_use]
 pub fn run() -> Vec<SweepRow> {
-    let mut out = sweep_model(&skip_llm::zoo::bert_base_uncased());
-    out.extend(sweep_model(&skip_llm::zoo::xlm_roberta_base()));
+    run_with(crate::harness::threads())
+}
+
+/// [`run`] with an explicit worker count (see [`sweep_model_with`]).
+#[must_use]
+pub fn run_with(workers: usize) -> Vec<SweepRow> {
+    let mut out = sweep_model_with(workers, &skip_llm::zoo::bert_base_uncased());
+    out.extend(sweep_model_with(
+        workers,
+        &skip_llm::zoo::xlm_roberta_base(),
+    ));
     out
 }
 

@@ -8,9 +8,8 @@
 //! time, and time-per-output-token (TPOT).
 
 use serde::{Deserialize, Serialize};
-use skip_des::{SimDuration, SimTime};
+use skip_des::SimDuration;
 use skip_llm::{ModelConfig, Phase, Workload};
-use skip_trace::Trace;
 
 use crate::engine::Engine;
 use crate::mode::ExecMode;
@@ -44,21 +43,6 @@ impl GenerationReport {
     }
 }
 
-/// Inference latency of one trace (Eq. 4: last kernel end − first
-/// operator begin).
-fn latency(trace: &Trace) -> SimDuration {
-    let first = trace
-        .cpu_ops()
-        .iter()
-        .map(|o| o.begin)
-        .min()
-        .unwrap_or(SimTime::ZERO);
-    match trace.kernels().iter().map(|k| k.end).max() {
-        Some(end) => end.saturating_duration_since(first),
-        None => trace.span(),
-    }
-}
-
 impl Engine {
     /// Runs prefill over `prompt_len` tokens, then `new_tokens` decode
     /// steps with the KV cache growing each step.
@@ -76,7 +60,9 @@ impl Engine {
         mode: ExecMode,
     ) -> GenerationReport {
         let prefill = Workload::new(model.clone(), Phase::Prefill, batch, prompt_len);
-        let ttft = latency(&self.run(&prefill, mode));
+        // Only the latency number is needed here, so the runs go through
+        // the summary sink: no trace is materialized per step.
+        let ttft = self.run_summary(&prefill, mode).latency();
 
         let mut decode_time = SimDuration::ZERO;
         for step in 0..new_tokens {
@@ -88,7 +74,7 @@ impl Engine {
                 batch,
                 prompt_len,
             );
-            decode_time += latency(&self.run(&wl, mode));
+            decode_time += self.run_summary(&wl, mode).latency();
         }
         GenerationReport {
             ttft,

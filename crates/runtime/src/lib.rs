@@ -53,7 +53,7 @@ mod mode;
 mod nullkernel;
 
 pub use compiled::{compile_time, eager_warmup, inductor_stream};
-pub use engine::Engine;
+pub use engine::{kernel_class_tag, Engine};
 pub use generate::GenerationReport;
 pub use mode::{CompileMode, ExecMode};
 pub use nullkernel::{nullkernel_microbench, NullKernelStats};

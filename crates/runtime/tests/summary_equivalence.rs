@@ -1,0 +1,79 @@
+//! Property test: [`Engine::run_summary`] must equal the reduction of the
+//! full trace of the same run, for arbitrary workload configurations.
+//!
+//! The summary sink observes the identical event stream the trace recorder
+//! would (same generic core), so every aggregate — latency, span, first/
+//! last timestamps, busy time, event counts — must agree with what
+//! [`skip_trace::summarize_trace`] computes after the fact.
+
+use proptest::prelude::*;
+use skip_hw::Platform;
+use skip_llm::{zoo, ModelConfig, Phase, Workload};
+use skip_runtime::{CompileMode, Engine, ExecMode};
+use skip_trace::summarize_trace;
+
+fn platforms() -> impl Strategy<Value = Platform> {
+    prop::sample::select(vec![
+        Platform::intel_h100(),
+        Platform::gh200(),
+        Platform::mi300a(),
+    ])
+}
+
+fn models() -> impl Strategy<Value = ModelConfig> {
+    prop::sample::select(vec![
+        zoo::gpt2(),
+        zoo::bert_base_uncased(),
+        zoo::llama32_1b(),
+        zoo::qwen25_05b(),
+    ])
+}
+
+fn modes() -> impl Strategy<Value = ExecMode> {
+    prop::sample::select(vec![
+        ExecMode::Eager,
+        ExecMode::FlashAttention2,
+        ExecMode::TorchCompile(CompileMode::Default),
+        ExecMode::TorchCompile(CompileMode::ReduceOverhead),
+        ExecMode::TorchCompile(CompileMode::MaxAutotune),
+    ])
+}
+
+fn phases() -> impl Strategy<Value = Phase> {
+    (0u32..2048).prop_map(|past_len| {
+        if past_len == 0 {
+            Phase::Prefill
+        } else {
+            Phase::DecodeStep { past_len }
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn summary_equals_trace_reduction(
+        platform in platforms(),
+        model in models(),
+        mode in modes(),
+        phase in phases(),
+        batch in prop::sample::select(vec![1u32, 4, 16, 64]),
+        seq_len in prop::sample::select(vec![16u32, 128, 512]),
+    ) {
+        let engine = Engine::new(platform);
+        let wl = Workload::new(model, phase, batch, seq_len);
+        let summary = engine.run_summary(&wl, mode);
+        let trace = engine.run(&wl, mode);
+        let reduced = summarize_trace(&trace);
+
+        prop_assert_eq!(summary.latency(), reduced.latency());
+        prop_assert_eq!(summary.span(), trace.span());
+        prop_assert_eq!(summary.first_cpu_begin(), reduced.first_cpu_begin());
+        prop_assert_eq!(summary.last_kernel_end(), reduced.last_kernel_end());
+        prop_assert_eq!(summary.gpu_busy(), reduced.gpu_busy());
+        prop_assert_eq!(summary.cpu_ops(), trace.cpu_ops().len() as u64);
+        prop_assert_eq!(summary.launches(), trace.launches().len() as u64);
+        prop_assert_eq!(summary.kernels(), trace.kernels().len() as u64);
+    }
+}

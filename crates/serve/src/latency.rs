@@ -9,29 +9,48 @@
 //! instead of jumping to the next bucket's price (a 520-token prompt used
 //! to be charged as 1024 tokens — up to ~2× TTFT error that also corrupted
 //! the recompute-vs-swap break-even of the offload policy).
+//!
+//! Cold keys are priced through [`Engine::run_summary`] — the engine run
+//! aggregates in place instead of materializing a trace that would be
+//! reduced to one number and dropped — and are *single-flight*: each key
+//! owns a [`OnceLock`] cell, so concurrent sweep workers racing on the same
+//! cold key perform exactly one engine run between them (the losers block
+//! on the cell instead of burning milliseconds on a duplicate simulation).
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use skip_des::{SimDuration, SimTime};
+use skip_des::SimDuration;
+#[cfg(test)]
+use skip_des::SimTime;
 use skip_hw::Platform;
 use skip_llm::{ModelConfig, Phase, Workload};
 use skip_runtime::{Engine, ExecMode};
+#[cfg(test)]
 use skip_trace::Trace;
+
+/// Single-flight cell map: each key owns a lazily-filled latency cell.
+type KeyCells = BTreeMap<(u8, u32, u32), Arc<OnceLock<SimDuration>>>;
 
 /// Memoizing wrapper around [`Engine`] for serving simulations.
 ///
-/// The memo is behind a [`Mutex`] (not a `RefCell`) so a `LatencyModel` is
-/// `Sync` and one instance can serve concurrent sweep workers. Engine runs
-/// happen outside the lock; two workers racing on the same cold key both
-/// compute the same deterministic value, and the second insert is a no-op.
+/// The key map is behind a [`Mutex`] (not a `RefCell`) so a `LatencyModel`
+/// is `Sync` and one instance can serve concurrent sweep workers. The lock
+/// is taken exactly once per call, only to resolve the key to its cell;
+/// engine runs happen outside it, inside the key's [`OnceLock`].
 #[derive(Debug)]
 pub struct LatencyModel {
     engine: Engine,
     model: ModelConfig,
-    cache: Mutex<BTreeMap<(u8, u32, u32), SimDuration>>,
+    cache: Mutex<KeyCells>,
+    engine_runs: AtomicU64,
 }
 
+/// Inference latency of one trace (Eq. 4: last kernel end − first operator
+/// begin). The latency model itself prices through the summary sink; this
+/// reduction is kept as the reference the summary path is asserted against.
+#[cfg(test)]
 fn latency(trace: &Trace) -> SimDuration {
     let first = trace
         .cpu_ops()
@@ -57,6 +76,7 @@ impl LatencyModel {
             engine: Engine::new(platform),
             model,
             cache: Mutex::new(BTreeMap::new()),
+            engine_runs: AtomicU64::new(0),
         }
     }
 
@@ -93,10 +113,18 @@ impl LatencyModel {
         })
     }
 
-    /// Number of distinct engine runs performed so far.
+    /// Number of distinct keys priced so far.
     #[must_use]
     pub fn cache_entries(&self) -> usize {
         self.cache.lock().expect("latency cache poisoned").len()
+    }
+
+    /// Number of engine runs actually performed. With single-flight
+    /// coalescing this equals [`cache_entries`](Self::cache_entries) no
+    /// matter how many workers raced on the same cold keys.
+    #[must_use]
+    pub fn engine_runs(&self) -> u64 {
+        self.engine_runs.load(Ordering::Relaxed)
     }
 
     /// Prices `len` by linear interpolation between the memoized engine
@@ -129,17 +157,19 @@ impl LatencyModel {
         wl: F,
     ) -> SimDuration {
         let key = (phase, batch, len);
-        if let Some(&d) = self.cache.lock().expect("latency cache poisoned").get(&key) {
-            return d;
-        }
-        // Compute outside the lock: an engine run is milliseconds of work
-        // and the result is deterministic, so a racing duplicate is benign.
-        let d = latency(&self.engine.run(&wl(len), ExecMode::Eager));
-        self.cache
-            .lock()
-            .expect("latency cache poisoned")
-            .insert(key, d);
-        d
+        // One lock acquisition resolves the key to its cell; cloning the
+        // Arc lets the lock drop before any simulation work starts.
+        let cell = Arc::clone(
+            self.cache
+                .lock()
+                .expect("latency cache poisoned")
+                .entry(key)
+                .or_default(),
+        );
+        *cell.get_or_init(|| {
+            self.engine_runs.fetch_add(1, Ordering::Relaxed);
+            self.engine.run_summary(&wl(len), ExecMode::Eager).latency()
+        })
     }
 }
 
@@ -161,6 +191,7 @@ mod tests {
         assert_eq!(b, c);
         let _ = m.decode_step(2, 128);
         assert_eq!(m.cache_entries(), 3);
+        assert_eq!(m.engine_runs(), 3, "one engine run per distinct key");
     }
 
     /// Regression test for the power-of-two overcharge: a 520-token prompt
@@ -206,5 +237,64 @@ mod tests {
         assert_eq!(bucket(128), 128);
         assert_eq!(bucket(129), 256);
         assert_eq!(bucket(0), 1);
+    }
+
+    /// Single-flight: 8 workers hammering the same handful of keys must
+    /// trigger exactly one engine run per distinct key — the losers of
+    /// each race block on the key's cell instead of re-simulating.
+    #[test]
+    fn concurrent_hammer_runs_engine_once_per_key() {
+        let m = LatencyModel::new(Platform::intel_h100(), zoo::qwen25_05b());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..4 {
+                        let _ = m.prefill(1, 64);
+                        let _ = m.prefill(1, 100); // buckets 64 + 128
+                        let _ = m.decode_step(2, 128);
+                        let _ = m.decode_step(2, 37); // buckets 32 + 64
+                    }
+                });
+            }
+        });
+        // Keys: prefill(1,{64,128}), decode(2,{128,32,64}).
+        assert_eq!(m.cache_entries(), 5);
+        assert_eq!(
+            m.engine_runs(),
+            5,
+            "racing workers must coalesce onto one run per key"
+        );
+    }
+
+    /// The serving experiments' key set, asserted (not sampled): every
+    /// (phase, batch, bucketed length) the gpt2 serving sweeps can touch
+    /// must price identically through the summary sink and the full-trace
+    /// reduction.
+    #[test]
+    fn summary_pricing_matches_trace_reduction_on_serving_key_grid() {
+        let engine = Engine::new(Platform::intel_h100());
+        let model = zoo::gpt2();
+        for phase_key in [0u8, 1] {
+            for batch in [1u32, 2, 4, 8, 16] {
+                for len in [32u32, 64, 128, 256, 512] {
+                    let wl = if phase_key == 0 {
+                        Workload::new(model.clone(), Phase::Prefill, batch, len)
+                    } else {
+                        Workload::new(
+                            model.clone(),
+                            Phase::DecodeStep { past_len: len },
+                            batch,
+                            len,
+                        )
+                    };
+                    let summary = engine.run_summary(&wl, ExecMode::Eager).latency();
+                    let full = latency(&engine.run(&wl, ExecMode::Eager));
+                    assert_eq!(
+                        summary, full,
+                        "phase {phase_key} batch {batch} len {len} priced differently"
+                    );
+                }
+            }
+        }
     }
 }

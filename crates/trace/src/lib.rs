@@ -60,9 +60,11 @@ pub mod chrome;
 mod event;
 mod ids;
 mod names;
+mod sink;
 mod trace;
 
 pub use event::{CounterEvent, CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
 pub use ids::{CorrelationId, NameId, OpId, StreamId, ThreadId};
 pub use names::NameTable;
+pub use sink::{summarize_trace, EventSink, KernelClassTag, RunSummary};
 pub use trace::{Trace, TraceError, TraceMeta};
