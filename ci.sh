@@ -22,6 +22,11 @@ cargo test --workspace --doc -q
 echo "== serving_trace example (lifecycle/counter export end-to-end) =="
 cargo run --release -p skip-suite --example serving_trace
 
+echo "== skip serve CLI (chunked-prefill policy behind the JSQ router) =="
+cargo run --release -p skip-suite --bin skip -- serve --model gpt2 --platform gh200 \
+  --policy chunked --chunk-tokens 64 --router jsq --replicas 4 --requests 40 \
+  --qps 100 --seq 256 --tokens 8 --slo-ttft-ms 200 | grep -q "completed    : 40 requests"
+
 echo "== parallel determinism (byte-identical renders at any --threads) =="
 cargo test --release --test parallel_determinism -q
 

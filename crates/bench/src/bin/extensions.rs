@@ -3,7 +3,7 @@
 //! suite.
 use skip_bench::experiments::{
     ablations, decode, energy, fusion_applied, future_workloads, kv_capacity, seqlen, serving,
-    serving_observability,
+    serving_observability, serving_policies,
 };
 
 fn main() {
@@ -18,6 +18,7 @@ fn main() {
         "{}",
         serving_observability::render(&serving_observability::run())
     );
+    println!("{}", serving_policies::render(&serving_policies::run()));
     println!("{}", seqlen::render(&seqlen::run()));
     println!("{}", kv_capacity::render(&kv_capacity::run()));
 }

@@ -16,6 +16,11 @@
 //!   fan-out overhead.
 //! * `serving_sim` — the serving extension sweep (30 discrete-event
 //!   simulations).
+//! * `serving_policies` — the policy × router matrix (27 four-replica
+//!   simulations through the composable scheduler seams).
+//! * `router_dispatch` — a single partitioned-router simulation iterated:
+//!   the per-arrival `Router` dyn-dispatch plus per-iteration `BatchPolicy`
+//!   dyn-dispatch hot path, measured end to end.
 //! * `latency_cold_keys` — cold-cache `LatencyModel` pricing over the
 //!   serving key grid, a fresh model each iteration.
 //! * `fusion_recommend` — chain extraction + recommendation over a GPT2
@@ -29,13 +34,15 @@
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use skip_bench::experiments::{fig10, serving};
+use skip_bench::experiments::{fig10, serving, serving_policies};
 use skip_bench::harness;
 use skip_core::ProfileReport;
 use skip_hw::Platform;
 use skip_llm::{zoo, Phase, Workload};
 use skip_runtime::{Engine, ExecMode};
-use skip_serve::LatencyModel;
+use skip_serve::{
+    simulate_replicas, LatencyModel, Policy, RouterPolicy, ServingConfig, SloTargets,
+};
 
 /// One timed workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -165,6 +172,30 @@ fn fusion_recommend() -> Option<u64> {
     Some(events * iters)
 }
 
+/// One partitioned-router simulation iterated for a stable reading: every
+/// arrival routes through the boxed `Router`, every iteration schedules
+/// through the boxed `BatchPolicy` — the refactor's dyn-dispatch hot path.
+fn router_dispatch() -> Option<u64> {
+    let cfg = ServingConfig {
+        platform: Platform::intel_h100(),
+        model: zoo::gpt2(),
+        policy: Policy::Continuous { max_batch: 8 },
+        requests: 200,
+        arrival_rate_per_s: 500.0,
+        prompt_len: 32,
+        new_tokens: 4,
+        seed: 13,
+        kv: None,
+        slo: SloTargets::default(),
+        router: RouterPolicy::JoinShortestQueue,
+    };
+    for _ in 0..ITERS {
+        let r = simulate_replicas(&cfg, 4);
+        assert_eq!(r.completed, 200);
+    }
+    Some(u64::from(cfg.requests) * ITERS)
+}
+
 fn parse_args() -> (usize, String, Option<String>) {
     let mut threads = 0usize;
     let mut out = String::from("BENCH_SUITE.json");
@@ -251,6 +282,11 @@ fn main() {
         let _ = serving::run();
         None
     }));
+    entries.push(timed("serving_policies", harness::threads(), || {
+        let _ = serving_policies::run();
+        None
+    }));
+    entries.push(timed("router_dispatch", 1, router_dispatch));
     entries.push(timed("latency_cold_keys", 1, latency_cold_keys));
     entries.push(timed("fusion_recommend", 1, fusion_recommend));
 

@@ -22,7 +22,9 @@
 use skip_hw::Platform;
 use skip_llm::{zoo, ModelConfig};
 use skip_mem::{KvSpec, OffloadPolicy};
-use skip_serve::{simulate, KvCacheConfig, Policy, ServingConfig, ServingReport, SloTargets};
+use skip_serve::{
+    simulate, KvCacheConfig, Policy, RouterPolicy, ServingConfig, ServingReport, SloTargets,
+};
 
 use crate::TextTable;
 
@@ -86,6 +88,7 @@ fn run_one(platform: &Platform, model: &ModelConfig, load: f64, budget: u32) -> 
         seed: 7,
         kv: Some(KvCacheConfig::with_blocks(budget, OffloadPolicy::Auto)),
         slo: SloTargets::default(),
+        router: RouterPolicy::SharedQueue,
     });
     KvCapacityRow {
         platform: platform.name.clone(),

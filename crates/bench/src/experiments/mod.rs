@@ -23,6 +23,7 @@
 //! | [`energy`] | joules-per-request across coupling paradigms (Table IV envelopes) |
 //! | [`serving`] | online serving: load vs p95 TTFT, static vs continuous batching |
 //! | [`serving_observability`] | SLO attainment & goodput vs load from lifecycle-traced serving |
+//! | [`serving_policies`] | batching policy × replica router matrix on the composable floor |
 //! | [`seqlen`] | sequence-length sensitivity: the Fig. 6 transition along the seq axis |
 //! | [`kv_capacity`] | paged-KV capacity: load × model × block budget, coupling-aware offload |
 
@@ -42,5 +43,6 @@ pub mod kv_capacity;
 pub mod seqlen;
 pub mod serving;
 pub mod serving_observability;
+pub mod serving_policies;
 pub mod table1;
 pub mod table5;

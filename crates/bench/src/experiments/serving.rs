@@ -13,7 +13,7 @@
 use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
-use skip_serve::{simulate, Policy, ServingConfig, ServingReport, SloTargets};
+use skip_serve::{simulate, Policy, RouterPolicy, ServingConfig, ServingReport, SloTargets};
 
 use crate::TextTable;
 
@@ -45,12 +45,14 @@ fn run_one(platform: &Platform, policy: Policy, load: f64) -> ServingRow {
         seed: 2026,
         kv: None,
         slo: SloTargets::default(),
+        router: RouterPolicy::SharedQueue,
     });
     ServingRow {
         platform: platform.name.clone(),
         policy: match policy {
             Policy::Static { .. } => "static".into(),
             Policy::Continuous { .. } => "continuous".into(),
+            Policy::ChunkedPrefill { .. } => "chunked".into(),
         },
         load,
         report,

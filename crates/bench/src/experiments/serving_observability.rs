@@ -14,7 +14,9 @@
 use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
-use skip_serve::{simulate_traced, Policy, ServingConfig, ServingReport, ServingTrace, SloTargets};
+use skip_serve::{
+    simulate_traced, Policy, RouterPolicy, ServingConfig, ServingReport, ServingTrace, SloTargets,
+};
 
 use crate::TextTable;
 
@@ -63,6 +65,7 @@ fn run_one(platform: &Platform, load: f64) -> ObservabilityRow {
             seed: 2026,
             kv: None,
             slo: targets(),
+            router: RouterPolicy::SharedQueue,
         },
         1,
     );

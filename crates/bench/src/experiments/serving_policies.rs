@@ -1,0 +1,337 @@
+//! **Extension** — batching policy × replica router: the composable
+//! scheduler seams, measured.
+//!
+//! The serving floor is built from two orthogonal traits — `BatchPolicy`
+//! (what each replica runs per iteration) and `Router` (which replica an
+//! arrival joins). This experiment sweeps the full cross product on a
+//! four-replica GPT2 endpoint with long prompts. Three findings, each a
+//! direct consequence of the paper's dispatch-cost characterization:
+//!
+//! * **Policy axis** — continuous batching dominates static on the TTFT
+//!   tail everywhere, and chunked prefill is a *pessimization* here:
+//!   slicing a 512-token prompt into 128-token chunks multiplies the
+//!   iteration count ~4x, and every extra iteration pays the platform's
+//!   fixed CPU dispatch cost. The slowdown therefore ranks by coupling:
+//!   mildest on the fast-dispatch Xeon host, worst on the
+//!   Grace-dispatch-bound GH200. (Chunked prefill earns its keep by
+//!   bounding iteration time for latency-sensitive co-running decodes —
+//!   a TBT benefit this homogeneous TTFT-focused workload cannot see.)
+//! * **Router axis** — the shared queue's late binding beats both
+//!   partitioned routers on the TTFT tail: an arrival commits to a
+//!   replica only when one goes idle, so no request strands behind a
+//!   busy replica while another sits free.
+//! * **JSQ degeneracy** — with homogeneous requests the per-replica
+//!   queues stay balanced, so join-shortest-queue's tie-break walks the
+//!   replica indices in rotation and collapses into round-robin.
+//!
+//! Every cell is audited against the counter conservation law via the
+//! lifecycle trace, so the seam matrix doubles as an integration test of
+//! the refactored floor.
+
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::zoo;
+use skip_serve::{
+    simulate_traced, Policy, RouterPolicy, ServingConfig, ServingReport, ServingTrace, SloTargets,
+};
+
+use crate::TextTable;
+
+/// Offered load, requests/second — past the knee for a 4-replica endpoint.
+pub const LOAD: f64 = 150.0;
+
+/// Requests per simulation.
+pub const REQUESTS: u32 = 80;
+
+/// Prompt length, tokens — long enough that a whole-prompt prefill
+/// iteration visibly blocks the first token of queued peers.
+pub const PROMPT_LEN: u32 = 512;
+
+/// Output tokens per request.
+pub const NEW_TOKENS: u32 = 16;
+
+/// Concurrent-request cap shared by the continuous and chunked policies.
+pub const MAX_BATCH: u32 = 16;
+
+/// Per-iteration prefill token budget of the chunked policy.
+pub const CHUNK_TOKENS: u32 = 128;
+
+/// Replicas behind the router.
+pub const REPLICAS: u32 = 4;
+
+/// TTFT target scored in every cell.
+pub const SLO_TTFT_MS: u64 = 500;
+
+/// End-to-end target scored in every cell.
+pub const SLO_E2E_MS: u64 = 3000;
+
+/// One (platform, policy, router) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRouterRow {
+    /// Platform name.
+    pub platform: String,
+    /// Policy label (`"static"` / `"continuous"` / `"chunked"`).
+    pub policy: String,
+    /// Router label (`"shared"` / `"rr"` / `"jsq"`).
+    pub router: String,
+    /// Scalar report, including the SLO block.
+    pub report: ServingReport,
+    /// The lifecycle/counter recording behind it.
+    pub trace: ServingTrace,
+}
+
+/// The batching policies swept, with their table labels.
+#[must_use]
+pub fn policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        (
+            "static",
+            Policy::Static {
+                batch_size: 8,
+                max_wait: SimDuration::from_millis(50),
+            },
+        ),
+        (
+            "continuous",
+            Policy::Continuous {
+                max_batch: MAX_BATCH,
+            },
+        ),
+        (
+            "chunked",
+            Policy::ChunkedPrefill {
+                max_batch: MAX_BATCH,
+                chunk_tokens: CHUNK_TOKENS,
+            },
+        ),
+    ]
+}
+
+/// The routers swept.
+pub const ROUTERS: [RouterPolicy; 3] = [
+    RouterPolicy::SharedQueue,
+    RouterPolicy::RoundRobin,
+    RouterPolicy::JoinShortestQueue,
+];
+
+fn run_one(
+    platform: &Platform,
+    label: &str,
+    policy: Policy,
+    router: RouterPolicy,
+) -> PolicyRouterRow {
+    let (report, trace) = simulate_traced(
+        &ServingConfig {
+            platform: platform.clone(),
+            model: zoo::gpt2(),
+            policy,
+            requests: REQUESTS,
+            arrival_rate_per_s: LOAD,
+            prompt_len: PROMPT_LEN,
+            new_tokens: NEW_TOKENS,
+            seed: 2026,
+            kv: None,
+            slo: SloTargets {
+                ttft: Some(SimDuration::from_millis(SLO_TTFT_MS)),
+                e2e: Some(SimDuration::from_millis(SLO_E2E_MS)),
+            },
+            router,
+        },
+        REPLICAS,
+    );
+    PolicyRouterRow {
+        platform: platform.name.clone(),
+        policy: label.to_owned(),
+        router: router.label().to_owned(),
+        report,
+        trace,
+    }
+}
+
+/// Runs the policy × router matrix on the paper trio. Each cell is an
+/// independent simulation, fanned out across the
+/// [`harness`](crate::harness) workers; row order matches the serial
+/// nested loops.
+#[must_use]
+pub fn run() -> Vec<PolicyRouterRow> {
+    let mut cells = Vec::new();
+    for platform in Platform::paper_trio() {
+        for (label, policy) in policies() {
+            for router in ROUTERS {
+                cells.push((platform.clone(), label, policy, router));
+            }
+        }
+    }
+    crate::harness::map(cells, |(platform, label, policy, router)| {
+        run_one(&platform, label, policy, router)
+    })
+}
+
+/// Looks up one cell of the matrix.
+#[must_use]
+pub fn find<'a>(
+    rows: &'a [PolicyRouterRow],
+    platform: &str,
+    policy: &str,
+    router: &str,
+) -> Option<&'a PolicyRouterRow> {
+    rows.iter()
+        .find(|r| r.platform == platform && r.policy == policy && r.router == router)
+}
+
+/// Renders one panel per platform: p95 TTFT with SLO attainment and
+/// goodput for every policy × router cell.
+#[must_use]
+pub fn render(rows: &[PolicyRouterRow]) -> String {
+    let mut out = format!(
+        "Serving-policy matrix: {REPLICAS}x GPT2 replicas, {PROMPT_LEN}-token prompts, \
+         {LOAD:.0} req/s offered\ncell = p95 TTFT ms | SLO% (ttft<={SLO_TTFT_MS}ms & \
+         e2e<={SLO_E2E_MS}ms) | goodput req/s\n"
+    );
+    for platform in Platform::paper_trio() {
+        out.push_str(&format!("\nplatform: {}\n", platform.name));
+        let mut t = TextTable::new(vec!["policy", "shared", "rr", "jsq"]);
+        for (label, _) in policies() {
+            let cell = |router: &str| {
+                let r = find(rows, &platform.name, label, router).expect("cell");
+                format!(
+                    "{:.0} | {:.0}% | {:.1}",
+                    r.report.ttft_p95.as_millis_f64(),
+                    100.0 * f64::from(r.report.slo.slo_completions)
+                        / f64::from(r.report.slo.completed.max(1)),
+                    r.report.slo.goodput_req_s
+                )
+            };
+            t.row(vec![
+                label.to_owned(),
+                cell("shared"),
+                cell("rr"),
+                cell("jsq"),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p95(rows: &[PolicyRouterRow], platform: &str, policy: &str, router: &str) -> f64 {
+        find(rows, platform, policy, router)
+            .expect("cell")
+            .report
+            .ttft_p95
+            .as_millis_f64()
+    }
+
+    fn makespan_ms(rows: &[PolicyRouterRow], platform: &str, policy: &str) -> f64 {
+        find(rows, platform, policy, "shared")
+            .expect("cell")
+            .report
+            .makespan
+            .as_millis_f64()
+    }
+
+    const TRIO: [&str; 3] = ["amd_a100", "intel_h100", "gh200"];
+
+    #[test]
+    fn every_cell_completes_and_conserves() {
+        for r in run() {
+            assert_eq!(
+                r.report.completed, REQUESTS,
+                "{}/{}/{}",
+                r.platform, r.policy, r.router
+            );
+            assert!(
+                r.trace.conserves_requests(),
+                "conservation violated on {}/{}/{}",
+                r.platform,
+                r.policy,
+                r.router
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_is_deterministic() {
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must reproduce the full matrix");
+    }
+
+    #[test]
+    fn continuous_batching_dominates_static_on_the_tail() {
+        let rows = run();
+        for p in TRIO {
+            assert!(
+                p95(&rows, p, "continuous", "shared") < p95(&rows, p, "static", "shared"),
+                "{p}: continuous {} vs static {}",
+                p95(&rows, p, "continuous", "shared"),
+                p95(&rows, p, "static", "shared"),
+            );
+        }
+    }
+
+    #[test]
+    fn chunking_cost_ranks_by_dispatch_overhead() {
+        // Chunked prefill multiplies the iteration count ~4x
+        // (512-token prompts / 128-token budget), and each extra
+        // iteration pays the platform's fixed dispatch cost — so the
+        // makespan slowdown vs continuous batching ranks exactly by
+        // dispatch overhead: Xeon (fastest host CPU) < EPYC < Grace.
+        let rows = run();
+        let slowdown =
+            |p: &str| makespan_ms(&rows, p, "chunked") / makespan_ms(&rows, p, "continuous");
+        for p in TRIO {
+            assert!(slowdown(p) > 2.0, "{p}: chunking must cost iterations");
+        }
+        assert!(
+            slowdown("intel_h100") < slowdown("amd_a100")
+                && slowdown("amd_a100") < slowdown("gh200"),
+            "slowdowns {:.2} / {:.2} / {:.2} must rank by dispatch cost",
+            slowdown("intel_h100"),
+            slowdown("amd_a100"),
+            slowdown("gh200"),
+        );
+    }
+
+    #[test]
+    fn late_binding_shared_queue_wins_the_tail() {
+        // A shared-queue arrival picks its replica at the last moment
+        // (when one goes idle); partitioned routers commit at arrival
+        // time and strand requests behind busy replicas.
+        let rows = run();
+        for p in TRIO {
+            for (label, _) in policies() {
+                for router in ["rr", "jsq"] {
+                    assert!(
+                        p95(&rows, p, label, "shared") <= p95(&rows, p, label, router) * 1.001,
+                        "{p}/{label}: shared {} vs {router} {}",
+                        p95(&rows, p, label, "shared"),
+                        p95(&rows, p, label, router),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jsq_degenerates_to_round_robin_on_homogeneous_load() {
+        // Identical requests keep the replica queues balanced, so JSQ's
+        // lowest-index tie-break deals arrivals in rotation — the two
+        // partitioned routers land within noise of each other.
+        let rows = run();
+        for p in TRIO {
+            for (label, _) in policies() {
+                let rr = p95(&rows, p, label, "rr");
+                let jsq = p95(&rows, p, label, "jsq");
+                assert!(
+                    (jsq - rr).abs() <= rr * 0.05,
+                    "{p}/{label}: jsq {jsq} vs rr {rr} diverged"
+                );
+            }
+        }
+    }
+}

@@ -10,19 +10,33 @@
 //! what the user actually sees: TTFT/end-to-end percentiles and sustained
 //! throughput as functions of offered load.
 //!
+//! The simulator is layered: a slim DES core (the *floor*) dispatches
+//! events and prices iterations via the [`LatencyModel`], while every
+//! scheduling decision flows through three seams — a `BatchPolicy` (which
+//! requests run next iteration: [`Policy`]), a `Router` (which replica an
+//! arrival joins: [`RouterPolicy`]), and a memory layer wrapping the
+//! `skip-mem` paged KV-cache ([`KvCacheConfig`]). New policies plug into
+//! the seams without touching the event loop.
+//!
 //! Components:
 //!
 //! * [`RequestStream`] — seeded Poisson arrivals with configurable prompt
 //!   and output lengths.
 //! * [`LatencyModel`] — memoized per-iteration latencies from the engine
 //!   (prefill and decode, bucketed by batch size and context length).
-//! * [`Policy`] — static batching (collect B requests or time out) vs
-//!   continuous, iteration-level batching.
+//! * [`Policy`] — static batching (collect B requests or time out),
+//!   continuous iteration-level batching, or chunked prefill
+//!   (fixed-token prompt chunks co-scheduled with decode steps).
+//! * [`RouterPolicy`] — multi-replica dispatch: one shared queue,
+//!   round-robin dealing, or join-shortest-queue.
 //! * [`KvCacheConfig`] — optional paged KV-cache budget (from `skip-mem`);
-//!   when set, continuous batching becomes memory-aware: admission reserves
-//!   prompt blocks, decode grows tables, and exhaustion preempts the newest
-//!   request, resolving each victim by recompute or coupling-priced
-//!   swap-to-host.
+//!   when set, iteration-level batching becomes memory-aware: admission
+//!   reserves prompt blocks, decode grows tables, and exhaustion preempts
+//!   the newest request, resolving each victim by recompute or
+//!   coupling-priced swap-to-host.
+//! * [`ServingConfig::validate`] — up-front configuration checking with
+//!   actionable [`ConfigError`]s; the `simulate*` entry points panic on
+//!   invalid configs, so graceful front ends validate first.
 //! * [`simulate`] — the discrete-event serving loop, returning a
 //!   [`ServingReport`] of latency percentiles, throughput, memory-pressure
 //!   counters, and SLO attainment.
@@ -37,7 +51,7 @@
 //! use skip_des::SimDuration;
 //! use skip_hw::Platform;
 //! use skip_llm::zoo;
-//! use skip_serve::{simulate_traced, Policy, ServingConfig, SloTargets};
+//! use skip_serve::{simulate_traced, Policy, RouterPolicy, ServingConfig, SloTargets};
 //!
 //! let (report, trace) = simulate_traced(
 //!     &ServingConfig {
@@ -54,6 +68,7 @@
 //!             ttft: Some(SimDuration::from_millis(200)),
 //!             e2e: None,
 //!         },
+//!         router: RouterPolicy::SharedQueue,
 //!     },
 //!     1,
 //! );
@@ -67,19 +82,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
+mod floor;
 mod latency;
+mod memctx;
 mod observe;
+mod policy;
 mod request;
-mod sim;
+mod router;
 
+pub use config::{ConfigError, KvCacheConfig, Policy, RouterPolicy, ServingConfig};
+pub use floor::{simulate, simulate_replicas, simulate_traced, ServingReport};
 pub use latency::LatencyModel;
 pub use observe::{
     CounterSample, LifecycleEvent, LifecycleKind, RequestLifecycle, ResumeAction, ServingTrace,
     SloReport, SloTargets,
 };
 pub use request::{Request, RequestStream};
-pub use sim::{
-    simulate, simulate_replicas, simulate_traced, KvCacheConfig, Policy, ServingConfig,
-    ServingReport,
-};
+pub use router::{ReplicaLoad, Router};
 pub use skip_mem::OffloadPolicy;

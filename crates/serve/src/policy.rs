@@ -1,0 +1,576 @@
+//! Batch-formation policies: what the next engine iteration runs.
+//!
+//! A [`BatchPolicy`] owns two scheduler decisions — picking and pricing the
+//! next iteration for one replica ([`BatchPolicy::next_iteration`]) and
+//! crediting the iteration that just completed ([`BatchPolicy::retire`]).
+//! Everything a policy may touch is handed to it through a [`Lane`]: the
+//! replica's pending queue, its running state, an optional
+//! [`MemLane`](crate::memctx::MemLane) for KV bookkeeping, and the
+//! observability recorder. The DES loop, flush timers, and replica routing
+//! live in `floor.rs` and never depend on which policy runs.
+
+use std::collections::VecDeque;
+
+use skip_des::{SimDuration, SimTime};
+
+use crate::config::{Policy, ServingConfig};
+use crate::latency::LatencyModel;
+use crate::memctx::MemLane;
+use crate::observe::{LifecycleKind, ServingTrace};
+use crate::request::Request;
+
+/// A request in the running batch.
+pub(crate) struct Active {
+    pub(crate) req: Request,
+    /// Tokens generated so far (0 while still prefilling).
+    pub(crate) generated: u32,
+    /// Prompt tokens prefilled so far. Whole-prompt policies set this to
+    /// `prompt_len` at admission; chunked prefill advances it chunk by
+    /// chunk, and it is what preemption/resume sizing reads, so a request
+    /// parked mid-prefill swaps or recomputes only what it actually holds.
+    pub(crate) prefilled: u32,
+    pub(crate) ttft: Option<SimDuration>,
+}
+
+/// A completed request's user-visible latencies.
+pub(crate) struct Finished {
+    pub(crate) ttft: SimDuration,
+    pub(crate) e2e: SimDuration,
+}
+
+/// One unit of work inside a chunked-prefill iteration plan.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PlanStep {
+    /// Prefill `tokens` more prompt tokens of request `id`.
+    Chunk { id: u64, tokens: u32 },
+    /// One decode step for request `id`.
+    Decode { id: u64 },
+}
+
+/// One replica's scheduling state.
+#[derive(Default)]
+pub(crate) struct ReplicaState {
+    /// Running batch (iteration-level policies).
+    pub(crate) actives: Vec<Active>,
+    /// In-flight static job: each request with its first-token instant.
+    pub(crate) static_job: Vec<(Request, SimTime)>,
+    /// The in-flight iteration's plan (chunked prefill).
+    pub(crate) plan: Vec<PlanStep>,
+    pub(crate) busy: bool,
+}
+
+impl ReplicaState {
+    /// Requests this replica is responsible for right now.
+    pub(crate) fn running(&self) -> usize {
+        self.actives.len() + self.static_job.len()
+    }
+}
+
+/// Everything a batch policy may touch while scheduling one replica:
+/// the replica's queue and state, the shared pricing model, the optional
+/// memory lane, and the trace/metrics sinks. Borrowed afresh from the
+/// floor for each decision, so policies hold no state of their own beyond
+/// their knobs.
+pub(crate) struct Lane<'a> {
+    pub(crate) cfg: &'a ServingConfig,
+    pub(crate) lat: &'a LatencyModel,
+    pub(crate) now: SimTime,
+    pub(crate) replica: usize,
+    pub(crate) queue: &'a mut VecDeque<Request>,
+    pub(crate) state: &'a mut ReplicaState,
+    pub(crate) mem: Option<MemLane<'a>>,
+    pub(crate) obs: &'a mut ServingTrace,
+    pub(crate) done: &'a mut Vec<Finished>,
+    pub(crate) last_completion: &'a mut SimTime,
+}
+
+impl Lane<'_> {
+    fn complete(&mut self, a: Active) {
+        if let Some(mem) = self.mem.as_mut() {
+            mem.release(a.req.id);
+        }
+        self.obs.record(
+            a.req.id,
+            self.now,
+            LifecycleKind::Completed {
+                replica: self.replica as u32,
+            },
+        );
+        self.done.push(Finished {
+            ttft: a.ttft.expect("prefill completed before retirement"),
+            e2e: self.now.saturating_duration_since(a.req.arrival),
+        });
+        *self.last_completion = self.now;
+    }
+}
+
+/// Forms and retires engine iterations for one replica.
+pub(crate) trait BatchPolicy {
+    /// Picks and prices the next iteration; `None` when the replica has
+    /// nothing to do. `flush` forces a partial static batch (the oldest
+    /// waiter's timeout expired).
+    fn next_iteration(&self, lane: &mut Lane<'_>, flush: bool) -> Option<SimDuration>;
+
+    /// Credits the iteration/job that just completed.
+    fn retire(&self, lane: &mut Lane<'_>);
+
+    /// `Some(max_wait)` when the floor must arm a flush timer for the
+    /// oldest pending arrival (static batching); `None` for policies that
+    /// admit at every iteration boundary.
+    fn flush_after(&self) -> Option<SimDuration> {
+        None
+    }
+}
+
+impl Policy {
+    /// Instantiates the configured batch policy.
+    pub(crate) fn build(self) -> Box<dyn BatchPolicy> {
+        match self {
+            Policy::Static {
+                batch_size,
+                max_wait,
+            } => Box::new(StaticBatch {
+                batch_size,
+                max_wait,
+            }),
+            Policy::Continuous { max_batch } => Box::new(ContinuousBatch { max_batch }),
+            Policy::ChunkedPrefill {
+                max_batch,
+                chunk_tokens,
+            } => Box::new(ChunkedPrefillBatch {
+                max_batch,
+                chunk_tokens,
+            }),
+        }
+    }
+}
+
+/// Classic static batching: collect `batch_size` requests (or time out
+/// waiting), run the whole batch to completion as one job.
+pub(crate) struct StaticBatch {
+    batch_size: u32,
+    max_wait: SimDuration,
+}
+
+impl BatchPolicy for StaticBatch {
+    fn next_iteration(&self, lane: &mut Lane<'_>, flush: bool) -> Option<SimDuration> {
+        let enough = lane.queue.len() as u32 >= self.batch_size;
+        if lane.queue.is_empty() || !(enough || flush) {
+            return None;
+        }
+        let take = (lane.queue.len() as u32).min(self.batch_size);
+        let batch: Vec<Request> = (0..take).filter_map(|_| lane.queue.pop_front()).collect();
+        let b = batch.len() as u32;
+        let prefill = lane.lat.prefill(b, lane.cfg.prompt_len);
+        let mut total = prefill;
+        for step in 1..lane.cfg.new_tokens.max(1) {
+            total += lane.lat.decode_step(b, lane.cfg.prompt_len + step);
+        }
+        let first_token_at = lane.now + prefill;
+        for req in batch {
+            lane.obs.record(
+                req.id,
+                lane.now,
+                LifecycleKind::Admitted {
+                    replica: lane.replica as u32,
+                },
+            );
+            lane.state.static_job.push((req, first_token_at));
+        }
+        Some(total)
+    }
+
+    fn retire(&self, lane: &mut Lane<'_>) {
+        let now = lane.now;
+        let replica_id = lane.replica as u32;
+        for (req, first_token_at) in std::mem::take(&mut lane.state.static_job) {
+            lane.obs
+                .record(req.id, first_token_at, LifecycleKind::FirstToken);
+            lane.obs.record(
+                req.id,
+                now,
+                LifecycleKind::Completed {
+                    replica: replica_id,
+                },
+            );
+            lane.done.push(Finished {
+                ttft: first_token_at.saturating_duration_since(req.arrival),
+                e2e: now.saturating_duration_since(req.arrival),
+            });
+            *lane.last_completion = now;
+        }
+    }
+
+    fn flush_after(&self) -> Option<SimDuration> {
+        Some(self.max_wait)
+    }
+}
+
+/// Iteration-level continuous batching (Orca/vLLM style): newcomers join
+/// at the next iteration boundary; each iteration is either a batched
+/// prefill for the newcomers or one decode step for the running batch.
+/// With a memory lane, admission reserves prompt blocks, decode grows
+/// tables, and exhaustion preempts the newest request.
+pub(crate) struct ContinuousBatch {
+    max_batch: u32,
+}
+
+impl ContinuousBatch {
+    /// The unbounded-cache iteration: prefill newcomers, else decode.
+    fn plain_iteration(&self, lane: &mut Lane<'_>) -> Option<SimDuration> {
+        let slots = self.max_batch as usize - lane.state.actives.len().min(self.max_batch as usize);
+        let newcomers = lane.queue.len().min(slots);
+        if newcomers > 0 {
+            // Prefill iteration for the newcomers.
+            for _ in 0..newcomers {
+                let req = lane.queue.pop_front().expect("counted above");
+                lane.obs.record(
+                    req.id,
+                    lane.now,
+                    LifecycleKind::Admitted {
+                        replica: lane.replica as u32,
+                    },
+                );
+                let prefilled = req.prompt_len;
+                lane.state.actives.push(Active {
+                    req,
+                    generated: 0,
+                    prefilled,
+                    ttft: None,
+                });
+            }
+            Some(lane.lat.prefill(newcomers as u32, lane.cfg.prompt_len))
+        } else if !lane.state.actives.is_empty() {
+            // One decode step for the whole running batch.
+            let ctx = lane
+                .state
+                .actives
+                .iter()
+                .map(|a| a.req.prompt_len + a.generated)
+                .max()
+                .expect("non-empty");
+            Some(lane.lat.decode_step(lane.state.actives.len() as u32, ctx))
+        } else {
+            None
+        }
+    }
+
+    /// The memory-aware iteration: resume parked requests first, then
+    /// admit newcomers whose prompts fit, else run one decode step,
+    /// preempting the newest requests until the whole batch's next token
+    /// fits.
+    fn memory_iteration(&self, lane: &mut Lane<'_>) -> Option<SimDuration> {
+        let Lane {
+            cfg,
+            lat,
+            now,
+            replica,
+            queue,
+            state,
+            mem,
+            obs,
+            ..
+        } = lane;
+        let mem = mem.as_mut().expect("memory path requires a lane");
+        let now = *now;
+        let replica_id = *replica as u32;
+        let slots = (self.max_batch as usize).saturating_sub(state.actives.len());
+
+        // 1. Resume preempted requests; the cohort rides one iteration.
+        if let Some(cost) = mem.resume_cohort(slots, lat, now, &mut state.actives, obs) {
+            return Some(cost);
+        }
+
+        // 2. Admit newcomers whose prompt blocks fit (only when no
+        //    preempted request is waiting — they have priority).
+        if mem.parked_is_empty() && slots > 0 && !queue.is_empty() {
+            let mut admitted = 0u32;
+            while (admitted as usize) < slots {
+                let Some(req) = queue.front() else { break };
+                if !mem.try_reserve(req.id, u64::from(req.prompt_len)) {
+                    break;
+                }
+                let req = queue.pop_front().expect("front probed above");
+                obs.record(
+                    req.id,
+                    now,
+                    LifecycleKind::Admitted {
+                        replica: replica_id,
+                    },
+                );
+                let prefilled = req.prompt_len;
+                state.actives.push(Active {
+                    req,
+                    generated: 0,
+                    prefilled,
+                    ttft: None,
+                });
+                admitted += 1;
+            }
+            if admitted > 0 {
+                return Some(lat.prefill(admitted, cfg.prompt_len));
+            }
+        }
+
+        // 3. One decode step. First make the whole batch's next token fit
+        //    (a lone request always fits because validation guarantees the
+        //    pool holds at least one full request).
+        if state.actives.is_empty() {
+            return None;
+        }
+        let swap_stall = mem.fit_and_grow(
+            &mut state.actives,
+            |a| Some(u64::from(a.prefilled) + u64::from(a.generated) + 1),
+            lat,
+            now,
+            obs,
+            |_| {},
+        );
+        let ctx = state
+            .actives
+            .iter()
+            .map(|a| a.prefilled + a.generated)
+            .max()
+            .expect("non-empty");
+        Some(lat.decode_step(state.actives.len() as u32, ctx) + swap_stall)
+    }
+}
+
+impl BatchPolicy for ContinuousBatch {
+    fn next_iteration(&self, lane: &mut Lane<'_>, _flush: bool) -> Option<SimDuration> {
+        if lane.mem.is_some() {
+            self.memory_iteration(lane)
+        } else {
+            self.plain_iteration(lane)
+        }
+    }
+
+    fn retire(&self, lane: &mut Lane<'_>) {
+        let now = lane.now;
+        let mut i = 0;
+        while i < lane.state.actives.len() {
+            let a = &mut lane.state.actives[i];
+            if a.generated == 0 {
+                // Prefill just finished: first token out.
+                a.generated = 1;
+                a.ttft = Some(now.saturating_duration_since(a.req.arrival));
+                lane.obs.record(a.req.id, now, LifecycleKind::FirstToken);
+            } else {
+                a.generated += 1;
+            }
+            let a = &lane.state.actives[i];
+            if a.generated >= a.req.new_tokens.max(1) {
+                let a = lane.state.actives.swap_remove(i);
+                lane.complete(a);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Chunked prefill (Sarathi/vLLM style): each iteration spends at most
+/// `chunk_tokens` of prefill work — continuing in-flight prompts first,
+/// then admitting newcomers — and co-schedules one decode step for every
+/// request already generating. Long prompts no longer monopolize the
+/// engine, bounding the stall decode-phase requests see; the price is that
+/// a prompt needs several iterations to finish prefilling.
+pub(crate) struct ChunkedPrefillBatch {
+    max_batch: u32,
+    chunk_tokens: u32,
+}
+
+impl BatchPolicy for ChunkedPrefillBatch {
+    fn next_iteration(&self, lane: &mut Lane<'_>, _flush: bool) -> Option<SimDuration> {
+        let Lane {
+            lat,
+            now,
+            replica,
+            queue,
+            state,
+            mem,
+            obs,
+            ..
+        } = lane;
+        let now = *now;
+        let replica_id = *replica as u32;
+        let slots = (self.max_batch as usize).saturating_sub(state.actives.len());
+
+        // Preempted requests have priority; the resume cohort rides one
+        // iteration of its own, like memory-aware continuous batching.
+        if let Some(mem) = mem.as_mut() {
+            if let Some(cost) = mem.resume_cohort(slots, lat, now, &mut state.actives, obs) {
+                return Some(cost);
+            }
+        }
+
+        let mut plan: Vec<PlanStep> = Vec::new();
+        let mut budget = self.chunk_tokens;
+
+        // 1. Continue in-flight prefills, oldest first, within the token
+        //    budget. KV growth is reserved chunk by chunk; a reservation
+        //    failure stops the scan (FCFS — younger prompts must not
+        //    overtake on memory).
+        for a in state.actives.iter() {
+            if budget == 0 {
+                break;
+            }
+            if a.prefilled >= a.req.prompt_len {
+                continue;
+            }
+            let tokens = (a.req.prompt_len - a.prefilled).min(budget);
+            if let Some(mem) = mem.as_mut() {
+                if !mem.try_reserve(a.req.id, u64::from(a.prefilled) + u64::from(tokens)) {
+                    break;
+                }
+            }
+            plan.push(PlanStep::Chunk {
+                id: a.req.id,
+                tokens,
+            });
+            budget -= tokens;
+        }
+
+        // 2. Admit newcomers into the leftover budget (blocked while
+        //    anything is parked — preempted requests are older than the
+        //    whole queue).
+        let parked_clear = mem.as_ref().is_none_or(MemLane::parked_is_empty);
+        let mut admitted = state.actives.len();
+        while parked_clear && budget > 0 && admitted < self.max_batch as usize {
+            let Some(req) = queue.front() else { break };
+            let tokens = req.prompt_len.min(budget);
+            if let Some(mem) = mem.as_mut() {
+                if !mem.try_reserve(req.id, u64::from(tokens)) {
+                    break;
+                }
+            }
+            let req = queue.pop_front().expect("front probed above");
+            obs.record(
+                req.id,
+                now,
+                LifecycleKind::Admitted {
+                    replica: replica_id,
+                },
+            );
+            plan.push(PlanStep::Chunk { id: req.id, tokens });
+            state.actives.push(Active {
+                req,
+                generated: 0,
+                prefilled: 0,
+                ttft: None,
+            });
+            budget -= tokens;
+            admitted += 1;
+        }
+
+        // 3. Co-schedule one decode step for every request already in its
+        //    decode phase, preempting (newest first) until the growth fits.
+        //    Evicted requests lose their plan steps.
+        let mut swap_stall = SimDuration::ZERO;
+        if let Some(mem) = mem.as_mut() {
+            swap_stall = mem.fit_and_grow(
+                &mut state.actives,
+                |a| {
+                    (a.prefilled >= a.req.prompt_len)
+                        .then(|| u64::from(a.prefilled) + u64::from(a.generated) + 1)
+                },
+                lat,
+                now,
+                obs,
+                |victim| plan.retain(|s| s.id() != victim),
+            );
+        }
+        for a in state.actives.iter() {
+            if a.prefilled >= a.req.prompt_len {
+                plan.push(PlanStep::Decode { id: a.req.id });
+            }
+        }
+
+        if plan.is_empty() {
+            // Every planned step was evicted: the iteration degenerates to
+            // the swap stall (if any); otherwise the replica idles.
+            return (swap_stall > SimDuration::ZERO).then_some(swap_stall);
+        }
+
+        // Price: one batched prefill over the chunk rows (sized by the
+        // largest chunk) plus one decode step over the decode rows (sized
+        // by the longest context), plus any eviction stall.
+        let mut chunk_rows = 0u32;
+        let mut max_chunk = 0u32;
+        let mut decode_rows = 0u32;
+        for step in &plan {
+            match *step {
+                PlanStep::Chunk { tokens, .. } => {
+                    chunk_rows += 1;
+                    max_chunk = max_chunk.max(tokens);
+                }
+                PlanStep::Decode { .. } => decode_rows += 1,
+            }
+        }
+        let mut cost = swap_stall;
+        if chunk_rows > 0 {
+            cost += lat.prefill(chunk_rows, max_chunk);
+        }
+        if decode_rows > 0 {
+            let ctx = state
+                .actives
+                .iter()
+                .filter(|a| a.prefilled >= a.req.prompt_len)
+                .map(|a| a.prefilled + a.generated)
+                .max()
+                .expect("decode rows counted above");
+            cost += lat.decode_step(decode_rows, ctx);
+        }
+        state.plan = plan;
+        Some(cost)
+    }
+
+    fn retire(&self, lane: &mut Lane<'_>) {
+        let now = lane.now;
+        for step in std::mem::take(&mut lane.state.plan) {
+            match step {
+                PlanStep::Chunk { id, tokens } => {
+                    let a = lane
+                        .state
+                        .actives
+                        .iter_mut()
+                        .find(|a| a.req.id == id)
+                        .expect("planned request still active");
+                    a.prefilled += tokens;
+                    if a.prefilled >= a.req.prompt_len {
+                        // Final chunk: first token out with it.
+                        a.generated = 1;
+                        a.ttft = Some(now.saturating_duration_since(a.req.arrival));
+                        lane.obs.record(id, now, LifecycleKind::FirstToken);
+                    }
+                }
+                PlanStep::Decode { id } => {
+                    lane.state
+                        .actives
+                        .iter_mut()
+                        .find(|a| a.req.id == id)
+                        .expect("planned request still active")
+                        .generated += 1;
+                }
+            }
+        }
+        let mut i = 0;
+        while i < lane.state.actives.len() {
+            let a = &lane.state.actives[i];
+            if a.prefilled >= a.req.prompt_len && a.generated >= a.req.new_tokens.max(1) {
+                let a = lane.state.actives.swap_remove(i);
+                lane.complete(a);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+impl PlanStep {
+    fn id(self) -> u64 {
+        match self {
+            PlanStep::Chunk { id, .. } | PlanStep::Decode { id } => id,
+        }
+    }
+}

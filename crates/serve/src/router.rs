@@ -1,0 +1,160 @@
+//! Replica routing: which pending queue each arrival joins.
+//!
+//! A [`Router`] decides the queue topology ([`Router::queue_count`]) and
+//! dispatches each arrival given a load snapshot of every replica. The
+//! floor maintains one pending queue per router-declared queue index;
+//! [`RouterPolicy::SharedQueue`] collapses them to a single queue every
+//! replica pulls from (the M/G/k discipline and the pre-router behaviour),
+//! while the per-replica routers partition arrivals at admission time.
+
+use crate::config::RouterPolicy;
+use crate::request::Request;
+
+/// Load snapshot of one replica, consulted by routing policies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicaLoad {
+    /// Requests waiting in the queue this replica pulls from.
+    pub queued: u32,
+    /// Requests in the replica's running batch or static job.
+    pub running: u32,
+    /// Preempted requests parked on the replica awaiting resume.
+    pub parked: u32,
+}
+
+impl ReplicaLoad {
+    /// Total outstanding work on the replica.
+    #[must_use]
+    pub fn total(self) -> u32 {
+        self.queued + self.running + self.parked
+    }
+}
+
+/// Dispatches arrivals across replica queues.
+pub trait Router {
+    /// Number of pending queues the floor maintains: 1 for a shared queue,
+    /// `replicas` for partitioned dispatch.
+    fn queue_count(&self, replicas: usize) -> usize;
+
+    /// Queue index `req` joins, given one load snapshot per replica.
+    fn route(&mut self, req: &Request, load: &[ReplicaLoad]) -> usize;
+}
+
+impl RouterPolicy {
+    /// Instantiates the configured router.
+    pub(crate) fn build(self) -> Box<dyn Router> {
+        match self {
+            RouterPolicy::SharedQueue => Box::new(SharedQueue),
+            RouterPolicy::RoundRobin => Box::new(RoundRobin { next: 0 }),
+            RouterPolicy::JoinShortestQueue => Box::new(JoinShortestQueue),
+        }
+    }
+}
+
+/// One shared queue; idle replicas pull from it at iteration boundaries.
+struct SharedQueue;
+
+impl Router for SharedQueue {
+    fn queue_count(&self, _replicas: usize) -> usize {
+        1
+    }
+
+    fn route(&mut self, _req: &Request, _load: &[ReplicaLoad]) -> usize {
+        0
+    }
+}
+
+/// Deals arrivals to per-replica queues in rotation, blind to load.
+struct RoundRobin {
+    next: usize,
+}
+
+impl Router for RoundRobin {
+    fn queue_count(&self, replicas: usize) -> usize {
+        replicas
+    }
+
+    fn route(&mut self, _req: &Request, load: &[ReplicaLoad]) -> usize {
+        let q = self.next % load.len().max(1);
+        self.next = self.next.wrapping_add(1);
+        q
+    }
+}
+
+/// Each arrival joins the replica with the least outstanding work
+/// (queued + running + parked); ties go to the lowest index.
+struct JoinShortestQueue;
+
+impl Router for JoinShortestQueue {
+    fn queue_count(&self, replicas: usize) -> usize {
+        replicas
+    }
+
+    fn route(&mut self, _req: &Request, load: &[ReplicaLoad]) -> usize {
+        load.iter()
+            .enumerate()
+            .min_by_key(|(i, l)| (l.total(), *i))
+            .map_or(0, |(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_des::SimTime;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            arrival: SimTime::ZERO,
+            prompt_len: 8,
+            new_tokens: 2,
+        }
+    }
+
+    fn load(spec: &[(u32, u32, u32)]) -> Vec<ReplicaLoad> {
+        spec.iter()
+            .map(|&(queued, running, parked)| ReplicaLoad {
+                queued,
+                running,
+                parked,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shared_queue_uses_one_queue() {
+        let mut r = RouterPolicy::SharedQueue.build();
+        assert_eq!(r.queue_count(4), 1);
+        assert_eq!(r.route(&req(0), &load(&[(5, 5, 5); 4])), 0);
+    }
+
+    #[test]
+    fn round_robin_rotates_regardless_of_load() {
+        let mut r = RouterPolicy::RoundRobin.build();
+        assert_eq!(r.queue_count(3), 3);
+        let l = load(&[(9, 9, 9), (0, 0, 0), (0, 0, 0)]);
+        let picks: Vec<usize> = (0..6).map(|i| r.route(&req(i), &l)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_with_low_index_ties() {
+        let mut r = RouterPolicy::JoinShortestQueue.build();
+        assert_eq!(r.queue_count(3), 3);
+        // Replica 1 has the least total outstanding work.
+        assert_eq!(
+            r.route(&req(0), &load(&[(2, 1, 0), (1, 0, 1), (4, 0, 0)])),
+            1
+        );
+        // Parked work counts against a replica.
+        assert_eq!(
+            r.route(&req(1), &load(&[(1, 0, 3), (1, 1, 0), (3, 1, 0)])),
+            1
+        );
+        // Ties break to the lowest index.
+        assert_eq!(
+            r.route(&req(2), &load(&[(1, 1, 0), (2, 0, 0), (0, 2, 0)])),
+            0
+        );
+    }
+}

@@ -12,7 +12,7 @@
 use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
-use skip_serve::{simulate, Policy, ServingConfig, SloTargets};
+use skip_serve::{simulate, Policy, RouterPolicy, ServingConfig, SloTargets};
 
 const SLO_MS: f64 = 200.0;
 
@@ -28,6 +28,7 @@ fn p95_ms(platform: &Platform, policy: Policy, load: f64) -> f64 {
         seed: 99,
         kv: None,
         slo: SloTargets::default(),
+        router: RouterPolicy::SharedQueue,
     })
     .ttft_p95
     .as_millis_f64()

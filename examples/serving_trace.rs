@@ -14,7 +14,7 @@ use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
 use skip_mem::{KvSpec, OffloadPolicy};
-use skip_serve::{simulate_traced, KvCacheConfig, Policy, ServingConfig, SloTargets};
+use skip_serve::{simulate_traced, KvCacheConfig, Policy, RouterPolicy, ServingConfig, SloTargets};
 use skip_trace::chrome;
 
 fn main() {
@@ -41,6 +41,7 @@ fn main() {
             ttft: Some(SimDuration::from_millis(200)),
             e2e: Some(SimDuration::from_secs(20)),
         },
+        router: RouterPolicy::SharedQueue,
     };
 
     let (report, trace) = simulate_traced(&cfg, 1);

@@ -17,10 +17,9 @@ use skip_des::SimDuration;
 use skip_fusion::{recommend, FusionAnalysis};
 use skip_hw::Platform;
 use skip_llm::{zoo, ModelConfig, Phase, Workload};
-use skip_mem::KvSpec;
 use skip_runtime::{CompileMode, Engine, ExecMode};
 use skip_serve::{
-    simulate_traced, KvCacheConfig, OffloadPolicy, Policy, ServingConfig, SloTargets,
+    simulate_traced, KvCacheConfig, OffloadPolicy, Policy, RouterPolicy, ServingConfig, SloTargets,
 };
 use skip_trace::chrome;
 
@@ -33,6 +32,8 @@ USAGE:
     skip fuse     --model <id> [--platform <id>] [--chain-len N] [--threshold T]
     skip generate --model <id> [--platform <id>] [--batch N] [--seq N] [--tokens N]
     skip serve    --model <id> [--platform <id>] [--qps R] [--requests N] [--max-batch N] [--replicas N]
+                  [--policy static|continuous|chunked] [--router shared|rr|jsq]
+                  [--batch-size N] [--max-wait-ms T] [--chunk-tokens N]
                   [--seq N] [--tokens N] [--kv-blocks N] [--offload recompute|swap|auto]
                   [--trace-out FILE] [--slo-ttft-ms T] [--slo-e2e-ms T]
     skip models
@@ -259,6 +260,28 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     let requests = get_u32(flags, "requests", 100)?;
     let max_batch = get_u32(flags, "max-batch", 16)?;
     let replicas = get_u32(flags, "replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    let policy = match flags.get("policy").map_or("continuous", String::as_str) {
+        "static" => Policy::Static {
+            batch_size: get_u32(flags, "batch-size", max_batch)?,
+            max_wait: SimDuration::from_millis(u64::from(get_u32(flags, "max-wait-ms", 50)?)),
+        },
+        "continuous" => Policy::Continuous { max_batch },
+        "chunked" | "chunked-prefill" => Policy::ChunkedPrefill {
+            max_batch,
+            chunk_tokens: get_u32(flags, "chunk-tokens", 128)?,
+        },
+        other => {
+            return Err(format!(
+                "--policy: unknown policy '{other}' (expected static, continuous, or chunked)"
+            )
+            .into())
+        }
+    };
+    let router = RouterPolicy::parse(flags.get("router").map_or("shared", String::as_str))
+        .map_err(|e| format!("--router: {e}"))?;
     let offload = flags
         .get("offload")
         .map_or(Ok(OffloadPolicy::Auto), |v| OffloadPolicy::parse(v))?;
@@ -283,40 +306,41 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         0 => None,
         blocks => Some(KvCacheConfig::with_blocks(blocks, offload)),
     };
-    if let Some(kv) = kv {
-        let need = KvSpec::for_model(&model, kv.block_tokens)
-            .blocks_for(u64::from(prompt_len) + u64::from(new_tokens.max(1)));
-        if kv.blocks_per_replica < need {
-            return Err(format!(
-                "--kv-blocks {}: one {}-token request ({} prompt + {} generated) needs {} blocks of {} tokens",
-                kv.blocks_per_replica,
-                prompt_len + new_tokens.max(1),
-                prompt_len,
-                new_tokens.max(1),
-                need,
-                kv.block_tokens
-            )
-            .into());
-        }
-    }
 
-    let (report, strace) = simulate_traced(
-        &ServingConfig {
-            platform: platform.clone(),
-            model: model.clone(),
-            policy: Policy::Continuous { max_batch },
-            requests,
-            arrival_rate_per_s: qps,
-            prompt_len,
-            new_tokens,
-            seed: 2026,
-            kv,
-            slo,
-        },
-        replicas,
-    );
+    let cfg = ServingConfig {
+        platform: platform.clone(),
+        model: model.clone(),
+        policy,
+        requests,
+        arrival_rate_per_s: qps,
+        prompt_len,
+        new_tokens,
+        seed: 2026,
+        kv,
+        slo,
+        router,
+    };
+    cfg.validate().map_err(|e| {
+        format!("{e} (check --kv-blocks / --requests / --qps and the policy sizing flags)")
+    })?;
+
+    let (report, strace) = simulate_traced(&cfg, replicas);
+    let policy_label = match policy {
+        Policy::Static {
+            batch_size,
+            max_wait,
+        } => format!(
+            "static batch {batch_size} (flush {:.0}ms)",
+            max_wait.as_millis_f64()
+        ),
+        Policy::Continuous { max_batch } => format!("continuous max_batch {max_batch}"),
+        Policy::ChunkedPrefill {
+            max_batch,
+            chunk_tokens,
+        } => format!("chunked-prefill max_batch {max_batch} x {chunk_tokens} tok"),
+    };
     println!(
-        "== serving {} on {replicas}x {} | continuous max_batch {max_batch} | {qps} req/s ==",
+        "== serving {} on {replicas}x {} | {policy_label} | router {router} | {qps} req/s ==",
         model.name, platform.name
     );
     println!("completed    : {} requests", report.completed);
