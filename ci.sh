@@ -23,9 +23,18 @@ echo "== serving_trace example (lifecycle/counter export end-to-end) =="
 cargo run --release -p skip-suite --example serving_trace
 
 echo "== skip serve CLI (chunked-prefill policy behind the JSQ router) =="
-cargo run --release -p skip-suite --bin skip -- serve --model gpt2 --platform gh200 \
-  --policy chunked --chunk-tokens 64 --router jsq --replicas 4 --requests 40 \
-  --qps 100 --seq 256 --tokens 8 --slo-ttft-ms 200 | grep -q "completed    : 40 requests"
+# capture, then grep: piping straight into grep -q races the CLI against
+# grep's early exit (broken pipe) under pipefail
+serve_out=$(cargo run --release -p skip-suite --bin skip -- serve --model gpt2 \
+  --platform gh200 --policy chunked --chunk-tokens 64 --router jsq --replicas 4 \
+  --requests 40 --qps 100 --seq 256 --tokens 8 --slo-ttft-ms 200)
+grep -q "completed    : 40 requests" <<<"$serve_out"
+
+echo "== skip serve CLI (disaggregated heterogeneous fleet with autoscaling) =="
+fleet_out=$(cargo run --release -p skip-suite --bin skip -- serve --model gpt2 \
+  --fleet gh200:1,intel_h100:3 --disagg --autoscale --arrivals bursty \
+  --qps 10 --peak-qps 300 --requests 40 --seq 256 --tokens 8 --slo-ttft-ms 200)
+grep -q "completed    : 40 requests" <<<"$fleet_out"
 
 echo "== parallel determinism (byte-identical renders at any --threads) =="
 cargo test --release --test parallel_determinism -q

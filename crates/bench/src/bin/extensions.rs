@@ -2,8 +2,8 @@
 //! applied-fusion validation, decode-phase TPOT sweeps, and the ablation
 //! suite.
 use skip_bench::experiments::{
-    ablations, decode, energy, fusion_applied, future_workloads, kv_capacity, seqlen, serving,
-    serving_observability, serving_policies,
+    ablations, decode, energy, fleet_disagg, fusion_applied, future_workloads, kv_capacity, seqlen,
+    serving, serving_observability, serving_policies,
 };
 
 fn main() {
@@ -21,4 +21,8 @@ fn main() {
     println!("{}", serving_policies::render(&serving_policies::run()));
     println!("{}", seqlen::render(&seqlen::run()));
     println!("{}", kv_capacity::render(&kv_capacity::run()));
+    println!(
+        "{}",
+        fleet_disagg::render(&fleet_disagg::run(), &fleet_disagg::run_coupling())
+    );
 }

@@ -18,6 +18,12 @@
 //!   simulations).
 //! * `serving_policies` — the policy × router matrix (27 four-replica
 //!   simulations through the composable scheduler seams).
+//! * `fleet_disagg` — the heterogeneous-fleet matrix (12 fleet
+//!   simulations: homogeneous trio + every disaggregated pairing, with
+//!   coupling-priced KV handoffs).
+//! * `handoff_pricing` — a single disaggregated fleet simulation
+//!   iterated: the per-request route → KV-size → link-occupancy →
+//!   coupling-transfer hot path.
 //! * `router_dispatch` — a single partitioned-router simulation iterated:
 //!   the per-arrival `Router` dyn-dispatch plus per-iteration `BatchPolicy`
 //!   dyn-dispatch hot path, measured end to end.
@@ -34,14 +40,15 @@
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use skip_bench::experiments::{fig10, serving, serving_policies};
+use skip_bench::experiments::{fig10, fleet_disagg, serving, serving_policies};
 use skip_bench::harness;
 use skip_core::ProfileReport;
 use skip_hw::Platform;
 use skip_llm::{zoo, Phase, Workload};
 use skip_runtime::{Engine, ExecMode};
 use skip_serve::{
-    simulate_replicas, LatencyModel, Policy, RouterPolicy, ServingConfig, SloTargets,
+    simulate_fleet, simulate_replicas, ArrivalProcess, FleetConfig, FleetRouterPolicy, FleetSpec,
+    LatencyModel, Policy, RouterPolicy, ServingConfig, SloTargets,
 };
 
 /// One timed workload.
@@ -196,6 +203,32 @@ fn router_dispatch() -> Option<u64> {
     Some(u64::from(cfg.requests) * ITERS)
 }
 
+/// One disaggregated fleet simulation iterated for a stable reading:
+/// every request routes across heterogeneous pools and pays a
+/// coupling-priced KV handoff through a per-destination link.
+fn handoff_pricing() -> Option<u64> {
+    let cfg = FleetConfig {
+        spec: FleetSpec::disaggregated(Platform::gh200(), 1, Platform::intel_h100(), 3),
+        model: zoo::gpt2(),
+        max_batch: 8,
+        requests: 200,
+        arrivals: ArrivalProcess::Poisson { rate_per_s: 500.0 },
+        prompt_len: 32,
+        new_tokens: 4,
+        seed: 13,
+        slo: SloTargets::default(),
+        router: FleetRouterPolicy::CostModelJsq,
+        autoscale: None,
+    };
+    let mut handoffs = 0u64;
+    for _ in 0..ITERS {
+        let r = simulate_fleet(&cfg);
+        assert_eq!(r.completed, 200);
+        handoffs += r.handoffs;
+    }
+    Some(handoffs)
+}
+
 fn parse_args() -> (usize, String, Option<String>) {
     let mut threads = 0usize;
     let mut out = String::from("BENCH_SUITE.json");
@@ -286,6 +319,11 @@ fn main() {
         let _ = serving_policies::run();
         None
     }));
+    entries.push(timed("fleet_disagg", harness::threads(), || {
+        let _ = fleet_disagg::run();
+        None
+    }));
+    entries.push(timed("handoff_pricing", 1, handoff_pricing));
     entries.push(timed("router_dispatch", 1, router_dispatch));
     entries.push(timed("latency_cold_keys", 1, latency_cold_keys));
     entries.push(timed("fusion_recommend", 1, fusion_recommend));
@@ -302,10 +340,17 @@ fn main() {
             .find(|e| e.name == "fig10_sweep_parallel")
             .expect("parallel entry")
             .wall_ms;
-        println!(
-            "\nfig10 sweep speedup: {:.2}x ({workers} workers)",
-            serial / parallel
-        );
+        let speedup = serial / parallel;
+        println!("\nfig10 sweep speedup: {speedup:.2}x ({workers} workers)");
+        // With the sharded latency cache, fan-out must not lose to the
+        // serial sweep on a multi-core host (5% scheduling-noise floor).
+        if speedup < 0.95 {
+            eprintln!(
+                "PERF REGRESSION: fig10 parallel sweep slower than serial \
+                 ({parallel:.1} ms vs {serial:.1} ms on {cores} cores)"
+            );
+            std::process::exit(1);
+        }
     } else {
         println!("\nfig10 sweep speedup: skipped (single-core host)");
     }

@@ -26,6 +26,7 @@
 //! | [`serving_policies`] | batching policy × replica router matrix on the composable floor |
 //! | [`seqlen`] | sequence-length sensitivity: the Fig. 6 transition along the seq axis |
 //! | [`kv_capacity`] | paged-KV capacity: load × model × block budget, coupling-aware offload |
+//! | [`fleet_disagg`] | heterogeneous fleets: prefill/decode disaggregation with coupling-priced KV handoff |
 
 pub mod ablations;
 pub mod decode;
@@ -37,6 +38,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_disagg;
 pub mod fusion_applied;
 pub mod future_workloads;
 pub mod kv_capacity;

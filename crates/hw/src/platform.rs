@@ -129,6 +129,26 @@ impl Platform {
             SimDuration::ZERO
         }
     }
+
+    /// Device→host transfer time for `bytes`. The links in Table IV are
+    /// symmetric, so this prices like [`h2d_transfer`](Self::h2d_transfer):
+    /// the device side of a migration staged through host memory, zero
+    /// under tight coupling where "device" and "host" share physical HBM.
+    #[must_use]
+    pub fn d2h_transfer(&self, bytes: u64) -> SimDuration {
+        self.h2d_transfer(bytes)
+    }
+
+    /// Time to hand `bytes` of KV cache from this platform's device to
+    /// `dst`'s device, staged through host memory: a D2H drain over the
+    /// source coupling plus an H2D fill over the destination coupling.
+    /// Each leg collapses to zero when its side is tightly coupled, so the
+    /// handoff price is derived from the same LC/CC/TC coupling model that
+    /// prices every other transfer in the simulator.
+    #[must_use]
+    pub fn kv_handoff_time(&self, dst: &Platform, bytes: u64) -> SimDuration {
+        self.d2h_transfer(bytes) + dst.h2d_transfer(bytes)
+    }
 }
 
 /// Builder for custom/ablation platforms ([C-BUILDER]).
@@ -253,6 +273,32 @@ mod tests {
         assert!(
             Platform::intel_h100().h2d_transfer(1 << 20) > Platform::gh200().h2d_transfer(1 << 20)
         );
+    }
+
+    /// KV handoff is the sum of a source-coupling drain and a
+    /// destination-coupling fill: PCIe→PCIe pays both legs, C2C→PCIe is
+    /// cheaper on the drain side, and a tightly-coupled endpoint
+    /// contributes nothing at all.
+    #[test]
+    fn kv_handoff_prices_both_coupling_legs() {
+        let bytes = 256u64 << 20;
+        let amd = Platform::amd_a100();
+        let gh = Platform::gh200();
+        let mi = Platform::mi300a();
+        assert_eq!(
+            amd.kv_handoff_time(&gh, bytes),
+            amd.d2h_transfer(bytes) + gh.h2d_transfer(bytes)
+        );
+        assert!(
+            gh.kv_handoff_time(&amd, bytes) < amd.kv_handoff_time(&amd, bytes),
+            "a C2C source must drain faster than a PCIe Gen4 source"
+        );
+        assert_eq!(
+            mi.kv_handoff_time(&mi, bytes),
+            SimDuration::ZERO,
+            "tight coupling on both ends makes the handoff free"
+        );
+        assert_eq!(mi.kv_handoff_time(&gh, bytes), gh.h2d_transfer(bytes));
     }
 
     #[test]

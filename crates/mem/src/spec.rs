@@ -71,6 +71,15 @@ impl KvSpec {
         self.block_bytes() * u64::from(blocks)
     }
 
+    /// Bytes moved when handing a `tokens`-token KV cache to another
+    /// device: whole blocks, since paged attention migrates pages, not
+    /// token tails. This is the byte count a prefill→decode disaggregation
+    /// pays per request over the inter-device link.
+    #[must_use]
+    pub fn handoff_bytes(&self, tokens: u64) -> u64 {
+        self.bytes_for_blocks(self.blocks_for(tokens))
+    }
+
     /// Sizes a block pool from a GPU's HBM budget.
     ///
     /// `resident_bytes` (typically the FP16 weights) are subtracted first,
@@ -122,6 +131,17 @@ mod tests {
         assert_eq!(spec.blocks_for(16), 1);
         assert_eq!(spec.blocks_for(17), 2);
         assert_eq!(spec.blocks_for(4096), 256);
+    }
+
+    #[test]
+    fn handoff_moves_whole_blocks() {
+        let spec = KvSpec::for_model(&zoo::llama2_7b(), 16);
+        assert_eq!(spec.handoff_bytes(0), 0);
+        assert_eq!(spec.handoff_bytes(1), spec.block_bytes());
+        assert_eq!(spec.handoff_bytes(16), spec.block_bytes());
+        assert_eq!(spec.handoff_bytes(17), 2 * spec.block_bytes());
+        // 512-token prompt + 1 generated token = 33 blocks ≈ 270 MiB.
+        assert_eq!(spec.handoff_bytes(513), 33 * spec.block_bytes());
     }
 
     #[test]

@@ -1,0 +1,980 @@
+//! The fleet floor: a DES over heterogeneous, optionally disaggregated,
+//! optionally autoscaled replica pools.
+//!
+//! Structure mirrors the single-platform floor (`crate::floor`): events
+//! move requests between explicitly-tracked buckets (per-replica queues,
+//! running batches, handoff links) and every event boundary takes one
+//! conservation-checked counter sample. What is new here:
+//!
+//! * each replica prices iterations through its **own platform's**
+//!   [`LatencyModel`], so a gh200 and an amd_a100 replica in one fleet
+//!   charge different prefill/decode costs;
+//! * a disaggregated fleet splits replicas into a prefill pool and a
+//!   decode pool, connected by per-destination **handoff links**: a
+//!   finished prefill's KV blocks queue on the destination's link and
+//!   occupy it for `src.kv_handoff_time(dst, bytes)` — one transfer at a
+//!   time per destination, so the interconnect itself can back up;
+//! * an optional **autoscaler** ticks on a fixed interval and
+//!   launches/drains replicas against load watermarks, with launch cost
+//!   priced as provisioning delay plus the coupling-derived weight load.
+
+use std::collections::VecDeque;
+
+use skip_des::{percentile, SimContext, SimDuration, SimTime, Simulator};
+use skip_hw::Platform;
+use skip_mem::KvSpec;
+
+use crate::fleet::autoscale::{ScaleAction, ScalingEvent};
+use crate::fleet::observe::{FleetReport, FleetSample, FleetTrace};
+use crate::fleet::spec::{FleetConfig, FleetRouterPolicy, PoolRole};
+use crate::latency::LatencyModel;
+use crate::observe::{LifecycleKind, SloReport};
+use crate::request::Request;
+
+#[derive(Debug, Clone, Copy)]
+enum FEvent {
+    Arrival(Request),
+    /// A replica finished its running iteration.
+    IterationDone(usize),
+    /// The in-flight transfer on `dst`'s handoff link landed.
+    HandoffDone(usize),
+    /// Autoscaler decision point.
+    ScaleTick,
+    /// A launching replica finished provisioning + weight load.
+    ReplicaUp(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RState {
+    Launching,
+    Up,
+    Draining,
+    Down,
+}
+
+/// One running request on a replica.
+#[derive(Debug, Clone, Copy)]
+struct FActive {
+    req: Request,
+    /// Output tokens produced so far (0 until prefill retires).
+    generated: u32,
+}
+
+/// One replica's runtime state.
+#[derive(Debug)]
+struct ReplicaRt {
+    platform_idx: usize,
+    pool: PoolRole,
+    state: RState,
+    queue: VecDeque<Request>,
+    actives: Vec<FActive>,
+    busy: bool,
+}
+
+impl ReplicaRt {
+    fn outstanding(&self) -> u32 {
+        (self.queue.len() + self.actives.len()) as u32
+    }
+
+    fn takes_arrivals(&self) -> bool {
+        matches!(self.pool, PoolRole::Unified | PoolRole::Prefill)
+    }
+}
+
+/// A KV handoff parked on (or moving over) a destination link.
+#[derive(Debug, Clone, Copy)]
+struct Handoff {
+    req: Request,
+    queued_at: SimTime,
+    bytes: u64,
+    transfer: SimDuration,
+}
+
+/// Per-decode-replica ingress link: FIFO queue plus at most one
+/// in-flight transfer, so concurrent handoffs to the same destination
+/// serialize and the interconnect shows up as occupancy.
+#[derive(Debug, Default)]
+struct LinkRt {
+    queue: VecDeque<Handoff>,
+    inflight: Option<(Handoff, SimTime)>,
+}
+
+impl LinkRt {
+    fn depth(&self) -> u32 {
+        (self.queue.len() + usize::from(self.inflight.is_some())) as u32
+    }
+}
+
+struct FleetFloor<'a> {
+    cfg: &'a FleetConfig,
+    platforms: Vec<Platform>,
+    lat: Vec<LatencyModel>,
+    kv: KvSpec,
+    replicas: Vec<ReplicaRt>,
+    links: Vec<LinkRt>,
+    disagg: bool,
+    rr_arrival: usize,
+    rr_handoff: usize,
+    finished: Vec<(SimDuration, SimDuration)>,
+    last_completion: SimTime,
+    obs: FleetTrace,
+    handoffs: u64,
+    handoff_bytes: u64,
+    handoff_waits: Vec<f64>,
+    handoff_transfer_ns: f64,
+    scale_ups: u32,
+    scale_downs: u32,
+    peak_live: u32,
+    replica_ns: f64,
+    last_bill: SimTime,
+}
+
+impl FleetFloor<'_> {
+    fn handle(&mut self, ctx: &mut SimContext<'_, FEvent>, event: FEvent) {
+        let now = ctx.now();
+        match event {
+            FEvent::Arrival(req) => {
+                self.obs.record(req.id, now, LifecycleKind::Arrived);
+                let r = self.route_arrival(&req);
+                self.replicas[r].queue.push_back(req);
+                self.kick(ctx, r);
+            }
+            FEvent::IterationDone(r) => {
+                self.replicas[r].busy = false;
+                self.retire(ctx, r, now);
+                self.kick(ctx, r);
+                self.settle_drains(now);
+            }
+            FEvent::HandoffDone(dst) => {
+                let (h, started) = self.links[dst]
+                    .inflight
+                    .take()
+                    .expect("HandoffDone without an in-flight transfer");
+                self.obs.record(
+                    h.req.id,
+                    now,
+                    LifecycleKind::HandoffDone {
+                        to: dst as u32,
+                        wait: started.saturating_duration_since(h.queued_at),
+                        transfer: h.transfer,
+                    },
+                );
+                self.handoffs += 1;
+                self.handoff_bytes += h.bytes;
+                self.handoff_waits.push(
+                    started
+                        .saturating_duration_since(h.queued_at)
+                        .as_nanos_f64(),
+                );
+                self.handoff_transfer_ns += h.transfer.as_nanos_f64();
+                self.replicas[dst].queue.push_back(h.req);
+                self.pump_link(ctx, dst, now);
+                self.kick(ctx, dst);
+            }
+            FEvent::ScaleTick => self.scale_tick(ctx, now),
+            FEvent::ReplicaUp(r) => {
+                self.bill(now);
+                self.replicas[r].state = RState::Up;
+                self.scale_ups += 1;
+                self.obs.scaling.push(ScalingEvent {
+                    at: now,
+                    pool: self.replicas[r].pool,
+                    replica: r as u32,
+                    action: ScaleAction::Up,
+                });
+                self.kick(ctx, r);
+            }
+        }
+        self.sample(now);
+    }
+
+    /// Starts the next iteration on replica `r` if it is idle and has
+    /// work: a batched prefill when unprefilled admits exist, else one
+    /// decode step for the running batch.
+    fn kick(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize) {
+        let now = ctx.now();
+        let rep = &mut self.replicas[r];
+        if rep.busy || matches!(rep.state, RState::Launching | RState::Down) {
+            return;
+        }
+        // Admit newcomers at the iteration boundary.
+        let room = (self.cfg.max_batch as usize).saturating_sub(rep.actives.len());
+        let decode_side = rep.pool == PoolRole::Decode;
+        let mut admitted = 0u32;
+        for _ in 0..room {
+            let Some(req) = rep.queue.pop_front() else {
+                break;
+            };
+            let kind = if decode_side {
+                LifecycleKind::DecodeAdmitted { replica: r as u32 }
+            } else {
+                LifecycleKind::Admitted { replica: r as u32 }
+            };
+            self.obs.record(req.id, now, kind);
+            rep.actives.push(FActive {
+                req,
+                // Handed-off requests arrive with their first token
+                // already produced by the prefill pool.
+                generated: u32::from(decode_side),
+            });
+            admitted += 1;
+        }
+        let _ = admitted;
+        let rep = &self.replicas[r];
+        if rep.actives.is_empty() {
+            return;
+        }
+        let lat = &self.lat[rep.platform_idx];
+        let fresh: Vec<&FActive> = rep.actives.iter().filter(|a| a.generated == 0).collect();
+        let dur = if fresh.is_empty() {
+            let batch = rep.actives.len() as u32;
+            let ctx_len = rep
+                .actives
+                .iter()
+                .map(|a| a.req.prompt_len + a.generated)
+                .max()
+                .unwrap_or(1);
+            lat.decode_step(batch, ctx_len)
+        } else {
+            let batch = fresh.len() as u32;
+            let len = fresh.iter().map(|a| a.req.prompt_len).max().unwrap_or(1);
+            lat.prefill(batch, len)
+        };
+        self.replicas[r].busy = true;
+        ctx.schedule(now + dur, FEvent::IterationDone(r));
+    }
+
+    /// Applies the finished iteration's effects: freshly-prefilled
+    /// requests emit their first token (and complete, hand off, or stay
+    /// for decode); decoding requests advance one token and complete at
+    /// their budget.
+    fn retire(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
+        let was_prefill = self.replicas[r].actives.iter().any(|a| a.generated == 0);
+        let target = self.cfg.new_tokens.max(1);
+        let pool = self.replicas[r].pool;
+        let mut keep = Vec::new();
+        let mut handoffs = Vec::new();
+        for mut a in std::mem::take(&mut self.replicas[r].actives) {
+            if was_prefill {
+                if a.generated == 0 {
+                    a.generated = 1;
+                    self.obs.record(a.req.id, now, LifecycleKind::FirstToken);
+                } else {
+                    // Decoding requests idled through the prefill
+                    // iteration (prefill-priority continuous batching).
+                    keep.push(a);
+                    continue;
+                }
+            } else {
+                a.generated += 1;
+            }
+            if a.generated >= target {
+                self.complete(a.req, r, now);
+            } else if pool == PoolRole::Prefill {
+                handoffs.push(a.req);
+            } else {
+                keep.push(a);
+            }
+        }
+        self.replicas[r].actives = keep;
+        for req in handoffs {
+            self.start_handoff(ctx, r, req, now);
+        }
+    }
+
+    fn complete(&mut self, req: Request, r: usize, now: SimTime) {
+        self.obs
+            .record(req.id, now, LifecycleKind::Completed { replica: r as u32 });
+        let lc = &self.obs.lifecycles[req.id as usize];
+        let ttft = lc.ttft().unwrap_or(SimDuration::ZERO);
+        let e2e = lc.e2e().unwrap_or(SimDuration::ZERO);
+        self.finished.push((ttft, e2e));
+        self.last_completion = self.last_completion.max(now);
+    }
+
+    /// Queues `req`'s KV on a decode replica's ingress link, starting the
+    /// transfer immediately when the link is idle.
+    fn start_handoff(
+        &mut self,
+        ctx: &mut SimContext<'_, FEvent>,
+        from: usize,
+        req: Request,
+        now: SimTime,
+    ) {
+        let dst = self.route_handoff(&req);
+        // Prompt plus the first token produced by prefill, in whole
+        // blocks — what paged attention actually migrates.
+        let bytes = self
+            .kv
+            .handoff_bytes(u64::from(req.prompt_len).saturating_add(1));
+        let src_p = &self.platforms[self.replicas[from].platform_idx];
+        let dst_p = &self.platforms[self.replicas[dst].platform_idx];
+        let transfer = src_p.kv_handoff_time(dst_p, bytes);
+        self.obs.record(
+            req.id,
+            now,
+            LifecycleKind::HandoffQueued {
+                from: from as u32,
+                bytes,
+            },
+        );
+        self.links[dst].queue.push_back(Handoff {
+            req,
+            queued_at: now,
+            bytes,
+            transfer,
+        });
+        self.pump_link(ctx, dst, now);
+    }
+
+    /// Starts the next queued transfer on `dst`'s link if it is idle.
+    fn pump_link(&mut self, ctx: &mut SimContext<'_, FEvent>, dst: usize, now: SimTime) {
+        if self.links[dst].inflight.is_some() {
+            return;
+        }
+        if let Some(h) = self.links[dst].queue.pop_front() {
+            let transfer = h.transfer;
+            self.links[dst].inflight = Some((h, now));
+            ctx.schedule(now + transfer, FEvent::HandoffDone(dst));
+        }
+    }
+
+    /// Replica indices eligible for new work in the given direction.
+    fn eligible(&self, arrivals: bool) -> Vec<usize> {
+        let want: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| {
+                let rep = &self.replicas[i];
+                rep.state == RState::Up
+                    && if arrivals {
+                        rep.takes_arrivals()
+                    } else {
+                        rep.pool == PoolRole::Decode
+                    }
+            })
+            .collect();
+        if !want.is_empty() {
+            return want;
+        }
+        // Degenerate fallback (every candidate mid-drain): route to any
+        // non-down replica of the right pool so no request is stranded.
+        (0..self.replicas.len())
+            .filter(|&i| {
+                let rep = &self.replicas[i];
+                rep.state != RState::Down
+                    && if arrivals {
+                        rep.takes_arrivals()
+                    } else {
+                        rep.pool == PoolRole::Decode
+                    }
+            })
+            .collect()
+    }
+
+    fn route_arrival(&mut self, req: &Request) -> usize {
+        let eligible = self.eligible(true);
+        let pick = self.pick(&eligible, self.rr_arrival, req);
+        if self.cfg.router == FleetRouterPolicy::RoundRobin {
+            self.rr_arrival += 1;
+        }
+        pick
+    }
+
+    fn route_handoff(&mut self, req: &Request) -> usize {
+        let eligible = self.eligible(false);
+        let pick = self.pick(&eligible, self.rr_handoff, req);
+        if self.cfg.router == FleetRouterPolicy::RoundRobin {
+            self.rr_handoff += 1;
+        }
+        pick
+    }
+
+    fn pick(&self, eligible: &[usize], rr_cursor: usize, _req: &Request) -> usize {
+        assert!(!eligible.is_empty(), "fleet has no routable replica");
+        match self.cfg.router {
+            FleetRouterPolicy::RoundRobin => eligible[rr_cursor % eligible.len()],
+            FleetRouterPolicy::JoinShortestQueue => *eligible
+                .iter()
+                .min_by_key(|&&i| (self.backlog(i), i))
+                .expect("non-empty"),
+            FleetRouterPolicy::CostModelJsq => {
+                let mut best = eligible[0];
+                let mut best_cost = f64::INFINITY;
+                for &i in eligible {
+                    let cost = f64::from(self.backlog(i) + 1) * self.unit_cost_ns(i);
+                    if cost < best_cost {
+                        best = i;
+                        best_cost = cost;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Outstanding work at replica `i`: its queue, its running batch, and
+    /// (for decode replicas) handoffs already committed to its link.
+    fn backlog(&self, i: usize) -> u32 {
+        self.replicas[i].outstanding() + self.links[i].depth()
+    }
+
+    /// Per-request service estimate on `i`'s platform, in nanoseconds —
+    /// the cost-model JSQ's exchange rate between queue depths on
+    /// different platforms. Memoized inside the [`LatencyModel`], so this
+    /// is two map hits after the first call.
+    fn unit_cost_ns(&self, i: usize) -> f64 {
+        let rep = &self.replicas[i];
+        let lat = &self.lat[rep.platform_idx];
+        let b = self.cfg.max_batch.max(1);
+        let prefill = lat.prefill(b, self.cfg.prompt_len.max(1)).as_nanos_f64() / f64::from(b);
+        let steps = self.cfg.new_tokens.max(1) - 1;
+        let decode = lat
+            .decode_step(b, self.cfg.prompt_len + self.cfg.new_tokens)
+            .as_nanos_f64()
+            / f64::from(b);
+        match rep.pool {
+            PoolRole::Prefill => prefill,
+            PoolRole::Decode => decode * f64::from(steps.max(1)),
+            PoolRole::Unified => prefill + decode * f64::from(steps),
+        }
+    }
+
+    fn scale_tick(&mut self, ctx: &mut SimContext<'_, FEvent>, now: SimTime) {
+        let Some(auto) = &self.cfg.autoscale else {
+            return;
+        };
+        let auto = *auto;
+        let all_done = self.obs.completed_total() >= self.cfg.requests;
+        if !all_done {
+            let pools: &[PoolRole] = if self.disagg {
+                &[PoolRole::Prefill, PoolRole::Decode]
+            } else {
+                &[PoolRole::Unified]
+            };
+            for &pool in pools {
+                self.scale_pool(ctx, pool, auto, now);
+            }
+            ctx.schedule(now + auto.interval, FEvent::ScaleTick);
+        }
+        self.settle_drains(now);
+    }
+
+    fn scale_pool(
+        &mut self,
+        ctx: &mut SimContext<'_, FEvent>,
+        pool: PoolRole,
+        auto: crate::fleet::autoscale::AutoscaleConfig,
+        now: SimTime,
+    ) {
+        let idx: Vec<usize> = (0..self.replicas.len())
+            .filter(|&i| self.replicas[i].pool == pool)
+            .collect();
+        let outstanding: u32 = idx.iter().map(|&i| self.backlog(i)).sum();
+        let up: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| self.replicas[i].state == RState::Up)
+            .collect();
+        let launching = idx
+            .iter()
+            .filter(|&&i| self.replicas[i].state == RState::Launching)
+            .count() as u32;
+        let pressure = f64::from(outstanding) / f64::from(up.len().max(1) as u32);
+        if pressure > auto.high_load && (up.len() as u32 + launching) < auto.max_per_pool {
+            // Clone the pool's seed platform for the new replica.
+            let platform_idx = self.replicas[idx[0]].platform_idx;
+            let weights = self.cfg.model.weight_bytes_fp16();
+            let launch_cost =
+                auto.provision_delay + self.platforms[platform_idx].h2d_transfer(weights);
+            let new_idx = self.replicas.len();
+            self.replicas.push(ReplicaRt {
+                platform_idx,
+                pool,
+                state: RState::Launching,
+                queue: VecDeque::new(),
+                actives: Vec::new(),
+                busy: false,
+            });
+            self.links.push(LinkRt::default());
+            self.obs.scaling.push(ScalingEvent {
+                at: now,
+                pool,
+                replica: new_idx as u32,
+                action: ScaleAction::LaunchRequested,
+            });
+            ctx.schedule(now + launch_cost, FEvent::ReplicaUp(new_idx));
+        } else if pressure < auto.low_load && up.len() as u32 > auto.min_per_pool && launching == 0
+        {
+            // Drain the newest up replica; it keeps its backlog and
+            // leaves once empty.
+            let victim = *up.last().expect("up set non-empty above");
+            self.bill(now);
+            self.replicas[victim].state = RState::Draining;
+            self.obs.scaling.push(ScalingEvent {
+                at: now,
+                pool,
+                replica: victim as u32,
+                action: ScaleAction::DrainRequested,
+            });
+        }
+    }
+
+    /// Retires draining replicas whose backlog has fully emptied.
+    fn settle_drains(&mut self, now: SimTime) {
+        for i in 0..self.replicas.len() {
+            let empty = self.replicas[i].state == RState::Draining
+                && !self.replicas[i].busy
+                && self.replicas[i].outstanding() == 0
+                && self.links[i].depth() == 0;
+            if empty {
+                self.bill(now);
+                self.replicas[i].state = RState::Down;
+                self.scale_downs += 1;
+                self.obs.scaling.push(ScalingEvent {
+                    at: now,
+                    pool: self.replicas[i].pool,
+                    replica: i as u32,
+                    action: ScaleAction::Down,
+                });
+            }
+        }
+    }
+
+    fn live_count(&self) -> u32 {
+        self.replicas
+            .iter()
+            .filter(|r| matches!(r.state, RState::Up | RState::Draining))
+            .count() as u32
+    }
+
+    /// Accrues replica-seconds up to `now` at the current live count.
+    /// Called before any state transition and once at the end.
+    fn bill(&mut self, now: SimTime) {
+        let live = self.live_count();
+        self.replica_ns +=
+            now.saturating_duration_since(self.last_bill).as_nanos_f64() * f64::from(live);
+        self.last_bill = now;
+        self.peak_live = self.peak_live.max(live);
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let mut prefill_queue = 0u32;
+        let mut decode_queue = 0u32;
+        let mut running = 0u32;
+        for rep in &self.replicas {
+            running += rep.actives.len() as u32;
+            if rep.pool == PoolRole::Decode {
+                decode_queue += rep.queue.len() as u32;
+            } else {
+                prefill_queue += rep.queue.len() as u32;
+            }
+        }
+        let handoff_queued: u32 = self.links.iter().map(|l| l.queue.len() as u32).sum();
+        let handoff_inflight = self.links.iter().filter(|l| l.inflight.is_some()).count() as u32;
+        let live = self.live_count();
+        self.peak_live = self.peak_live.max(live);
+        self.obs.push_sample(FleetSample {
+            at: now,
+            prefill_queue,
+            decode_queue,
+            running,
+            handoff_queued,
+            handoff_inflight,
+            live_replicas: live,
+            arrived_total: self.obs.arrived_total(),
+            completed_total: self.obs.completed_total(),
+        });
+    }
+}
+
+/// Runs the fleet simulation, returning the scalar report.
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`FleetConfig::validate`] — front
+/// ends wanting a graceful error path validate first.
+#[must_use]
+pub fn simulate_fleet(cfg: &FleetConfig) -> FleetReport {
+    simulate_fleet_traced(cfg).0
+}
+
+/// Runs the fleet simulation and additionally returns the full
+/// [`FleetTrace`] recording (lifecycles, conservation-checked samples,
+/// scaling events).
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`FleetConfig::validate`].
+#[must_use]
+pub fn simulate_fleet_traced(cfg: &FleetConfig) -> (FleetReport, FleetTrace) {
+    if let Err(e) = cfg.validate() {
+        panic!("{e}");
+    }
+    // One platform entry (and LatencyModel) per distinct platform name;
+    // replicas reference them by index so a 4-replica group shares one
+    // memo cache.
+    let mut platforms: Vec<Platform> = Vec::new();
+    let mut replicas: Vec<ReplicaRt> = Vec::new();
+    for g in &cfg.spec.groups {
+        let platform_idx = match platforms.iter().position(|p| p.name == g.platform.name) {
+            Some(i) => i,
+            None => {
+                platforms.push(g.platform.clone());
+                platforms.len() - 1
+            }
+        };
+        for _ in 0..g.count {
+            replicas.push(ReplicaRt {
+                platform_idx,
+                pool: g.role,
+                state: RState::Up,
+                queue: VecDeque::new(),
+                actives: Vec::new(),
+                busy: false,
+            });
+        }
+    }
+    let lat: Vec<LatencyModel> = platforms
+        .iter()
+        .map(|p| LatencyModel::new(p.clone(), cfg.model.clone()))
+        .collect();
+    let links: Vec<LinkRt> = (0..replicas.len()).map(|_| LinkRt::default()).collect();
+
+    let arrivals = cfg.arrivals.generate(
+        cfg.requests as usize,
+        cfg.prompt_len,
+        cfg.new_tokens,
+        cfg.seed,
+    );
+    let first_arrival = arrivals.first().map(|r| r.arrival);
+    let mut sim: Simulator<FEvent> = Simulator::new();
+    for req in &arrivals {
+        sim.schedule(req.arrival, FEvent::Arrival(*req));
+    }
+    if let Some(auto) = &cfg.autoscale {
+        sim.schedule(SimTime::ZERO + auto.interval, FEvent::ScaleTick);
+    }
+
+    let initial_live = replicas.len() as u32;
+    let mut floor = FleetFloor {
+        cfg,
+        lat,
+        kv: KvSpec::for_model(&cfg.model, KvSpec::DEFAULT_BLOCK_TOKENS),
+        replicas,
+        links,
+        disagg: cfg.spec.is_disaggregated(),
+        rr_arrival: 0,
+        rr_handoff: 0,
+        finished: Vec::new(),
+        last_completion: SimTime::ZERO,
+        obs: FleetTrace::new(cfg.model.name.clone(), cfg.spec.label()),
+        handoffs: 0,
+        handoff_bytes: 0,
+        handoff_waits: Vec::new(),
+        handoff_transfer_ns: 0.0,
+        scale_ups: 0,
+        scale_downs: 0,
+        peak_live: initial_live,
+        replica_ns: 0.0,
+        last_bill: SimTime::ZERO,
+        platforms,
+    };
+
+    sim.run(|ctx, event| floor.handle(ctx, event));
+    floor.bill(floor.last_completion.max(floor.last_bill));
+
+    let report = assemble_fleet_report(cfg, &floor, first_arrival);
+    (report, floor.obs)
+}
+
+fn assemble_fleet_report(
+    cfg: &FleetConfig,
+    floor: &FleetFloor<'_>,
+    first_arrival: Option<SimTime>,
+) -> FleetReport {
+    let latencies = &floor.finished;
+    let ttfts: Vec<f64> = latencies.iter().map(|(t, _)| t.as_nanos_f64()).collect();
+    let e2es: Vec<f64> = latencies.iter().map(|(_, e)| e.as_nanos_f64()).collect();
+    let makespan = floor
+        .last_completion
+        .saturating_duration_since(first_arrival.unwrap_or(SimTime::ZERO));
+    let completed = latencies.len() as u32;
+    let total_tokens = u64::from(completed) * u64::from(cfg.new_tokens.max(1));
+    let throughput_tok_s = if completed == 0 {
+        0.0
+    } else {
+        total_tokens as f64 / makespan.as_secs_f64().max(1e-12)
+    };
+    let d = |v: f64| SimDuration::from_nanos_f64(v);
+    FleetReport {
+        completed,
+        ttft_p50: d(percentile(&ttfts, 50.0)),
+        ttft_p95: d(percentile(&ttfts, 95.0)),
+        ttft_p99: d(percentile(&ttfts, 99.0)),
+        e2e_p50: d(percentile(&e2es, 50.0)),
+        e2e_p95: d(percentile(&e2es, 95.0)),
+        throughput_tok_s,
+        makespan,
+        slo: SloReport::evaluate(cfg.slo, latencies, cfg.new_tokens.max(1), makespan),
+        handoffs: floor.handoffs,
+        handoff_bytes: floor.handoff_bytes,
+        handoff_wait_p50: d(percentile(&floor.handoff_waits, 50.0)),
+        handoff_wait_p95: d(percentile(&floor.handoff_waits, 95.0)),
+        handoff_transfer_total: d(floor.handoff_transfer_ns),
+        scale_ups: floor.scale_ups,
+        scale_downs: floor.scale_downs,
+        peak_replicas: floor.peak_live,
+        replica_seconds: floor.replica_ns / 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::arrivals::ArrivalProcess;
+    use crate::fleet::autoscale::AutoscaleConfig;
+    use crate::fleet::spec::FleetSpec;
+    use crate::observe::SloTargets;
+    use skip_hw::{Coupling, Interconnect, PlatformBuilder};
+    use skip_llm::zoo;
+
+    fn base(spec: FleetSpec) -> FleetConfig {
+        FleetConfig {
+            spec,
+            model: zoo::gpt2(),
+            max_batch: 8,
+            requests: 40,
+            arrivals: ArrivalProcess::Poisson { rate_per_s: 60.0 },
+            prompt_len: 128,
+            new_tokens: 6,
+            seed: 13,
+            slo: SloTargets::default(),
+            router: FleetRouterPolicy::CostModelJsq,
+            autoscale: None,
+        }
+    }
+
+    #[test]
+    fn homogeneous_unified_fleet_completes_and_conserves() {
+        let cfg = base(FleetSpec::homogeneous(Platform::intel_h100(), 3));
+        let (report, trace) = simulate_fleet_traced(&cfg);
+        assert_eq!(report.completed, 40);
+        assert!(trace.conserves_requests());
+        assert_eq!(report.handoffs, 0, "unified fleets never hand off");
+        assert_eq!(report.handoff_bytes, 0);
+        assert!(report.ttft_p50 > SimDuration::ZERO);
+        assert!(report.e2e_p50 >= report.ttft_p50);
+        assert_eq!(report.peak_replicas, 3);
+        assert!(report.replica_seconds > 0.0);
+    }
+
+    #[test]
+    fn disaggregated_fleet_hands_off_every_multi_token_request() {
+        let cfg = base(FleetSpec::disaggregated(
+            Platform::gh200(),
+            2,
+            Platform::intel_h100(),
+            2,
+        ));
+        let (report, trace) = simulate_fleet_traced(&cfg);
+        assert_eq!(report.completed, 40);
+        assert!(trace.conserves_requests());
+        // new_tokens > 1, so every request crosses the handoff link once.
+        assert_eq!(report.handoffs, 40);
+        let spec = KvSpec::for_model(&cfg.model, KvSpec::DEFAULT_BLOCK_TOKENS);
+        assert_eq!(
+            report.handoff_bytes,
+            40 * spec.handoff_bytes(u64::from(cfg.prompt_len) + 1),
+            "handoff bytes must be block-granular KV for prompt + first token"
+        );
+        assert!(report.handoff_transfer_total > SimDuration::ZERO);
+        // Lifecycles show the full disaggregated path.
+        let lc = &trace.lifecycles[0];
+        assert!(lc
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, LifecycleKind::HandoffQueued { .. })));
+        assert!(lc
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, LifecycleKind::DecodeAdmitted { .. })));
+    }
+
+    #[test]
+    fn single_token_requests_complete_at_the_prefill_pool() {
+        let mut cfg = base(FleetSpec::disaggregated(
+            Platform::gh200(),
+            1,
+            Platform::intel_h100(),
+            1,
+        ));
+        cfg.new_tokens = 1;
+        let (report, trace) = simulate_fleet_traced(&cfg);
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.handoffs, 0, "nothing to decode, nothing to move");
+        assert!(trace.conserves_requests());
+    }
+
+    /// The KV handoff is priced by the coupling model: the same topology
+    /// with the prefill side's link degraded from NVLink-C2C to PCIe Gen4
+    /// must spend strictly more time on the interconnect and finish no
+    /// sooner.
+    #[test]
+    fn handoff_cost_follows_the_coupling() {
+        let cc = base(FleetSpec::disaggregated(
+            Platform::gh200(),
+            1,
+            Platform::intel_h100(),
+            1,
+        ));
+        let mut lc = cc.clone();
+        lc.spec.groups[0].platform = PlatformBuilder::from(Platform::gh200())
+            .name("gh200_pcie")
+            .interconnect(Interconnect::pcie_gen4())
+            .coupling(Coupling::Loose)
+            .build();
+        let r_cc = simulate_fleet(&cc);
+        let r_lc = simulate_fleet(&lc);
+        assert_eq!(r_cc.handoff_bytes, r_lc.handoff_bytes, "same bytes moved");
+        assert!(
+            r_lc.handoff_transfer_total > r_cc.handoff_transfer_total,
+            "PCIe Gen4 drain must occupy the link longer than NVLink-C2C \
+             ({} vs {})",
+            r_lc.handoff_transfer_total,
+            r_cc.handoff_transfer_total
+        );
+    }
+
+    /// Satellite regression: on a *heterogeneous* fleet the load-aware
+    /// routers must diverge from round-robin — the serving_policies
+    /// finding (JSQ ≡ RR) was an artifact of identical replicas.
+    #[test]
+    fn jsq_beats_round_robin_on_a_heterogeneous_fleet() {
+        let spec = FleetSpec {
+            groups: vec![
+                super::super::spec::ReplicaGroup {
+                    platform: Platform::intel_h100(),
+                    count: 1,
+                    role: PoolRole::Unified,
+                },
+                super::super::spec::ReplicaGroup {
+                    platform: Platform::gh200(),
+                    count: 1,
+                    role: PoolRole::Unified,
+                },
+            ],
+        };
+        let mut cfg = base(spec);
+        cfg.requests = 60;
+        cfg.arrivals = ArrivalProcess::Poisson { rate_per_s: 120.0 };
+        cfg.router = FleetRouterPolicy::RoundRobin;
+        let rr = simulate_fleet(&cfg);
+        cfg.router = FleetRouterPolicy::JoinShortestQueue;
+        let jsq = simulate_fleet(&cfg);
+        cfg.router = FleetRouterPolicy::CostModelJsq;
+        let cost = simulate_fleet(&cfg);
+        assert_ne!(
+            rr.e2e_p50, jsq.e2e_p50,
+            "JSQ must not degenerate to round-robin when replicas differ"
+        );
+        assert!(
+            cost.e2e_p50 <= rr.e2e_p50,
+            "cost-model JSQ must not lose to blind rotation: {} vs {}",
+            cost.e2e_p50,
+            rr.e2e_p50
+        );
+    }
+
+    /// The PR 5 finding still holds where it should: on a homogeneous
+    /// fleet the cost model is a constant factor, so cost-JSQ and plain
+    /// JSQ pick identical replicas and produce identical reports.
+    #[test]
+    fn cost_jsq_degenerates_to_jsq_on_a_homogeneous_fleet() {
+        let mut cfg = base(FleetSpec::homogeneous(Platform::amd_a100(), 4));
+        cfg.requests = 50;
+        cfg.router = FleetRouterPolicy::JoinShortestQueue;
+        let (r_jsq, t_jsq) = simulate_fleet_traced(&cfg);
+        cfg.router = FleetRouterPolicy::CostModelJsq;
+        let (r_cost, t_cost) = simulate_fleet_traced(&cfg);
+        assert_eq!(r_jsq, r_cost);
+        assert_eq!(t_jsq.lifecycles, t_cost.lifecycles);
+    }
+
+    #[test]
+    fn autoscaler_grows_under_burst_and_drains_after() {
+        let mut cfg = base(FleetSpec::homogeneous(Platform::intel_h100(), 1));
+        cfg.requests = 120;
+        cfg.arrivals = ArrivalProcess::Bursty {
+            base_rate_per_s: 5.0,
+            burst_rate_per_s: 400.0,
+            burst_len: SimDuration::from_millis(500),
+            lull_len: SimDuration::from_secs(2),
+        };
+        cfg.autoscale = Some(AutoscaleConfig {
+            interval: SimDuration::from_millis(100),
+            high_load: 4.0,
+            low_load: 1.0,
+            min_per_pool: 1,
+            max_per_pool: 6,
+            provision_delay: SimDuration::from_millis(200),
+        });
+        let (report, trace) = simulate_fleet_traced(&cfg);
+        assert_eq!(report.completed, 120);
+        assert!(trace.conserves_requests());
+        assert!(report.scale_ups > 0, "the burst must trigger scale-up");
+        assert!(
+            report.peak_replicas > 1,
+            "launched replicas must have come up"
+        );
+        assert!(
+            trace
+                .scaling
+                .iter()
+                .any(|e| e.action == ScaleAction::LaunchRequested),
+            "scaling events must be recorded"
+        );
+        assert!(report.replica_seconds > 0.0);
+    }
+
+    /// Launch cost is coupling-derived: the same scale-up on gh200 pays a
+    /// C2C weight load, on amd_a100 a PCIe Gen4 one — visible in when the
+    /// first replica comes up.
+    #[test]
+    fn replica_launch_pays_the_weight_load_over_the_interconnect() {
+        let model = zoo::gpt2();
+        let weights = model.weight_bytes_fp16();
+        let gh = Platform::gh200().h2d_transfer(weights);
+        let amd = Platform::amd_a100().h2d_transfer(weights);
+        assert!(
+            amd > gh * 5,
+            "PCIe Gen4 weight load must dwarf NVLink-C2C: {amd} vs {gh}"
+        );
+    }
+
+    #[test]
+    fn fleet_simulation_is_deterministic() {
+        let mut cfg = base(FleetSpec::disaggregated(
+            Platform::gh200(),
+            2,
+            Platform::amd_a100(),
+            2,
+        ));
+        cfg.arrivals = ArrivalProcess::Diurnal {
+            base_rate_per_s: 20.0,
+            peak_rate_per_s: 200.0,
+            period: SimDuration::from_secs(2),
+        };
+        cfg.autoscale = Some(AutoscaleConfig::default());
+        let (ra, ta) = simulate_fleet_traced(&cfg);
+        let (rb, tb) = simulate_fleet_traced(&cfg);
+        assert_eq!(ra, rb);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn invalid_config_panics_with_the_validation_message() {
+        let mut cfg = base(FleetSpec::homogeneous(Platform::gh200(), 1));
+        cfg.max_batch = 0;
+        let _ = simulate_fleet(&cfg);
+    }
+}

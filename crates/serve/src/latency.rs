@@ -33,17 +33,25 @@ use skip_trace::Trace;
 /// Single-flight cell map: each key owns a lazily-filled latency cell.
 type KeyCells = BTreeMap<(u8, u32, u32), Arc<OnceLock<SimDuration>>>;
 
+/// Number of independent key-map shards. A power of two so the shard
+/// selector is a mask; 16 is comfortably above any sweep's worker count,
+/// so two workers only contend when their keys land in the same shard.
+const CACHE_SHARDS: usize = 16;
+
 /// Memoizing wrapper around [`Engine`] for serving simulations.
 ///
-/// The key map is behind a [`Mutex`] (not a `RefCell`) so a `LatencyModel`
-/// is `Sync` and one instance can serve concurrent sweep workers. The lock
-/// is taken exactly once per call, only to resolve the key to its cell;
-/// engine runs happen outside it, inside the key's [`OnceLock`].
+/// The key map is split into [`CACHE_SHARDS`] independently-locked shards
+/// (selected by a mix of the key's fields) so a `LatencyModel` is `Sync`
+/// and concurrent sweep workers touching *different* keys rarely contend
+/// on the same `Mutex` — the former single map made every lookup serialize
+/// on one lock. Each shard lock is still taken exactly once per call, only
+/// to resolve the key to its cell; engine runs happen outside it, inside
+/// the key's [`OnceLock`], preserving the single-flight guarantee.
 #[derive(Debug)]
 pub struct LatencyModel {
     engine: Engine,
     model: ModelConfig,
-    cache: Mutex<KeyCells>,
+    shards: [Mutex<KeyCells>; CACHE_SHARDS],
     engine_runs: AtomicU64,
 }
 
@@ -68,6 +76,17 @@ fn bucket(len: u32) -> u32 {
     len.max(1).next_power_of_two()
 }
 
+/// Shard index for a cache key: a Fibonacci-style multiplicative mix of
+/// the fields, masked down to [`CACHE_SHARDS`]. The bucketed lengths are
+/// powers of two, so hashing (rather than e.g. `len % SHARDS`) is what
+/// actually spreads neighbouring keys across shards.
+fn shard_of(key: (u8, u32, u32)) -> usize {
+    let (phase, batch, len) = key;
+    let mut h = u64::from(phase) ^ (u64::from(batch) << 8) ^ (u64::from(len) << 40);
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 57) as usize) & (CACHE_SHARDS - 1)
+}
+
 impl LatencyModel {
     /// Creates a latency model for `model` on `platform`.
     #[must_use]
@@ -75,7 +94,7 @@ impl LatencyModel {
         LatencyModel {
             engine: Engine::new(platform),
             model,
-            cache: Mutex::new(BTreeMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
             engine_runs: AtomicU64::new(0),
         }
     }
@@ -113,10 +132,13 @@ impl LatencyModel {
         })
     }
 
-    /// Number of distinct keys priced so far.
+    /// Number of distinct keys priced so far, summed over all shards.
     #[must_use]
     pub fn cache_entries(&self) -> usize {
-        self.cache.lock().expect("latency cache poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("latency cache poisoned").len())
+            .sum()
     }
 
     /// Number of engine runs actually performed. With single-flight
@@ -157,10 +179,10 @@ impl LatencyModel {
         wl: F,
     ) -> SimDuration {
         let key = (phase, batch, len);
-        // One lock acquisition resolves the key to its cell; cloning the
-        // Arc lets the lock drop before any simulation work starts.
+        // One shard-lock acquisition resolves the key to its cell; cloning
+        // the Arc lets the lock drop before any simulation work starts.
         let cell = Arc::clone(
-            self.cache
+            self.shards[shard_of(key)]
                 .lock()
                 .expect("latency cache poisoned")
                 .entry(key)
@@ -228,6 +250,28 @@ mod tests {
     fn decode_steps_are_cheaper_than_prefill() {
         let m = LatencyModel::new(Platform::gh200(), zoo::gpt2());
         assert!(m.decode_step(4, 512) < m.prefill(4, 512));
+    }
+
+    /// The shard selector must actually spread the serving key grid —
+    /// bucketed lengths are all powers of two, which is exactly the input
+    /// a naive modulo would clump onto a few shards.
+    #[test]
+    fn shard_selector_spreads_serving_keys() {
+        let mut used = std::collections::BTreeSet::new();
+        for phase in [0u8, 1] {
+            for batch in [1u32, 2, 4, 8, 16] {
+                for len in [32u32, 64, 128, 256, 512, 1024] {
+                    let s = shard_of((phase, batch, len));
+                    assert!(s < CACHE_SHARDS);
+                    used.insert(s);
+                }
+            }
+        }
+        assert!(
+            used.len() >= CACHE_SHARDS / 2,
+            "serving keys clump onto {} of {CACHE_SHARDS} shards",
+            used.len()
+        );
     }
 
     #[test]

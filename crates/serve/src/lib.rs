@@ -83,6 +83,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod fleet;
 mod floor;
 mod latency;
 mod memctx;
@@ -92,6 +93,11 @@ mod request;
 mod router;
 
 pub use config::{ConfigError, KvCacheConfig, Policy, RouterPolicy, ServingConfig};
+pub use fleet::{
+    simulate_fleet, simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetConfig,
+    FleetError, FleetReport, FleetRouterPolicy, FleetSample, FleetSpec, FleetTrace, PoolRole,
+    ReplicaGroup, ScaleAction, ScalingEvent,
+};
 pub use floor::{simulate, simulate_replicas, simulate_traced, ServingReport};
 pub use latency::LatencyModel;
 pub use observe::{

@@ -170,6 +170,29 @@ pub enum LifecycleKind {
         /// The replica it completed on.
         replica: u32,
     },
+    /// Prefill finished on a disaggregated prefill replica and the
+    /// request's KV cache was queued on the destination's handoff link.
+    HandoffQueued {
+        /// The prefill replica handing the KV off.
+        from: u32,
+        /// KV bytes to move (whole blocks).
+        bytes: u64,
+    },
+    /// The KV handoff transfer landed on the decode replica.
+    HandoffDone {
+        /// The decode replica that received the KV.
+        to: u32,
+        /// Time spent queued on the link before the transfer started.
+        wait: SimDuration,
+        /// The interconnect transfer time itself (D2H + H2D legs).
+        transfer: SimDuration,
+    },
+    /// The request joined a decode replica's running batch (disaggregated
+    /// fleets only; unified admission is [`LifecycleKind::Admitted`]).
+    DecodeAdmitted {
+        /// The decode replica it joined.
+        replica: u32,
+    },
 }
 
 /// A timestamped lifecycle transition.
@@ -404,10 +427,14 @@ impl ServingTrace {
                 let name = match cur.kind {
                     LifecycleKind::Arrived => t.intern("queued"),
                     LifecycleKind::Admitted { .. } => t.intern("prefill"),
-                    LifecycleKind::FirstToken | LifecycleKind::Resumed { .. } => t.intern("decode"),
+                    LifecycleKind::FirstToken
+                    | LifecycleKind::Resumed { .. }
+                    | LifecycleKind::DecodeAdmitted { .. } => t.intern("decode"),
                     LifecycleKind::Preempted { action, .. } => {
                         t.intern(&format!("parked:{}", action.label()))
                     }
+                    LifecycleKind::HandoffQueued { .. } => t.intern("handoff"),
+                    LifecycleKind::HandoffDone { .. } => t.intern("queued"),
                     LifecycleKind::Completed { .. } => continue,
                 };
                 t.push_cpu_op(CpuOpEvent {
@@ -419,9 +446,11 @@ impl ServingTrace {
                 });
                 next_op += 1;
             }
+            let mut pending_handoff: Option<SimTime> = None;
             for ev in &lc.events {
                 match ev.kind {
                     LifecycleKind::Preempted { .. } => pending_preempt = Some(ev.at),
+                    LifecycleKind::HandoffQueued { .. } => pending_handoff = Some(ev.at),
                     LifecycleKind::Resumed { .. } => {
                         if let Some(preempted_at) = pending_preempt.take() {
                             let corr = CorrelationId::new(next_corr);
@@ -437,6 +466,28 @@ impl ServingTrace {
                             let resume = t.intern("resume");
                             t.push_kernel(KernelEvent {
                                 name: resume,
+                                stream: StreamId::new(lc.id as u32),
+                                begin: ev.at,
+                                end: ev.at,
+                                correlation: corr,
+                            });
+                        }
+                    }
+                    LifecycleKind::HandoffDone { .. } => {
+                        if let Some(queued_at) = pending_handoff.take() {
+                            let corr = CorrelationId::new(next_corr);
+                            next_corr += 1;
+                            let depart = t.intern("kv_depart");
+                            t.push_launch(RuntimeLaunchEvent {
+                                name: depart,
+                                thread: tid,
+                                begin: queued_at,
+                                end: queued_at,
+                                correlation: corr,
+                            });
+                            let land = t.intern("kv_land");
+                            t.push_kernel(KernelEvent {
+                                name: land,
                                 stream: StreamId::new(lc.id as u32),
                                 begin: ev.at,
                                 end: ev.at,
@@ -553,6 +604,50 @@ mod tests {
         // Six counter tracks (kv tracked).
         assert_eq!(t.counters().len(), 6);
         assert!(t.counters().iter().any(|c| c.track == "kv_used_blocks"));
+    }
+
+    /// A disaggregated request's extra transitions export as slices —
+    /// handoff occupancy, the decode-side queue wait — plus one
+    /// kv_depart→kv_land flow pair, and the decode-side admission must not
+    /// double-count the request as admitted.
+    #[test]
+    fn disaggregated_lifecycle_exports_handoff_slices_and_flow() {
+        let mut st = ServingTrace::new("gpt2", "fleet", 2);
+        st.record(0, ms(0), LifecycleKind::Arrived);
+        st.record(0, ms(5), LifecycleKind::Admitted { replica: 0 });
+        st.record(0, ms(20), LifecycleKind::FirstToken);
+        st.record(
+            0,
+            ms(20),
+            LifecycleKind::HandoffQueued {
+                from: 0,
+                bytes: 1 << 20,
+            },
+        );
+        st.record(
+            0,
+            ms(24),
+            LifecycleKind::HandoffDone {
+                to: 1,
+                wait: dur_ms(1),
+                transfer: dur_ms(3),
+            },
+        );
+        st.record(0, ms(30), LifecycleKind::DecodeAdmitted { replica: 1 });
+        st.record(0, ms(60), LifecycleKind::Completed { replica: 1 });
+        let t = st.to_trace();
+        t.validate().unwrap();
+        let names: Vec<&str> = t.cpu_ops().iter().map(|o| t.name(o.name)).collect();
+        assert_eq!(
+            names,
+            vec!["queued", "prefill", "decode", "handoff", "queued", "decode"]
+        );
+        assert_eq!(t.launches().len(), 1);
+        assert_eq!(t.kernels().len(), 1);
+        assert_eq!(t.name(t.launches()[0].name), "kv_depart");
+        assert_eq!(t.name(t.kernels()[0].name), "kv_land");
+        assert_eq!(st.admitted_total(), 1);
+        assert_eq!(st.completed_total(), 1);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Golden fixtures for the disaggregated fleet floor.
+//!
+//! Each fixture pins the serde JSON of both the [`FleetReport`] and the
+//! complete [`FleetTrace`] (every lifecycle transition, counter sample,
+//! and scaling event) of a fixed-seed fleet run, byte for byte — the
+//! fleet-level counterpart of `tests/golden.rs`. Any reordering of
+//! routing decisions, repricing of handoffs, or drift in sampling shows
+//! up as a byte diff here. Regenerate (only when intentionally changing
+//! fleet semantics) with:
+//!
+//! ```text
+//! SKIP_BLESS_GOLDEN=1 cargo test -p skip-serve --test golden_fleet
+//! ```
+
+use std::path::PathBuf;
+
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::zoo;
+use skip_serve::{
+    simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetConfig, FleetRouterPolicy,
+    FleetSpec, SloTargets,
+};
+
+fn base(spec: FleetSpec) -> FleetConfig {
+    FleetConfig {
+        spec,
+        model: zoo::gpt2(),
+        max_batch: 8,
+        requests: 36,
+        arrivals: ArrivalProcess::Poisson { rate_per_s: 60.0 },
+        prompt_len: 128,
+        new_tokens: 6,
+        seed: 13,
+        slo: SloTargets {
+            ttft: Some(SimDuration::from_millis(150)),
+            e2e: Some(SimDuration::from_millis(1200)),
+        },
+        router: FleetRouterPolicy::CostModelJsq,
+        autoscale: None,
+    }
+}
+
+/// The fleet fixture grid: the 2-prefill/2-decode disaggregated floor
+/// (the new subsystem's canonical shape), and a bursty autoscaled unified
+/// fleet (pinning scaling-event order and launch pricing).
+fn grid() -> Vec<(String, FleetConfig)> {
+    let disagg = base(FleetSpec::disaggregated(
+        Platform::gh200(),
+        2,
+        Platform::intel_h100(),
+        2,
+    ));
+    let mut scaled = base(FleetSpec::homogeneous(Platform::intel_h100(), 1));
+    scaled.arrivals = ArrivalProcess::Bursty {
+        base_rate_per_s: 5.0,
+        burst_rate_per_s: 300.0,
+        burst_len: SimDuration::from_millis(400),
+        lull_len: SimDuration::from_secs(2),
+    };
+    scaled.autoscale = Some(AutoscaleConfig::default());
+    vec![
+        ("fleet_disagg_2p2d".to_owned(), disagg),
+        ("fleet_autoscale_bursty".to_owned(), scaled),
+    ]
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("{name}.json"))
+}
+
+fn render(cfg: &FleetConfig) -> String {
+    let (report, trace) = simulate_fleet_traced(cfg);
+    format!(
+        "{{\"report\":{},\"trace\":{}}}\n",
+        serde_json::to_string(&report).expect("report serializes"),
+        serde_json::to_string(&trace).expect("trace serializes"),
+    )
+}
+
+#[test]
+fn fleet_floor_reproduces_golden_fixtures() {
+    let bless = std::env::var_os("SKIP_BLESS_GOLDEN").is_some();
+    let mut missing = Vec::new();
+    for (name, cfg) in grid() {
+        let got = render(&cfg);
+        let path = fixture_path(&name);
+        if bless {
+            std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir");
+            std::fs::write(&path, &got).expect("write fixture");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(want) => assert_eq!(
+                got, want,
+                "{name}: fleet output drifted from the golden fixture"
+            ),
+            Err(_) => missing.push(name),
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "missing golden fixtures {missing:?}; regenerate with SKIP_BLESS_GOLDEN=1"
+    );
+}

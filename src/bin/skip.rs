@@ -19,7 +19,9 @@ use skip_hw::Platform;
 use skip_llm::{zoo, ModelConfig, Phase, Workload};
 use skip_runtime::{CompileMode, Engine, ExecMode};
 use skip_serve::{
-    simulate_traced, KvCacheConfig, OffloadPolicy, Policy, RouterPolicy, ServingConfig, SloTargets,
+    simulate_fleet_traced, simulate_traced, ArrivalProcess, AutoscaleConfig, FleetConfig,
+    FleetRouterPolicy, FleetSpec, KvCacheConfig, OffloadPolicy, Policy, RouterPolicy,
+    ServingConfig, SloTargets,
 };
 use skip_trace::chrome;
 
@@ -36,6 +38,15 @@ USAGE:
                   [--batch-size N] [--max-wait-ms T] [--chunk-tokens N]
                   [--seq N] [--tokens N] [--kv-blocks N] [--offload recompute|swap|auto]
                   [--trace-out FILE] [--slo-ttft-ms T] [--slo-e2e-ms T]
+    skip serve    --model <id> --fleet <spec> [--disagg] [--autoscale] [--fleet-router rr|jsq|cost]
+                  [--arrivals poisson|diurnal|bursty] [--peak-qps R] [--period-ms T]
+                  [--burst-ms T] [--lull-ms T] [--qps R] [--requests N] [--max-batch N]
+                  [--seq N] [--tokens N] [--trace-out FILE] [--slo-ttft-ms T] [--slo-e2e-ms T]
+
+FLEET SPECS: comma-separated groups '[prefill=|decode=]<platform>:<count>', e.g.
+    --fleet intel_h100:4                              homogeneous unified fleet
+    --fleet prefill=gh200:1,decode=intel_h100:3       disaggregated pools
+    --fleet gh200:1,intel_h100:3 --disagg             first group prefill, rest decode
     skip models
     skip platforms
 
@@ -84,7 +95,11 @@ fn parse_mode(id: &str) -> Result<ExecMode, String> {
     })
 }
 
-/// Parses `--key value` pairs after the subcommand.
+/// Flags that take no value; present means `"true"`.
+const BOOL_FLAGS: [&str; 2] = ["disagg", "autoscale"];
+
+/// Parses `--key value` pairs after the subcommand. Flags listed in
+/// [`BOOL_FLAGS`] never consume a value.
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
     let mut flags = BTreeMap::new();
     let mut it = args.iter();
@@ -92,6 +107,10 @@ fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
         let Some(name) = key.strip_prefix("--") else {
             return Err(format!("expected --flag, got '{key}'"));
         };
+        if BOOL_FLAGS.contains(&name) {
+            flags.insert(name.to_owned(), "true".to_owned());
+            continue;
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{name} requires a value"))?;
@@ -250,8 +269,144 @@ fn cmd_generate(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> 
     Ok(())
 }
 
+fn cmd_serve_fleet(
+    flags: &BTreeMap<String, String>,
+    model: ModelConfig,
+    spec: &str,
+) -> Result<(), Box<dyn Error>> {
+    let mut spec = FleetSpec::parse(spec).map_err(|e| format!("--fleet: {e}"))?;
+    if flags.contains_key("disagg") && !spec.is_disaggregated() {
+        spec = spec
+            .into_disaggregated()
+            .map_err(|e| format!("--disagg: {e}"))?;
+    }
+    let router = FleetRouterPolicy::parse(flags.get("fleet-router").map_or("cost", String::as_str))
+        .map_err(|e| format!("--fleet-router: {e}"))?;
+    let qps: f64 = flags
+        .get("qps")
+        .map_or(Ok(20.0), |v| v.parse())
+        .map_err(|_| "--qps: bad number")?;
+    let peak: f64 = flags
+        .get("peak-qps")
+        .map_or(Ok(qps * 4.0), |v| v.parse())
+        .map_err(|_| "--peak-qps: bad number")?;
+    let ms = |key: &str, default: u32| -> Result<SimDuration, String> {
+        Ok(SimDuration::from_millis(u64::from(get_u32(
+            flags, key, default,
+        )?)))
+    };
+    let arrivals = match flags.get("arrivals").map_or("poisson", String::as_str) {
+        "poisson" => ArrivalProcess::Poisson { rate_per_s: qps },
+        "diurnal" => ArrivalProcess::Diurnal {
+            base_rate_per_s: qps,
+            peak_rate_per_s: peak,
+            period: ms("period-ms", 2000)?,
+        },
+        "bursty" => ArrivalProcess::Bursty {
+            base_rate_per_s: qps,
+            burst_rate_per_s: peak,
+            burst_len: ms("burst-ms", 400)?,
+            lull_len: ms("lull-ms", 2000)?,
+        },
+        other => {
+            return Err(format!(
+                "--arrivals: unknown process '{other}' (expected poisson, diurnal, or bursty)"
+            )
+            .into())
+        }
+    };
+    let slo_ms = |key: &str| -> Result<Option<SimDuration>, String> {
+        flags
+            .get(key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map(|ms| SimDuration::from_nanos_f64(ms * 1e6))
+                    .map_err(|_| format!("--{key}: bad number '{v}'"))
+            })
+            .transpose()
+    };
+    let cfg = FleetConfig {
+        spec,
+        model: model.clone(),
+        max_batch: get_u32(flags, "max-batch", 8)?,
+        requests: get_u32(flags, "requests", 100)?,
+        arrivals,
+        prompt_len: get_u32(flags, "seq", 128)?,
+        new_tokens: get_u32(flags, "tokens", 8)?,
+        seed: 2026,
+        slo: SloTargets {
+            ttft: slo_ms("slo-ttft-ms")?,
+            e2e: slo_ms("slo-e2e-ms")?,
+        },
+        router,
+        autoscale: flags
+            .contains_key("autoscale")
+            .then(AutoscaleConfig::default),
+    };
+    cfg.validate()
+        .map_err(|e| format!("{e} (check --fleet / --requests / --max-batch)"))?;
+
+    let (report, ftrace) = simulate_fleet_traced(&cfg);
+    println!(
+        "== fleet serving {} on {} | router {} | {} arrivals at {qps} req/s ==",
+        model.name,
+        cfg.spec,
+        cfg.router,
+        flags.get("arrivals").map_or("poisson", String::as_str)
+    );
+    println!("completed    : {} requests", report.completed);
+    println!(
+        "TTFT p50/p95/p99 : {} / {} / {}",
+        report.ttft_p50, report.ttft_p95, report.ttft_p99
+    );
+    println!("e2e  p50/p95     : {} / {}", report.e2e_p50, report.e2e_p95);
+    println!("throughput   : {:.0} tokens/s", report.throughput_tok_s);
+    println!("makespan     : {}", report.makespan);
+    if cfg.spec.is_disaggregated() {
+        println!(
+            "KV handoff   : {} transfers, {:.1} MB moved | wait p50/p95 {} / {} | link busy {}",
+            report.handoffs,
+            report.handoff_bytes as f64 / 1e6,
+            report.handoff_wait_p50,
+            report.handoff_wait_p95,
+            report.handoff_transfer_total
+        );
+    }
+    if cfg.autoscale.is_some() {
+        println!(
+            "autoscaling  : {} up / {} down | peak {} replicas | {:.2} replica-seconds",
+            report.scale_ups, report.scale_downs, report.peak_replicas, report.replica_seconds
+        );
+    }
+    if cfg.slo.is_set() {
+        println!(
+            "SLO          : ttft {:.1}% | e2e {:.1}% | {} / {} in SLO | goodput {:.2} req/s",
+            report.slo.ttft_attainment * 100.0,
+            report.slo.e2e_attainment * 100.0,
+            report.slo.slo_completions,
+            report.completed,
+            report.slo.goodput_req_s
+        );
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let trace = ftrace.to_trace();
+        trace.validate()?;
+        std::fs::write(path, chrome::to_chrome_trace(&trace))?;
+        println!(
+            "wrote fleet trace to {path} ({} requests, {} samples, {} scaling events) — open in https://ui.perfetto.dev",
+            ftrace.lifecycles.len(),
+            ftrace.samples.len(),
+            ftrace.scaling.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     let model = find_model(flags.get("model").ok_or("--model is required")?)?;
+    if let Some(spec) = flags.get("fleet") {
+        return cmd_serve_fleet(flags, model, spec);
+    }
     let platform = find_platform(flags.get("platform").map_or("intel_h100", String::as_str))?;
     let qps: f64 = flags
         .get("qps")
