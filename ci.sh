@@ -39,7 +39,7 @@ grep -q "completed    : 40 requests" <<<"$fleet_out"
 echo "== parallel determinism (byte-identical renders at any --threads) =="
 cargo test --release --test parallel_determinism -q
 
-echo "== perf suite (writes BENCH_SUITE.json; >2x regression gate) =="
+echo "== perf suite (writes BENCH_SUITE.json; >2x wall + throughput-drop gates) =="
 cargo run --release -p skip-bench --bin perf -- --baseline BENCH_BASELINE.json
 test -s BENCH_SUITE.json || { echo "BENCH_SUITE.json missing"; exit 1; }
 

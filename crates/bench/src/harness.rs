@@ -83,7 +83,22 @@ where
     map_with(threads(), items, f)
 }
 
-/// [`map`] with an explicit worker count (0 and 1 both mean serial).
+/// The worker count `map_with(requested, ..)` will actually fan out to:
+/// `requested` capped by the host's available parallelism. Spawning more
+/// workers than cores cannot help an embarrassingly-parallel CPU-bound
+/// sweep — it only adds spawn/teardown and scheduler churn per call (the
+/// committed BENCH_BASELINE.json once recorded the 4-worker fig10 sweep
+/// *slower* than serial on a single-core host for exactly this reason) —
+/// and determinism comes from index-ordered write-back, never from the
+/// worker count, so capping is invisible in the results.
+#[must_use]
+pub fn effective_workers(requested: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    requested.min(cores)
+}
+
+/// [`map`] with an explicit worker count (0 and 1 both mean serial; counts
+/// above the host's core count are capped — see [`effective_workers`]).
 pub fn map_with<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
@@ -91,7 +106,7 @@ where
     F: Fn(I) -> T + Sync,
 {
     let n = items.len();
-    let workers = workers.min(n);
+    let workers = effective_workers(workers).min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }

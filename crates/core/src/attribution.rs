@@ -59,8 +59,11 @@ pub struct OpStat {
 pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
     let graph = DependencyGraph::build(trace);
     let ops = trace.cpu_ops();
-    let launches = trace.launches();
-    let kernels = trace.kernels();
+    // The whole sweep reads nothing but timestamps, so scan the contiguous
+    // SoA columns directly rather than materializing event structs.
+    let launch_begins = trace.launches().begins();
+    let kernel_begins = trace.kernels().begins();
+    let kernel_ends = trace.kernels().ends();
 
     struct Acc {
         instances: std::collections::BTreeSet<usize>,
@@ -76,8 +79,6 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
         let Some(kidx) = link.kernel_idx else {
             continue;
         };
-        let kernel = &kernels[kidx];
-        let launch = &launches[link.launch_idx];
         let (name, instance) = match link.parent_op {
             Some(op) => {
                 let root = graph.root_ancestor(op);
@@ -93,8 +94,9 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
         });
         acc.instances.insert(instance);
         acc.kernels += 1;
-        acc.gpu_time += kernel.duration();
-        acc.lq_time += kernel.begin.saturating_duration_since(launch.begin);
+        acc.gpu_time += kernel_ends[kidx].duration_since(kernel_begins[kidx]);
+        acc.lq_time +=
+            kernel_begins[kidx].saturating_duration_since(launch_begins[link.launch_idx]);
     }
 
     let mut stats: Vec<OpStat> = agg

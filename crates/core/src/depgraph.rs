@@ -105,12 +105,13 @@ impl DependencyGraph {
             ch.sort_unstable();
         }
 
-        // Kernel lookup by correlation.
+        // Kernel lookup by correlation (a single pass over the SoA column).
         let kernel_by_corr: BTreeMap<CorrelationId, usize> = trace
             .kernels()
+            .correlations()
             .iter()
             .enumerate()
-            .map(|(i, k)| (k.correlation, i))
+            .map(|(i, &c)| (c, i))
             .collect();
 
         // Attach launches to the innermost containing operator. Launches
@@ -125,20 +126,21 @@ impl DependencyGraph {
         // Equal-begin operators never pop each other (the sort nests the
         // shorter inside the longer), so that group is a contiguous suffix
         // of the stack.
+        let launch_begins = trace.launches().begins();
         let mut launch_parent: Vec<Option<OpRef>> = vec![None; trace.launches().len()];
         let mut launches_per_thread: BTreeMap<ThreadId, Vec<usize>> = BTreeMap::new();
-        for (i, l) in trace.launches().iter().enumerate() {
-            launches_per_thread.entry(l.thread).or_default().push(i);
+        for (i, &thread) in trace.launches().threads().iter().enumerate() {
+            launches_per_thread.entry(thread).or_default().push(i);
         }
         for (thread, launch_idxs) in &mut launches_per_thread {
             let Some(sorted) = per_thread.get(thread) else {
                 continue; // no operators on this thread
             };
-            launch_idxs.sort_by_key(|&i| (trace.launches()[i].begin, i));
+            launch_idxs.sort_by_key(|&i| (launch_begins[i], i));
             let mut stack: Vec<OpRef> = Vec::new();
             let mut next_op = 0;
             for &li in launch_idxs.iter() {
-                let at = trace.launches()[li].begin;
+                let at = launch_begins[li];
                 // Open every operator that has begun by `at`.
                 while next_op < sorted.len() && ops[sorted[next_op]].begin <= at {
                     let i = sorted[next_op];
@@ -175,12 +177,13 @@ impl DependencyGraph {
         }
         let launches = trace
             .launches()
+            .correlations()
             .iter()
             .enumerate()
-            .map(|(launch_idx, l)| LaunchLink {
+            .map(|(launch_idx, corr)| LaunchLink {
                 launch_idx,
                 parent_op: launch_parent[launch_idx],
-                kernel_idx: kernel_by_corr.get(&l.correlation).copied(),
+                kernel_idx: kernel_by_corr.get(corr).copied(),
             })
             .collect();
 
@@ -402,7 +405,7 @@ mod tests {
             let thread = ThreadId::new(next(3) as u32);
             let mut ev = op(&mut t, i, "soup", begin, begin + dur);
             ev.thread = thread;
-            raw_ops.push(ev.clone());
+            raw_ops.push(ev);
             t.push_cpu_op(ev);
         }
         let launch = t.intern("cudaLaunchKernel");

@@ -58,19 +58,28 @@ impl ProfileReport {
     pub fn analyze_with_graph(trace: &Trace, graph: &DependencyGraph) -> Self {
         let launches = trace.launches();
         let kernels = trace.kernels();
+        // Every equation below reads timestamps only, so scan the SoA
+        // columns directly — contiguous u64 arrays, one cache line per 8
+        // events — instead of materializing event structs.
+        let launch_begins = launches.begins();
+        let kernel_begins = kernels.begins();
+        let kernel_ends = kernels.ends();
 
         // Eq. 1–2: per-kernel launch+queue time, summed.
         let mut tklqt = SimDuration::ZERO;
         for link in graph.launches() {
             if let Some(kidx) = link.kernel_idx {
-                let l = &launches[link.launch_idx];
-                let k = &kernels[kidx];
-                tklqt += k.begin.saturating_duration_since(l.begin);
+                tklqt +=
+                    kernel_begins[kidx].saturating_duration_since(launch_begins[link.launch_idx]);
             }
         }
 
         // Eq. 3: average kernel duration.
-        let total_kernel_time: SimDuration = kernels.iter().map(|k| k.duration()).sum();
+        let total_kernel_time: SimDuration = kernel_begins
+            .iter()
+            .zip(kernel_ends)
+            .map(|(&b, &e)| e.duration_since(b))
+            .sum();
         let akd = if kernels.is_empty() {
             SimDuration::ZERO
         } else {
@@ -84,7 +93,7 @@ impl ProfileReport {
             .map(|o| o.begin)
             .min()
             .unwrap_or(SimTime::ZERO);
-        let last_kernel_end = kernels.iter().map(|k| k.end).max();
+        let last_kernel_end = kernel_ends.iter().max().copied();
         let inference_latency = match last_kernel_end {
             Some(end) => end.saturating_duration_since(first_op_begin),
             None => trace.span(),
@@ -98,7 +107,7 @@ impl ProfileReport {
             .cpu_ops()
             .iter()
             .map(|o| o.end)
-            .chain(launches.iter().map(|l| l.end))
+            .chain(launches.ends().iter().copied())
             .max();
         let cpu_busy = match last_cpu_end {
             Some(end) => end.saturating_duration_since(first_op_begin),

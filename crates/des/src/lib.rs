@@ -47,7 +47,7 @@ mod stats;
 mod time;
 
 pub use capacity::{CapacityResource, Placement};
-pub use event::{EventQueue, Scheduled};
+pub use event::{EventQueue, HeapEventQueue, Scheduled};
 pub use ids::IdAllocator;
 pub use resource::{Busy, FifoResource};
 pub use sim::{SimContext, Simulator};

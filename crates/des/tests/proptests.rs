@@ -1,9 +1,111 @@
 //! Property-based tests for the DES core invariants.
 
 use proptest::prelude::*;
-use skip_des::{EventQueue, FifoResource, SimDuration, SimTime, Simulator};
+use skip_des::{EventQueue, FifoResource, HeapEventQueue, SimDuration, SimTime, Simulator};
 
 proptest! {
+    /// Differential pin for the calendar queue: for arbitrary interleaved
+    /// push/pop workloads — heavy timestamp collisions included — the
+    /// calendar queue and the original heap pop identical
+    /// `(time, seq, event)` sequences.
+    ///
+    /// Each workload step is `(kind, gap)`: a pop (`kind == 0`), or a push
+    /// `gap` nanoseconds after the last popped time (the simulator's
+    /// no-scheduling-into-the-past contract; `gap == 0` is the
+    /// schedule-at-`now` case). The small gap range forces many events
+    /// onto the same instant, exercising the FIFO tiebreak.
+    #[test]
+    fn calendar_queue_matches_heap_oracle(
+        ops in prop::collection::vec((0u32..2, 0u64..40), 1..400)
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut now = 0u64;
+        for (i, &(kind, gap)) in ops.iter().enumerate() {
+            if kind == 0 {
+                let a = cal.pop();
+                let b = heap.pop();
+                match (&a, &b) {
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(
+                            (a.at, a.seq, &a.event),
+                            (b.at, b.seq, &b.event),
+                            "divergence at step {}", i
+                        );
+                        now = a.at.as_nanos();
+                    }
+                    (None, None) => {}
+                    _ => prop_assert!(false, "one queue empty, the other not"),
+                }
+                prop_assert_eq!(cal.len(), heap.len());
+                prop_assert_eq!(cal.peek_time(), heap.peek_time());
+            } else {
+                let at = SimTime::from_nanos(now + gap);
+                let sa = cal.push(at, i);
+                let sb = heap.push(at, i);
+                prop_assert_eq!(sa, sb, "sequence numbers diverged");
+            }
+        }
+        // Drain: the tails must agree too.
+        loop {
+            match (cal.pop(), heap.pop()) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!((a.at, a.seq, a.event), (b.at, b.seq, b.event));
+                }
+                (None, None) => break,
+                _ => prop_assert!(false, "tail lengths diverged"),
+            }
+        }
+    }
+
+    /// Unrestricted pushes (no simulator contract): events may land far in
+    /// the past or future relative to the pop cursor, forcing the
+    /// calendar queue's rewind and far-future-jump paths. Order must still
+    /// match the heap exactly.
+    #[test]
+    fn calendar_queue_matches_heap_on_unordered_pushes(
+        ops in prop::collection::vec((0u32..4, 0u64..u64::MAX / 2), 1..300)
+    ) {
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for (i, &(kind, at)) in ops.iter().enumerate() {
+            if kind == 0 {
+                let (a, b) = (cal.pop(), heap.pop());
+                prop_assert_eq!(
+                    a.as_ref().map(|s| (s.at, s.seq, s.event)),
+                    b.as_ref().map(|s| (s.at, s.seq, s.event))
+                );
+            } else {
+                let at = SimTime::from_nanos(at);
+                cal.push(at, i);
+                heap.push(at, i);
+            }
+        }
+    }
+
+    /// Schedule-at-`now` from inside a handler: a handler that re-schedules
+    /// `fanout` immediate events must observe them at the same instant, in
+    /// the order it scheduled them, before any later-time event fires.
+    #[test]
+    fn schedule_at_now_fires_fifo_before_later_events(fanout in 1usize..20) {
+        let mut sim = Simulator::new();
+        sim.schedule(SimTime::from_nanos(10), usize::MAX); // the trigger
+        sim.schedule(SimTime::from_nanos(11), usize::MAX - 1); // a later event
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        sim.run(|ctx, ev: usize| {
+            if ev == usize::MAX {
+                for k in 0..fanout {
+                    ctx.schedule(ctx.now(), k);
+                }
+            }
+            seen.push((ctx.now().as_nanos(), ev));
+        });
+        let mut expect = vec![(10, usize::MAX)];
+        expect.extend((0..fanout).map(|k| (10, k)));
+        expect.push((11, usize::MAX - 1));
+        prop_assert_eq!(seen, expect);
+    }
+
     /// Events always pop in non-decreasing time order regardless of
     /// insertion order, and FIFO among ties.
     #[test]

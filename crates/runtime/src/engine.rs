@@ -16,19 +16,21 @@
 //! falls back to full simulation whenever no period is detected.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use skip_des::{FifoResource, IdAllocator, SimDuration, SimTime};
 use skip_hw::{KernelClass, Platform};
 use skip_llm::{AttentionImpl, GraphOptions, KernelSpec, OpNode, Workload};
 use skip_trace::{
-    CorrelationId, CpuOpEvent, EventSink, KernelClassTag, KernelEvent, NameId, OpId, RunSummary,
-    RuntimeLaunchEvent, StreamId, ThreadId, Trace, TraceMeta,
+    CorrelationId, CpuOpEvent, EventSink, KernelClassTag, KernelEvent, NameId, OpId, ReplicaBlock,
+    RunSummary, RuntimeLaunchEvent, StreamId, ThreadId, Trace, TraceMeta,
 };
 
 use crate::compiled::{
     self, COMPILED_DISPATCH_NS, CUDAGRAPH_ENTRY_NS, GUARD_EVAL_NS, REPLAY_NODE_NS,
 };
 use crate::mode::{CompileMode, ExecMode};
+use crate::schedule::{self, Schedule, Step};
 
 /// Maps the hardware kernel taxonomy onto [`RunSummary`] class slots.
 ///
@@ -59,13 +61,31 @@ pub fn kernel_class_tag(class: KernelClass) -> KernelClassTag {
 #[derive(Debug, Clone)]
 pub struct Engine {
     platform: Platform,
+    /// Canonical platform serialization, computed lazily on the first
+    /// schedule lookup — the platform half of the schedule-table key.
+    /// Shared (`Arc`) so cloning an engine keeps the cached signature.
+    platform_sig: Arc<OnceLock<Arc<str>>>,
 }
 
 impl Engine {
     /// Creates an engine for `platform`.
     #[must_use]
     pub fn new(platform: Platform) -> Self {
-        Engine { platform }
+        Engine {
+            platform,
+            platform_sig: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The canonical serialization of this engine's platform. Platforms
+    /// are structural configuration data, so equal signatures mean equal
+    /// timing models.
+    fn platform_sig(&self) -> Arc<str> {
+        Arc::clone(self.platform_sig.get_or_init(|| {
+            serde_json::to_string(&self.platform)
+                .expect("platform serializes")
+                .into()
+        }))
     }
 
     /// The platform this engine simulates.
@@ -209,6 +229,12 @@ impl Engine {
     }
 
     /// Eager-style execution of the operator tree.
+    ///
+    /// The fast path replays the pre-priced [`Schedule`] compiled once per
+    /// (shared graph, platform) shape signature; the reference path
+    /// (`fast = false`) walks the operator tree per run. Both produce
+    /// byte-identical traces — the schedule performs the same arithmetic in
+    /// the same order.
     fn run_tree<S: EventSink>(
         &self,
         workload: &Workload,
@@ -216,15 +242,26 @@ impl Engine {
         sink: S,
         fast: bool,
     ) -> S {
-        let graph = workload.graph_with(opts);
-        self.run_graph_sink(&graph, workload.input_bytes(), sink, fast)
+        // Shared-cache build: batch sweeps and serving replicas re-run the
+        // same workload shapes constantly, and construction was more than
+        // half the cost of a summary-sink run.
+        let graph = workload.graph_shared(opts);
+        let mut exec = Exec::new(&self.platform, sink);
+        exec.h2d_input(workload.input_bytes());
+        if fast {
+            let sched = schedule::schedule_for(&graph, &self.platform, &self.platform_sig());
+            exec.exec_schedule(&sched);
+        } else {
+            exec.exec_ops(graph.ops(), false);
+        }
+        exec.into_sink()
     }
 
     /// `torch.compile` execution: guard evaluation, then either per-kernel
     /// Inductor dispatch (Default) or a single CUDA-graph replay
     /// (ReduceOverhead / MaxAutotune) of the fused kernel stream.
     fn run_compiled<S: EventSink>(&self, workload: &Workload, cm: CompileMode, sink: S) -> S {
-        let graph = workload.graph();
+        let graph = workload.graph_shared(GraphOptions::default());
         let stream = compiled::inductor_stream(&graph, cm);
         let mut exec = Exec::new(&self.platform, sink);
         exec.h2d_input(workload.input_bytes());
@@ -555,25 +592,21 @@ impl<'a, S: EventSink> Exec<'a, S> {
 
     fn emit_cpu(&mut self, ev: CpuOpEvent) {
         if let Some(p) = self.probe.as_mut() {
-            p.cpu.push(ev.clone());
+            p.cpu.push(ev);
         }
         self.sink.record_cpu_op(ev);
     }
 
     fn emit_launch(&mut self, ev: RuntimeLaunchEvent) {
         if let Some(p) = self.probe.as_mut() {
-            p.launches.push(ev.clone());
+            p.launches.push(ev);
         }
         self.sink.record_launch(ev);
     }
 
     fn emit_kernel(&mut self, ev: KernelEvent, tag: KernelClassTag, arrival: SimTime) {
         if let Some(p) = self.probe.as_mut() {
-            p.kernels.push(ProbedKernel {
-                ev: ev.clone(),
-                tag,
-                arrival,
-            });
+            p.kernels.push(ProbedKernel { ev, tag, arrival });
         }
         self.sink.record_kernel(ev, tag);
     }
@@ -688,42 +721,23 @@ impl<'a, S: EventSink> Exec<'a, S> {
         // or the replicated IDs below would collide with live ones.
         debug_assert_eq!(self.op_ids.peek(), log.op_base + ops_per_block);
         debug_assert_eq!(self.corr.peek(), log.corr_base + corrs_per_block);
-        for m in 1..=blocks {
-            let dc = scaled(shift.cpu, m);
-            let dk = scaled(shift.kernel, m);
-            for ev in &log.cpu {
-                self.sink.record_cpu_op(CpuOpEvent {
-                    id: OpId::new(ev.id.get() + m * ops_per_block),
-                    name: ev.name,
-                    thread: ev.thread,
-                    begin: ev.begin + dc,
-                    end: ev.end + dc,
-                });
-            }
-            for ev in &log.launches {
-                self.sink.record_launch(RuntimeLaunchEvent {
-                    name: ev.name,
-                    thread: ev.thread,
-                    begin: ev.begin + dc,
-                    end: ev.end + dc,
-                    correlation: CorrelationId::new(ev.correlation.get() + m * corrs_per_block),
-                });
-            }
-            for k in &log.kernels {
-                self.sink.record_kernel(
-                    KernelEvent {
-                        name: k.ev.name,
-                        stream: k.ev.stream,
-                        begin: k.ev.begin + dk,
-                        end: k.ev.end + dk,
-                        correlation: CorrelationId::new(
-                            k.ev.correlation.get() + m * corrs_per_block,
-                        ),
-                    },
-                    k.tag,
-                );
-            }
-        }
+        // One bulk call: aggregate sinks (RunSummary) fold the whole region
+        // in a single pass over the block; the trace sink extends its
+        // columns without per-event dispatch.
+        let kernels: Vec<(KernelEvent, KernelClassTag)> =
+            log.kernels.iter().map(|k| (k.ev, k.tag)).collect();
+        self.sink.record_replicas(
+            &ReplicaBlock {
+                cpu: &log.cpu,
+                launches: &log.launches,
+                kernels: &kernels,
+                cpu_shift: shift.cpu,
+                kernel_shift: shift.kernel,
+                op_stride: ops_per_block,
+                corr_stride: corrs_per_block,
+            },
+            blocks,
+        );
         self.cpu_now += scaled(shift.cpu, blocks);
         if !log.kernels.is_empty() {
             // Zero-duration admission advances the stream's free point
@@ -733,6 +747,67 @@ impl<'a, S: EventSink> Exec<'a, S> {
         }
         self.op_ids.advance(blocks * ops_per_block);
         self.corr.advance(blocks * corrs_per_block);
+    }
+
+    /// Replays a pre-priced schedule: the workload fast path. Performs
+    /// exactly the arithmetic [`Exec::exec_op`]/[`Exec::launch_kernel`]
+    /// perform, in the same order, minus the tree recursion, per-event
+    /// string hashing and duration-model evaluation the schedule already
+    /// paid at compile time.
+    fn exec_schedule(&mut self, sched: &Schedule) {
+        // Interning in first-use order reproduces the name table lazy
+        // execution would have built (re-interning a known name is a no-op).
+        let names: Vec<NameId> = sched
+            .names
+            .iter()
+            .map(|n| self.sink.intern_name(n))
+            .collect();
+        let mut open: Vec<(OpId, NameId, SimTime)> = Vec::with_capacity(16);
+        for step in &sched.steps {
+            match *step {
+                Step::Open { name, cost } => {
+                    let id = OpId::new(self.op_ids.next_id());
+                    open.push((id, names[name as usize], self.cpu_now));
+                    self.cpu_now += cost;
+                }
+                Step::Close => {
+                    let (id, name, begin) = open.pop().expect("balanced schedule");
+                    self.emit_cpu(CpuOpEvent {
+                        id,
+                        name,
+                        thread: ThreadId::MAIN,
+                        begin,
+                        end: self.cpu_now,
+                    });
+                }
+                Step::Kernel { name, dur, tag } => {
+                    let launch_begin = self.cpu_now;
+                    self.cpu_now += sched.launch_cost;
+                    let corr = CorrelationId::new(self.corr.next_id());
+                    self.emit_launch(RuntimeLaunchEvent {
+                        name: self.n_launch,
+                        thread: ThreadId::MAIN,
+                        begin: launch_begin,
+                        end: self.cpu_now,
+                        correlation: corr,
+                    });
+                    let arrival = launch_begin + sched.launch_overhead;
+                    let busy = self.stream.admit(arrival, dur);
+                    self.emit_kernel(
+                        KernelEvent {
+                            name: names[name as usize],
+                            stream: StreamId::DEFAULT,
+                            begin: busy.start,
+                            end: busy.end,
+                            correlation: corr,
+                        },
+                        tag,
+                        arrival,
+                    );
+                }
+            }
+        }
+        debug_assert!(open.is_empty(), "schedule opens/closes balance");
     }
 
     /// Recursively executes one operator node: pay its framework cost,
@@ -842,7 +917,7 @@ mod tests {
         let t = engine.run(&wl(1), ExecMode::Eager);
         let overhead = platform.launch_overhead();
         // Skip the memcpy launch (no kernel); inspect the first real kernel.
-        let k = &t.kernels()[0];
+        let k = t.kernels().get(0);
         let l = t
             .launches()
             .iter()

@@ -51,6 +51,7 @@ mod engine;
 mod generate;
 mod mode;
 mod nullkernel;
+mod schedule;
 
 pub use compiled::{compile_time, eager_warmup, inductor_stream};
 pub use engine::{kernel_class_tag, Engine};

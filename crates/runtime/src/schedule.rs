@@ -1,0 +1,163 @@
+//! Pre-priced execution schedules: the workload-level fast path.
+//!
+//! A workload run is fully determined by its operator graph and the
+//! platform executing it — the tree walk, the per-operator dispatch costs,
+//! the per-kernel duration model, all of it. Re-deriving that structure on
+//! every run is what made the summary-sink path (the serving stack's cold
+//! latency key) pay tree recursion, string hashing and floating-point
+//! duration math per forward pass.
+//!
+//! This module compiles a (graph, platform) pair once into a flat
+//! [`Schedule`] — the *priced pattern* of that shape signature — and caches
+//! it in a process-global table. Replaying a schedule is a tight loop over
+//! an array of pre-priced steps: operator entry/exit markers carrying
+//! dispatch costs, and kernel steps carrying their modeled durations. The
+//! replay performs exactly the arithmetic the tree walk performs, in the
+//! same order, on the same integer-nanosecond values, so traces produced
+//! through a schedule are byte-identical to reference execution (pinned by
+//! the engine's differential tests).
+//!
+//! Cache keys pair the shared graph's allocation identity with a canonical
+//! serialization of the platform. Graph identity is sound because schedules
+//! are built only for graphs from [`Workload::graph_shared`]'s permanent
+//! cache (and the table holds its own `Arc`), so a key's address can never
+//! be reused by a different graph.
+//!
+//! [`Workload::graph_shared`]: skip_llm::Workload::graph_shared
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::{OpNode, OperatorGraph};
+use skip_trace::KernelClassTag;
+
+use crate::engine::kernel_class_tag;
+
+/// One pre-priced step of a compiled schedule.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Step {
+    /// Operator entry (pre-order): allocate the op id, pay the dispatch
+    /// cost. `name` indexes [`Schedule::names`].
+    Open {
+        /// Index into [`Schedule::names`].
+        name: u32,
+        /// CPU dispatch cost of this operator node.
+        cost: SimDuration,
+    },
+    /// Operator exit (post-order): emit the CPU op event spanning children
+    /// and kernel launches.
+    Close,
+    /// One kernel launch: `cudaLaunchKernel` on the CPU, delivery across
+    /// the interconnect, FIFO admission on the stream.
+    Kernel {
+        /// Index into [`Schedule::names`].
+        name: u32,
+        /// Modeled kernel duration on this platform.
+        dur: SimDuration,
+        /// Class slot for per-class busy accounting.
+        tag: KernelClassTag,
+    },
+}
+
+/// A compiled (graph × platform) execution schedule.
+#[derive(Debug)]
+pub(crate) struct Schedule {
+    /// Flat steps in execution order.
+    pub steps: Vec<Step>,
+    /// Distinct operator/kernel names in first-intern order — interning
+    /// them up front in this order reproduces the name table lazy tree
+    /// execution would have built.
+    pub names: Vec<String>,
+    /// The platform's `cudaLaunchKernel` CPU cost.
+    pub launch_cost: SimDuration,
+    /// The platform's end-to-end launch overhead (CPU call + wire/driver).
+    pub launch_overhead: SimDuration,
+}
+
+struct Builder<'a> {
+    platform: &'a Platform,
+    steps: Vec<Step>,
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Builder<'_> {
+    fn name_idx(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = u32::try_from(self.names.len()).expect("name count fits u32");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    /// Mirrors `Exec::exec_op`: enter (id + dispatch cost), children,
+    /// kernels, exit.
+    fn walk(&mut self, op: &OpNode) {
+        let name = self.name_idx(&op.name);
+        self.steps.push(Step::Open {
+            name,
+            cost: self.platform.cpu.op_cost(op.complexity),
+        });
+        for child in &op.children {
+            self.walk(child);
+        }
+        for kernel in &op.kernels {
+            let name = self.name_idx(&kernel.name);
+            self.steps.push(Step::Kernel {
+                name,
+                dur: self.platform.gpu.kernel_duration(&kernel.work),
+                tag: kernel_class_tag(kernel.work.class),
+            });
+        }
+        self.steps.push(Step::Close);
+    }
+}
+
+fn build(graph: &OperatorGraph, platform: &Platform) -> Schedule {
+    let mut b = Builder {
+        platform,
+        steps: Vec::with_capacity(graph.op_count() * 2 + graph.kernel_count()),
+        names: Vec::new(),
+        index: HashMap::new(),
+    };
+    for op in graph.ops() {
+        b.walk(op);
+    }
+    Schedule {
+        steps: b.steps,
+        names: b.names,
+        launch_cost: platform.cpu.launch_call_cost(),
+        launch_overhead: platform.launch_overhead(),
+    }
+}
+
+/// Global schedule table. The value holds the graph `Arc` so the pointer
+/// key stays allocated (and therefore unique) for the process lifetime.
+type ScheduleTable = Mutex<HashMap<(usize, Arc<str>), (Arc<OperatorGraph>, Arc<Schedule>)>>;
+
+/// Resolves (building on first use) the schedule for a shared graph on a
+/// platform. `platform_sig` is the engine's canonical platform
+/// serialization — platforms are structural data, so equal signatures mean
+/// equal pricing.
+pub(crate) fn schedule_for(
+    graph: &Arc<OperatorGraph>,
+    platform: &Platform,
+    platform_sig: &Arc<str>,
+) -> Arc<Schedule> {
+    static TABLE: OnceLock<ScheduleTable> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (Arc::as_ptr(graph) as usize, Arc::clone(platform_sig));
+    if let Some((_, sched)) = table.lock().expect("schedule table poisoned").get(&key) {
+        return Arc::clone(sched);
+    }
+    // Compile outside the lock: a racing duplicate build is cheaper than
+    // serializing every other shape behind this shape's compilation.
+    let built = Arc::new(build(graph, platform));
+    let mut locked = table.lock().expect("schedule table poisoned");
+    let (_, sched) = locked.entry(key).or_insert((Arc::clone(graph), built));
+    Arc::clone(sched)
+}

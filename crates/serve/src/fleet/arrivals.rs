@@ -106,6 +106,11 @@ impl ArrivalProcess {
 
     /// Checks rates and durations.
     ///
+    /// The *trough* rates (diurnal base, bursty lull) may be exactly zero —
+    /// a dead lull is a legitimate load shape and the thinning sampler
+    /// handles it — but the envelope rates must be positive or the
+    /// candidate process would never advance.
+    ///
     /// # Errors
     ///
     /// Returns a message describing the first bad knob.
@@ -117,6 +122,13 @@ impl ArrivalProcess {
                 Err(format!("{label} must be positive and finite, got {v}"))
             }
         };
+        let non_neg = |label: &str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{label} must be non-negative and finite, got {v}"))
+            }
+        };
         match *self {
             ArrivalProcess::Poisson { rate_per_s } => pos("rate", rate_per_s),
             ArrivalProcess::Diurnal {
@@ -124,7 +136,7 @@ impl ArrivalProcess {
                 peak_rate_per_s,
                 period,
             } => {
-                pos("base rate", base_rate_per_s)?;
+                non_neg("base rate", base_rate_per_s)?;
                 pos("peak rate", peak_rate_per_s)?;
                 if peak_rate_per_s < base_rate_per_s {
                     return Err("peak rate must be at least the base rate".into());
@@ -140,7 +152,7 @@ impl ArrivalProcess {
                 burst_len,
                 lull_len,
             } => {
-                pos("base rate", base_rate_per_s)?;
+                non_neg("base rate", base_rate_per_s)?;
                 pos("burst rate", burst_rate_per_s)?;
                 if burst_len.is_zero() || lull_len.is_zero() {
                     return Err("burst and lull durations must be positive".into());
@@ -174,7 +186,7 @@ impl ArrivalProcess {
             // draw happens for stationary Poisson too (it always
             // accepts), so all three processes share one stream shape.
             let accept: f64 = rng.gen_range(0.0..1.0);
-            if accept * peak <= self.rate_at(clock.as_millis_f64() / 1e3) {
+            if thin_accepts(accept, peak, self.rate_at(clock.as_millis_f64() / 1e3)) {
                 out.push(Request {
                     id: out.len() as u64,
                     arrival: clock,
@@ -185,6 +197,27 @@ impl ArrivalProcess {
         }
         out
     }
+}
+
+/// The thinning acceptance predicate: keep the candidate iff
+/// `accept * peak < rate`, where `accept` is drawn uniformly from
+/// `[0, 1)`.
+///
+/// The comparison is *strict*: the draw's range includes 0.0, so the
+/// pre-fix `<=` accepted a candidate at `accept == 0.0` even when the
+/// instantaneous rate was exactly zero — a Bursty lull with
+/// `base_rate_per_s = 0` could still emit arrivals. With `<`, a zero rate
+/// never accepts, while a full-rate instant (`rate == peak`) still accepts
+/// every draw because `accept < 1.0` by construction — stationary Poisson
+/// streams are unchanged.
+///
+/// The fix can only flip a decision where `accept * peak == rate` exactly;
+/// no committed fixture or experiment configuration has a seeded draw
+/// landing on that boundary, so the golden fleet fixtures did *not* shift
+/// (the byte-identity suite pins this). Had a stream shifted, the affected
+/// fixtures would have been re-pinned under this documented fix.
+fn thin_accepts(accept: f64, peak: f64, rate: f64) -> bool {
+    accept * peak < rate
 }
 
 #[cfg(test)]
@@ -254,6 +287,51 @@ mod tests {
         assert!((p.rate_at(3.0) - 5.0).abs() < 1e-9);
         assert!((p.rate_at(11.0) - 200.0).abs() < 1e-9, "cycle repeats");
         assert_eq!(p.peak_rate(), 200.0);
+    }
+
+    /// Regression for the thinning boundary bug: with the inclusive
+    /// `accept * peak <= rate` comparison, a draw of exactly 0.0 accepted a
+    /// candidate even at rate 0. The predicate must reject at zero rate
+    /// for *any* draw, and still accept every draw at full rate.
+    #[test]
+    fn thinning_predicate_rejects_zero_rate_at_boundary_draw() {
+        assert!(
+            !thin_accepts(0.0, 200.0, 0.0),
+            "the pre-fix bug: 0.0 draw accepted at rate 0"
+        );
+        assert!(!thin_accepts(0.5, 200.0, 0.0));
+        // Full-rate instants accept every draw in [0, 1).
+        assert!(thin_accepts(0.0, 200.0, 200.0));
+        assert!(thin_accepts(0.999_999, 200.0, 200.0));
+        // Half rate: accepts exactly the draws below 1/2.
+        assert!(thin_accepts(0.499, 200.0, 100.0));
+        assert!(!thin_accepts(0.5, 200.0, 100.0));
+    }
+
+    /// A bursty process with a *zero-rate* lull must emit every arrival
+    /// inside a burst window — the lull is dead time by construction.
+    #[test]
+    fn zero_rate_lull_emits_no_arrivals() {
+        let burst_s = 2.0;
+        let lull_s = 8.0;
+        let p = ArrivalProcess::Bursty {
+            base_rate_per_s: 0.0,
+            burst_rate_per_s: 200.0,
+            burst_len: SimDuration::from_secs(2),
+            lull_len: SimDuration::from_secs(8),
+        };
+        for seed in [1u64, 42, 2026] {
+            let reqs = p.generate(500, 64, 4, seed);
+            assert_eq!(reqs.len(), 500);
+            for r in &reqs {
+                let into = (r.arrival.as_millis_f64() / 1e3) % (burst_s + lull_s);
+                assert!(
+                    into < burst_s,
+                    "seed {seed}: arrival {} fell {into:.3}s into the cycle — inside the dead lull",
+                    r.id
+                );
+            }
+        }
     }
 
     #[test]

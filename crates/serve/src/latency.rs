@@ -16,8 +16,21 @@
 //! owns a [`OnceLock`] cell, so concurrent sweep workers racing on the same
 //! cold key perform exactly one engine run between them (the losers block
 //! on the cell instead of burning milliseconds on a duplicate simulation).
+//!
+//! On top of the per-instance memo sits a process-global *priced-pattern
+//! table*: the serving analogue of the engine's periodic-layer trick. A
+//! batch's price is fully determined by its shape signature — the canonical
+//! serialization of (platform, model) — plus (phase, batch, bucketed
+//! length); nothing else about a serving simulation reaches the engine. So
+//! when one floor (or one sweep configuration, or one fleet replica) has
+//! already priced a pattern, every later [`LatencyModel`] over the same
+//! signature resolves it by table lookup instead of re-simulating. The
+//! signature is the *full* serialized string, not a hash of it, so distinct
+//! platforms or models can never collide into each other's prices.
+//! [`LatencyModel::isolated`] opts out of the shared table for callers
+//! (and tests) that need per-instance engine-run accounting.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -32,6 +45,22 @@ use skip_trace::Trace;
 
 /// Single-flight cell map: each key owns a lazily-filled latency cell.
 type KeyCells = BTreeMap<(u8, u32, u32), Arc<OnceLock<SimDuration>>>;
+
+/// A priced-pattern key: shape signature (canonical platform + model
+/// serialization) plus the serving key. The signature `Arc` is shared by
+/// every key of one model, so the per-key cost is one pointer, not a
+/// string copy.
+type PatternKey = (Arc<str>, u8, u32, u32);
+
+/// One shard of the process-global priced-pattern table.
+type PatternShard = Mutex<HashMap<PatternKey, Arc<OnceLock<SimDuration>>>>;
+
+/// The process-global priced-pattern table, sharded like the per-instance
+/// memo so concurrent floors touching different keys rarely contend.
+fn pattern_table() -> &'static [PatternShard; CACHE_SHARDS] {
+    static TABLE: OnceLock<[PatternShard; CACHE_SHARDS]> = OnceLock::new();
+    TABLE.get_or_init(|| std::array::from_fn(|_| Mutex::new(HashMap::new())))
+}
 
 /// Number of independent key-map shards. A power of two so the shard
 /// selector is a mask; 16 is comfortably above any sweep's worker count,
@@ -53,6 +82,10 @@ pub struct LatencyModel {
     model: ModelConfig,
     shards: [Mutex<KeyCells>; CACHE_SHARDS],
     engine_runs: AtomicU64,
+    pattern_hits: AtomicU64,
+    /// Shape signature for the shared pattern table; `None` opts out
+    /// ([`LatencyModel::isolated`]).
+    signature: Option<Arc<str>>,
 }
 
 /// Inference latency of one trace (Eq. 4: last kernel end − first operator
@@ -89,13 +122,35 @@ fn shard_of(key: (u8, u32, u32)) -> usize {
 
 impl LatencyModel {
     /// Creates a latency model for `model` on `platform`.
+    ///
+    /// Prices resolve through the process-global priced-pattern table:
+    /// keys another model over the same (platform, model) signature has
+    /// already priced are looked up instead of re-simulated. Use
+    /// [`LatencyModel::isolated`] to opt out.
     #[must_use]
     pub fn new(platform: Platform, model: ModelConfig) -> Self {
+        let sig = serde_json::to_string(&(&platform, &model))
+            .expect("platform and model serialize")
+            .into();
+        Self::with_signature(platform, model, Some(sig))
+    }
+
+    /// Creates a latency model that does *not* share the process-global
+    /// pattern table: every cold key runs the engine in this instance,
+    /// and [`engine_runs`](Self::engine_runs) counts them exactly.
+    #[must_use]
+    pub fn isolated(platform: Platform, model: ModelConfig) -> Self {
+        Self::with_signature(platform, model, None)
+    }
+
+    fn with_signature(platform: Platform, model: ModelConfig, signature: Option<Arc<str>>) -> Self {
         LatencyModel {
             engine: Engine::new(platform),
             model,
             shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
             engine_runs: AtomicU64::new(0),
+            pattern_hits: AtomicU64::new(0),
+            signature,
         }
     }
 
@@ -141,12 +196,22 @@ impl LatencyModel {
             .sum()
     }
 
-    /// Number of engine runs actually performed. With single-flight
-    /// coalescing this equals [`cache_entries`](Self::cache_entries) no
-    /// matter how many workers raced on the same cold keys.
+    /// Number of engine runs actually performed *by this instance*. For an
+    /// [`isolated`](Self::isolated) model, single-flight coalescing makes
+    /// this equal [`cache_entries`](Self::cache_entries) no matter how many
+    /// workers raced on the same cold keys; a sharing model may run fewer —
+    /// keys already in the pattern table cost no engine run at all.
     #[must_use]
     pub fn engine_runs(&self) -> u64 {
         self.engine_runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of cold keys this instance resolved from the process-global
+    /// priced-pattern table instead of running the engine. Always zero for
+    /// an [`isolated`](Self::isolated) model.
+    #[must_use]
+    pub fn pattern_hits(&self) -> u64 {
+        self.pattern_hits.load(Ordering::Relaxed)
     }
 
     /// Prices `len` by linear interpolation between the memoized engine
@@ -188,9 +253,34 @@ impl LatencyModel {
                 .entry(key)
                 .or_default(),
         );
-        *cell.get_or_init(|| {
-            self.engine_runs.fetch_add(1, Ordering::Relaxed);
-            self.engine.run_summary(&wl(len), ExecMode::Eager).latency()
+        *cell.get_or_init(|| match &self.signature {
+            // Shared: resolve through the priced-pattern table. The key's
+            // pattern cell is itself single-flight, so racing *instances*
+            // (not just racing workers of one instance) coalesce onto one
+            // engine run per (signature, key) process-wide.
+            Some(sig) => {
+                let pattern = Arc::clone(
+                    pattern_table()[shard_of(key)]
+                        .lock()
+                        .expect("pattern table poisoned")
+                        .entry((Arc::clone(sig), phase, batch, len))
+                        .or_default(),
+                );
+                let mut ran = false;
+                let priced = *pattern.get_or_init(|| {
+                    ran = true;
+                    self.engine_runs.fetch_add(1, Ordering::Relaxed);
+                    self.engine.run_summary(&wl(len), ExecMode::Eager).latency()
+                });
+                if !ran {
+                    self.pattern_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                priced
+            }
+            None => {
+                self.engine_runs.fetch_add(1, Ordering::Relaxed);
+                self.engine.run_summary(&wl(len), ExecMode::Eager).latency()
+            }
         })
     }
 }
@@ -202,7 +292,9 @@ mod tests {
 
     #[test]
     fn memoization_hits_after_first_run() {
-        let m = LatencyModel::new(Platform::intel_h100(), zoo::gpt2());
+        // Isolated: the engine-run counts below must not depend on what
+        // other tests have already fed the shared pattern table.
+        let m = LatencyModel::isolated(Platform::intel_h100(), zoo::gpt2());
         let a = m.prefill(2, 128); // exact power of two: one engine run
         assert_eq!(m.cache_entries(), 1);
         let b = m.prefill(2, 100); // interpolates between 64 and 128
@@ -288,7 +380,8 @@ mod tests {
     /// each race block on the key's cell instead of re-simulating.
     #[test]
     fn concurrent_hammer_runs_engine_once_per_key() {
-        let m = LatencyModel::new(Platform::intel_h100(), zoo::qwen25_05b());
+        // Isolated for exact per-instance run accounting.
+        let m = LatencyModel::isolated(Platform::intel_h100(), zoo::qwen25_05b());
         std::thread::scope(|s| {
             for _ in 0..8 {
                 s.spawn(|| {
@@ -308,6 +401,50 @@ mod tests {
             5,
             "racing workers must coalesce onto one run per key"
         );
+    }
+
+    /// Shape-signature pattern sharing: a second model over the same
+    /// (platform, model) signature must resolve already-priced keys by
+    /// table lookup — zero engine runs, identical prices — while a
+    /// different platform must price its own pattern from scratch. Uses a
+    /// uniquely-named config so other tests' table entries can't leak in.
+    #[test]
+    fn pattern_table_shares_prices_across_instances() {
+        let mut cfg = zoo::qwen25_05b();
+        cfg.name = "qwen2.5-0.5b/pattern-sharing-test".to_owned();
+
+        let first = LatencyModel::new(Platform::intel_h100(), cfg.clone());
+        let a = first.prefill(3, 64);
+        let b = first.decode_step(3, 128);
+        assert_eq!(first.engine_runs(), 2, "cold pattern: both keys simulate");
+        assert_eq!(first.pattern_hits(), 0);
+
+        let second = LatencyModel::new(Platform::intel_h100(), cfg.clone());
+        assert_eq!(second.prefill(3, 64), a);
+        assert_eq!(second.decode_step(3, 128), b);
+        assert_eq!(
+            second.engine_runs(),
+            0,
+            "previously priced pattern must be a table lookup"
+        );
+        assert_eq!(second.pattern_hits(), 2);
+
+        // Same model on a different platform is a different signature:
+        // nothing to hit, prices re-derived.
+        let other = LatencyModel::new(Platform::gh200(), cfg.clone());
+        let _ = other.prefill(3, 64);
+        assert_eq!(other.engine_runs(), 1);
+        assert_eq!(other.pattern_hits(), 0);
+
+        // Isolated instances never touch the table in either direction.
+        let lone = LatencyModel::isolated(Platform::intel_h100(), cfg);
+        assert_eq!(
+            lone.prefill(3, 64),
+            a,
+            "isolation changes sharing, not prices"
+        );
+        assert_eq!(lone.engine_runs(), 1);
+        assert_eq!(lone.pattern_hits(), 0);
     }
 
     /// The serving experiments' key set, asserted (not sampled): every

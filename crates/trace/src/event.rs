@@ -17,7 +17,7 @@ use crate::ids::{CorrelationId, NameId, OpId, StreamId, ThreadId};
 ///
 /// [`NameTable`]: crate::NameTable
 /// [`Trace::name`]: crate::Trace::name
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CpuOpEvent {
     /// Unique ID within the trace.
     pub id: OpId,
@@ -34,7 +34,7 @@ pub struct CpuOpEvent {
 /// A CUDA runtime call on the CPU that launches a kernel
 /// (`cudaLaunchKernel`), tagged with the correlation ID CUPTI uses to link
 /// it to the resulting [`KernelEvent`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RuntimeLaunchEvent {
     /// Interned runtime API name, e.g. `"cudaLaunchKernel"` or
     /// `"cudaGraphLaunch"`.
@@ -66,7 +66,7 @@ pub struct CounterEvent {
 }
 
 /// A kernel execution on a GPU stream.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct KernelEvent {
     /// Interned kernel (mangled) name, e.g.
     /// `"ampere_fp16_s16816gemm_fp16_128x128"`.

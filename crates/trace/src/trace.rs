@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use skip_des::{SimDuration, SimTime};
 
 use crate::event::{CounterEvent, CpuOpEvent, KernelEvent, RuntimeLaunchEvent};
-use crate::ids::{CorrelationId, NameId, StreamId};
+use crate::ids::{CorrelationId, NameId, StreamId, ThreadId};
 use crate::names::NameTable;
 
 /// Descriptive metadata attached to a trace: which workload, which platform,
@@ -93,12 +93,350 @@ impl fmt::Display for TraceError {
 
 impl Error for TraceError {}
 
+/// Column-major (struct-of-arrays) storage for the launch array: each field
+/// of [`RuntimeLaunchEvent`] lives in its own contiguous `Vec`, so analyses
+/// that scan one field — the attribution sweep reads only the timestamp
+/// columns — walk dense cache lines instead of striding over whole event
+/// structs. Serialized as the row-major event list it replaced (see the
+/// manual `Serialize`/`Deserialize` impls below), so the JSON encoding is
+/// byte-identical to the AoS layout.
+#[derive(Debug, Clone, Default)]
+struct LaunchColumns {
+    names: Vec<NameId>,
+    threads: Vec<ThreadId>,
+    begins: Vec<SimTime>,
+    ends: Vec<SimTime>,
+    correlations: Vec<CorrelationId>,
+}
+
+impl LaunchColumns {
+    fn len(&self) -> usize {
+        self.begins.len()
+    }
+
+    fn push(&mut self, ev: RuntimeLaunchEvent) {
+        self.names.push(ev.name);
+        self.threads.push(ev.thread);
+        self.begins.push(ev.begin);
+        self.ends.push(ev.end);
+        self.correlations.push(ev.correlation);
+    }
+
+    fn get(&self, i: usize) -> RuntimeLaunchEvent {
+        RuntimeLaunchEvent {
+            name: self.names[i],
+            thread: self.threads[i],
+            begin: self.begins[i],
+            end: self.ends[i],
+            correlation: self.correlations[i],
+        }
+    }
+}
+
+impl From<Vec<RuntimeLaunchEvent>> for LaunchColumns {
+    fn from(rows: Vec<RuntimeLaunchEvent>) -> Self {
+        let mut cols = LaunchColumns::default();
+        cols.names.reserve(rows.len());
+        cols.threads.reserve(rows.len());
+        cols.begins.reserve(rows.len());
+        cols.ends.reserve(rows.len());
+        cols.correlations.reserve(rows.len());
+        for ev in rows {
+            cols.push(ev);
+        }
+        cols
+    }
+}
+
+impl From<LaunchColumns> for Vec<RuntimeLaunchEvent> {
+    fn from(cols: LaunchColumns) -> Self {
+        (0..cols.len()).map(|i| cols.get(i)).collect()
+    }
+}
+
+// Columns encode as the row-major event list they replaced, keeping the
+// serialized trace format identical to the AoS layout.
+impl Serialize for LaunchColumns {
+    fn to_value(&self) -> serde::Value {
+        let rows: Vec<RuntimeLaunchEvent> = (0..self.len()).map(|i| self.get(i)).collect();
+        rows.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for LaunchColumns {
+    fn from_value(value: &'de serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Vec::<RuntimeLaunchEvent>::from_value(value)?.into())
+    }
+}
+
+/// Column-major (struct-of-arrays) storage for the kernel array; see
+/// [`LaunchColumns`] for the layout rationale and serialization contract.
+#[derive(Debug, Clone, Default)]
+struct KernelColumns {
+    names: Vec<NameId>,
+    streams: Vec<StreamId>,
+    begins: Vec<SimTime>,
+    ends: Vec<SimTime>,
+    correlations: Vec<CorrelationId>,
+}
+
+impl KernelColumns {
+    fn len(&self) -> usize {
+        self.begins.len()
+    }
+
+    fn push(&mut self, ev: KernelEvent) {
+        self.names.push(ev.name);
+        self.streams.push(ev.stream);
+        self.begins.push(ev.begin);
+        self.ends.push(ev.end);
+        self.correlations.push(ev.correlation);
+    }
+
+    fn get(&self, i: usize) -> KernelEvent {
+        KernelEvent {
+            name: self.names[i],
+            stream: self.streams[i],
+            begin: self.begins[i],
+            end: self.ends[i],
+            correlation: self.correlations[i],
+        }
+    }
+}
+
+impl From<Vec<KernelEvent>> for KernelColumns {
+    fn from(rows: Vec<KernelEvent>) -> Self {
+        let mut cols = KernelColumns::default();
+        cols.names.reserve(rows.len());
+        cols.streams.reserve(rows.len());
+        cols.begins.reserve(rows.len());
+        cols.ends.reserve(rows.len());
+        cols.correlations.reserve(rows.len());
+        for ev in rows {
+            cols.push(ev);
+        }
+        cols
+    }
+}
+
+impl From<KernelColumns> for Vec<KernelEvent> {
+    fn from(cols: KernelColumns) -> Self {
+        (0..cols.len()).map(|i| cols.get(i)).collect()
+    }
+}
+
+impl Serialize for KernelColumns {
+    fn to_value(&self) -> serde::Value {
+        let rows: Vec<KernelEvent> = (0..self.len()).map(|i| self.get(i)).collect();
+        rows.to_value()
+    }
+}
+
+impl<'de> Deserialize<'de> for KernelColumns {
+    fn from_value(value: &'de serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Vec::<KernelEvent>::from_value(value)?.into())
+    }
+}
+
+/// Borrowed view over the trace's launch columns.
+///
+/// Iterating (`for l in trace.launches()`) yields *owned*
+/// [`RuntimeLaunchEvent`]s materialized from the columns — events are
+/// `Copy`, so this costs the same loads the AoS layout did. Sweeps that
+/// only need one field should read the column accessors
+/// ([`Launches::begins`], [`Launches::ends`], …) directly: those are the
+/// contiguous arrays the struct-of-arrays layout exists for.
+#[derive(Clone, Copy)]
+pub struct Launches<'a> {
+    cols: &'a LaunchColumns,
+}
+
+impl<'a> Launches<'a> {
+    /// Number of launch events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` if there are no launch events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cols.len() == 0
+    }
+
+    /// The `i`-th launch event, materialized from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (like slice indexing).
+    #[must_use]
+    pub fn get(&self, i: usize) -> RuntimeLaunchEvent {
+        self.cols.get(i)
+    }
+
+    /// The first launch event, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<RuntimeLaunchEvent> {
+        (!self.is_empty()).then(|| self.get(0))
+    }
+
+    /// The last launch event, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<RuntimeLaunchEvent> {
+        self.len().checked_sub(1).map(|i| self.get(i))
+    }
+
+    /// Iterates over launch events in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = RuntimeLaunchEvent> + 'a {
+        let cols = self.cols;
+        (0..cols.len()).map(move |i| cols.get(i))
+    }
+
+    /// The interned-name column.
+    #[must_use]
+    pub fn names(&self) -> &'a [NameId] {
+        &self.cols.names
+    }
+
+    /// The thread column.
+    #[must_use]
+    pub fn threads(&self) -> &'a [ThreadId] {
+        &self.cols.threads
+    }
+
+    /// The begin-timestamp column.
+    #[must_use]
+    pub fn begins(&self) -> &'a [SimTime] {
+        &self.cols.begins
+    }
+
+    /// The end-timestamp column.
+    #[must_use]
+    pub fn ends(&self) -> &'a [SimTime] {
+        &self.cols.ends
+    }
+
+    /// The correlation-id column.
+    #[must_use]
+    pub fn correlations(&self) -> &'a [CorrelationId] {
+        &self.cols.correlations
+    }
+}
+
+impl<'a> IntoIterator for Launches<'a> {
+    type Item = RuntimeLaunchEvent;
+    type IntoIter = Box<dyn ExactSizeIterator<Item = RuntimeLaunchEvent> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let cols = self.cols;
+        Box::new((0..cols.len()).map(move |i| cols.get(i)))
+    }
+}
+
+/// Borrowed view over the trace's kernel columns; see [`Launches`] for the
+/// iteration/column-access contract.
+#[derive(Clone, Copy)]
+pub struct Kernels<'a> {
+    cols: &'a KernelColumns,
+}
+
+impl<'a> Kernels<'a> {
+    /// Number of kernel events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// `true` if there are no kernel events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cols.len() == 0
+    }
+
+    /// The `i`-th kernel event, materialized from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (like slice indexing).
+    #[must_use]
+    pub fn get(&self, i: usize) -> KernelEvent {
+        self.cols.get(i)
+    }
+
+    /// The first kernel event, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<KernelEvent> {
+        (!self.is_empty()).then(|| self.get(0))
+    }
+
+    /// The last kernel event, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<KernelEvent> {
+        self.len().checked_sub(1).map(|i| self.get(i))
+    }
+
+    /// Iterates over kernel events in insertion order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = KernelEvent> + 'a {
+        let cols = self.cols;
+        (0..cols.len()).map(move |i| cols.get(i))
+    }
+
+    /// The interned-name column.
+    #[must_use]
+    pub fn names(&self) -> &'a [NameId] {
+        &self.cols.names
+    }
+
+    /// The stream column.
+    #[must_use]
+    pub fn streams(&self) -> &'a [StreamId] {
+        &self.cols.streams
+    }
+
+    /// The begin-timestamp column.
+    #[must_use]
+    pub fn begins(&self) -> &'a [SimTime] {
+        &self.cols.begins
+    }
+
+    /// The end-timestamp column.
+    #[must_use]
+    pub fn ends(&self) -> &'a [SimTime] {
+        &self.cols.ends
+    }
+
+    /// The correlation-id column.
+    #[must_use]
+    pub fn correlations(&self) -> &'a [CorrelationId] {
+        &self.cols.correlations
+    }
+}
+
+impl<'a> IntoIterator for Kernels<'a> {
+    type Item = KernelEvent;
+    type IntoIter = Box<dyn ExactSizeIterator<Item = KernelEvent> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let cols = self.cols;
+        Box::new((0..cols.len()).map(move |i| cols.get(i)))
+    }
+}
+
 /// A complete profiled-inference trace: CPU operator events, runtime launch
 /// calls and GPU kernel executions, plus metadata.
 ///
 /// Events are stored in insertion order; producers append in timestamp order
 /// per thread/stream (as a real profiler does), and consumers that need
 /// global orderings sort themselves.
+///
+/// The launch and kernel arrays — the hot arrays every analysis sweeps —
+/// are stored column-major (struct-of-arrays): one contiguous `Vec` per
+/// field. [`Trace::launches`]/[`Trace::kernels`] return lightweight views
+/// that iterate owned events for row-style consumers and expose the raw
+/// timestamp/name/correlation columns for sweeps. CPU operator events stay
+/// row-major: they are consumed whole (hierarchy recovery needs every
+/// field). The serialized form is unchanged — columns encode as the
+/// row-major event lists they replaced.
 ///
 /// Event names are interned in the trace's [`NameTable`]: producers call
 /// [`Trace::intern`] before pushing an event, consumers resolve with
@@ -114,8 +452,8 @@ pub struct Trace {
     #[serde(default)]
     names: NameTable,
     cpu_ops: Vec<CpuOpEvent>,
-    launches: Vec<RuntimeLaunchEvent>,
-    kernels: Vec<KernelEvent>,
+    launches: LaunchColumns,
+    kernels: KernelColumns,
     /// Absent from traces serialized before counter support existed.
     #[serde(default)]
     counters: Vec<CounterEvent>,
@@ -164,16 +502,20 @@ impl Trace {
         &self.cpu_ops
     }
 
-    /// Runtime launch events in insertion order.
+    /// Runtime launch events in insertion order, as a column view.
     #[must_use]
-    pub fn launches(&self) -> &[RuntimeLaunchEvent] {
-        &self.launches
+    pub fn launches(&self) -> Launches<'_> {
+        Launches {
+            cols: &self.launches,
+        }
     }
 
-    /// Kernel events in insertion order.
+    /// Kernel events in insertion order, as a column view.
     #[must_use]
-    pub fn kernels(&self) -> &[KernelEvent] {
-        &self.kernels
+    pub fn kernels(&self) -> Kernels<'_> {
+        Kernels {
+            cols: &self.kernels,
+        }
     }
 
     /// Appends a CPU operator event.
@@ -191,6 +533,72 @@ impl Trace {
         self.kernels.push(ev);
     }
 
+    /// Bulk-appends `blocks` shifted copies of a probed periodic block
+    /// (the [`EventSink::record_replicas`] fast path): each column is
+    /// extended in its own tight loop, so replication writes dense arrays
+    /// instead of round-robining across all five columns per event.
+    ///
+    /// [`EventSink::record_replicas`]: crate::EventSink::record_replicas
+    pub(crate) fn push_replicas(&mut self, block: &crate::sink::ReplicaBlock<'_>, blocks: u64) {
+        let n = blocks as usize;
+        self.cpu_ops.reserve(block.cpu.len() * n);
+        self.launches.names.reserve(block.launches.len() * n);
+        self.launches.threads.reserve(block.launches.len() * n);
+        self.launches.begins.reserve(block.launches.len() * n);
+        self.launches.ends.reserve(block.launches.len() * n);
+        self.launches.correlations.reserve(block.launches.len() * n);
+        self.kernels.names.reserve(block.kernels.len() * n);
+        self.kernels.streams.reserve(block.kernels.len() * n);
+        self.kernels.begins.reserve(block.kernels.len() * n);
+        self.kernels.ends.reserve(block.kernels.len() * n);
+        self.kernels.correlations.reserve(block.kernels.len() * n);
+        for m in 1..=blocks {
+            let dc = crate::sink::scaled(block.cpu_shift, m);
+            let dk = crate::sink::scaled(block.kernel_shift, m);
+            self.cpu_ops.extend(block.cpu.iter().map(|ev| CpuOpEvent {
+                id: crate::ids::OpId::new(ev.id.get() + m * block.op_stride),
+                begin: ev.begin + dc,
+                end: ev.end + dc,
+                ..*ev
+            }));
+            self.launches
+                .names
+                .extend(block.launches.iter().map(|ev| ev.name));
+            self.launches
+                .threads
+                .extend(block.launches.iter().map(|ev| ev.thread));
+            self.launches
+                .begins
+                .extend(block.launches.iter().map(|ev| ev.begin + dc));
+            self.launches
+                .ends
+                .extend(block.launches.iter().map(|ev| ev.end + dc));
+            self.launches.correlations.extend(
+                block
+                    .launches
+                    .iter()
+                    .map(|ev| CorrelationId::new(ev.correlation.get() + m * block.corr_stride)),
+            );
+            self.kernels
+                .names
+                .extend(block.kernels.iter().map(|(ev, _)| ev.name));
+            self.kernels
+                .streams
+                .extend(block.kernels.iter().map(|(ev, _)| ev.stream));
+            self.kernels
+                .begins
+                .extend(block.kernels.iter().map(|(ev, _)| ev.begin + dk));
+            self.kernels
+                .ends
+                .extend(block.kernels.iter().map(|(ev, _)| ev.end + dk));
+            self.kernels.correlations.extend(
+                block.kernels.iter().map(|(ev, _)| {
+                    CorrelationId::new(ev.correlation.get() + m * block.corr_stride)
+                }),
+            );
+        }
+    }
+
     /// Counter samples in insertion order.
     #[must_use]
     pub fn counters(&self) -> &[CounterEvent] {
@@ -206,8 +614,8 @@ impl Trace {
     #[must_use]
     pub fn first_timestamp(&self) -> Option<SimTime> {
         let ops = self.cpu_ops.iter().map(|e| e.begin);
-        let ls = self.launches.iter().map(|e| e.begin);
-        let ks = self.kernels.iter().map(|e| e.begin);
+        let ls = self.launches.begins.iter().copied();
+        let ks = self.kernels.begins.iter().copied();
         let cs = self.counters.iter().map(|e| e.at);
         ops.chain(ls).chain(ks).chain(cs).min()
     }
@@ -216,8 +624,8 @@ impl Trace {
     #[must_use]
     pub fn last_timestamp(&self) -> Option<SimTime> {
         let ops = self.cpu_ops.iter().map(|e| e.end);
-        let ls = self.launches.iter().map(|e| e.end);
-        let ks = self.kernels.iter().map(|e| e.end);
+        let ls = self.launches.ends.iter().copied();
+        let ks = self.kernels.ends.iter().copied();
         let cs = self.counters.iter().map(|e| e.at);
         ops.chain(ls).chain(ks).chain(cs).max()
     }
@@ -246,15 +654,17 @@ impl Trace {
     /// The set of streams that executed at least one kernel, ascending.
     #[must_use]
     pub fn streams(&self) -> Vec<StreamId> {
-        let set: BTreeSet<StreamId> = self.kernels.iter().map(|k| k.stream).collect();
+        let set: BTreeSet<StreamId> = self.kernels.streams.iter().copied().collect();
         set.into_iter().collect()
     }
 
     /// Kernels of one stream, sorted by begin time.
     #[must_use]
-    pub fn kernels_on(&self, stream: StreamId) -> Vec<&KernelEvent> {
-        let mut ks: Vec<&KernelEvent> =
-            self.kernels.iter().filter(|k| k.stream == stream).collect();
+    pub fn kernels_on(&self, stream: StreamId) -> Vec<KernelEvent> {
+        let mut ks: Vec<KernelEvent> = (0..self.kernels.len())
+            .filter(|&i| self.kernels.streams[i] == stream)
+            .map(|i| self.kernels.get(i))
+            .collect();
         ks.sort_by_key(|k| (k.begin, k.correlation));
         ks
     }
@@ -277,42 +687,43 @@ impl Trace {
                 });
             }
         }
-        let mut launch_ids = BTreeSet::new();
-        for l in &self.launches {
-            resolve(l.name)?;
-            if l.end < l.begin {
+        // Correlation id → launch begin, for the kernel-after-launch check
+        // below (a map lookup per kernel, not a scan per kernel).
+        let mut launch_begins = std::collections::BTreeMap::new();
+        for i in 0..self.launches.len() {
+            let corr = self.launches.correlations[i];
+            resolve(self.launches.names[i])?;
+            if self.launches.ends[i] < self.launches.begins[i] {
                 return Err(TraceError::NegativeDuration {
-                    what: format!("launch {}", l.correlation),
+                    what: format!("launch {corr}"),
                 });
             }
-            if !launch_ids.insert(l.correlation) {
-                return Err(TraceError::DuplicateLaunchCorrelation(l.correlation));
+            if launch_begins
+                .insert(corr, self.launches.begins[i])
+                .is_some()
+            {
+                return Err(TraceError::DuplicateLaunchCorrelation(corr));
             }
         }
         let mut kernel_ids = BTreeSet::new();
-        for k in &self.kernels {
-            let name = resolve(k.name)?;
-            if k.end < k.begin {
+        for i in 0..self.kernels.len() {
+            let corr = self.kernels.correlations[i];
+            let name = resolve(self.kernels.names[i])?;
+            if self.kernels.ends[i] < self.kernels.begins[i] {
                 return Err(TraceError::NegativeDuration {
-                    what: format!("kernel {} ({name})", k.correlation),
+                    what: format!("kernel {corr} ({name})"),
                 });
             }
-            if !kernel_ids.insert(k.correlation) {
-                return Err(TraceError::DuplicateKernelCorrelation(k.correlation));
+            if !kernel_ids.insert(corr) {
+                return Err(TraceError::DuplicateKernelCorrelation(corr));
             }
-            if !launch_ids.contains(&k.correlation) {
-                return Err(TraceError::OrphanKernel(k.correlation));
-            }
-        }
-        // Kernel must begin at or after the begin of its launch call.
-        for k in &self.kernels {
-            let launch = self
-                .launches
-                .iter()
-                .find(|l| l.correlation == k.correlation)
-                .expect("checked above");
-            if k.begin < launch.begin {
-                return Err(TraceError::KernelBeforeLaunch(k.correlation));
+            // Kernel must begin at or after the begin of its launch call.
+            match launch_begins.get(&corr) {
+                None => return Err(TraceError::OrphanKernel(corr)),
+                Some(&launch_begin) if self.kernels.begins[i] < launch_begin => {
+                    return Err(TraceError::KernelBeforeLaunch(corr));
+                }
+                Some(_) => {}
             }
         }
         // Per-stream kernels must not overlap.
@@ -356,20 +767,26 @@ impl PartialEq for Trace {
                     && a.end == b.end
                     && self.names.get(a.name) == other.names.get(b.name)
             })
-            && self.launches.iter().zip(&other.launches).all(|(a, b)| {
-                a.thread == b.thread
-                    && a.begin == b.begin
-                    && a.end == b.end
-                    && a.correlation == b.correlation
-                    && self.names.get(a.name) == other.names.get(b.name)
-            })
-            && self.kernels.iter().zip(&other.kernels).all(|(a, b)| {
-                a.stream == b.stream
-                    && a.begin == b.begin
-                    && a.end == b.end
-                    && a.correlation == b.correlation
-                    && self.names.get(a.name) == other.names.get(b.name)
-            })
+            && self.launches.threads == other.launches.threads
+            && self.launches.begins == other.launches.begins
+            && self.launches.ends == other.launches.ends
+            && self.launches.correlations == other.launches.correlations
+            && self
+                .launches
+                .names
+                .iter()
+                .zip(&other.launches.names)
+                .all(|(&a, &b)| self.names.get(a) == other.names.get(b))
+            && self.kernels.streams == other.kernels.streams
+            && self.kernels.begins == other.kernels.begins
+            && self.kernels.ends == other.kernels.ends
+            && self.kernels.correlations == other.kernels.correlations
+            && self
+                .kernels
+                .names
+                .iter()
+                .zip(&other.kernels.names)
+                .all(|(&a, &b)| self.names.get(a) == other.names.get(b))
     }
 }
 
@@ -434,8 +851,8 @@ mod tests {
     fn names_resolve_through_the_trace() {
         let t = sample_trace();
         assert_eq!(t.name(t.cpu_ops()[0].name), "aten::linear");
-        assert_eq!(t.name(t.launches()[0].name), "cudaLaunchKernel");
-        assert_eq!(t.name(t.kernels()[0].name), "gemm");
+        assert_eq!(t.name(t.launches().get(0).name), "cudaLaunchKernel");
+        assert_eq!(t.name(t.kernels().get(0).name), "gemm");
         assert_eq!(t.names().len(), 3);
     }
 
@@ -632,7 +1049,7 @@ mod tests {
         assert_eq!(t, back);
         // The id assignment itself round-trips too.
         assert_eq!(t.names(), back.names());
-        assert_eq!(t.kernels()[0].name, back.kernels()[0].name);
+        assert_eq!(t.kernels().get(0).name, back.kernels().get(0).name);
     }
 
     #[test]
