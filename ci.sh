@@ -36,11 +36,18 @@ fleet_out=$(cargo run --release -p skip-suite --bin skip -- serve --model gpt2 \
   --qps 10 --peak-qps 300 --requests 40 --seq 256 --tokens 8 --slo-ttft-ms 200)
 grep -q "completed    : 40 requests" <<<"$fleet_out"
 
+echo "== skip plan CLI (capacity planner frontier over the candidate space) =="
+plan_out=$(cargo run --release -p skip-suite --bin skip -- plan --model gpt2 \
+  --qps 80 --requests 48 --seq 128 --tokens 4 --max-replicas 3 \
+  --slo-ttft-ms 400 --slo-e2e-ms 2000)
+grep -q "cost-optimal fleet:" <<<"$plan_out"
+
 echo "== parallel determinism (byte-identical renders at any --threads) =="
 cargo test --release --test parallel_determinism -q
 
-echo "== perf suite (writes BENCH_SUITE.json; >2x wall + throughput-drop gates) =="
-cargo run --release -p skip-bench --bin perf -- --baseline BENCH_BASELINE.json
+echo "== perf suite (writes BENCH_SUITE.json; >2x wall + throughput-drop gates," \
+     "plus the 100k-request population smoke under an absolute wall budget) =="
+cargo run --release -p skip-bench --bin perf -- --baseline BENCH_BASELINE.json --budget-ms 5000
 test -s BENCH_SUITE.json || { echo "BENCH_SUITE.json missing"; exit 1; }
 
 echo "CI OK"

@@ -1,0 +1,9 @@
+//! Regenerates the capacity-frontier sweep: the planner's cost-optimal
+//! fleet for the reference traffic envelope. `--threads N` pins the
+//! fan-out worker count; the rendered output is byte-identical at any.
+use skip_bench::experiments::capacity;
+
+fn main() {
+    skip_bench::harness::init_from_args();
+    println!("{}", capacity::render(&capacity::run()));
+}

@@ -2,8 +2,8 @@
 //! applied-fusion validation, decode-phase TPOT sweeps, and the ablation
 //! suite.
 use skip_bench::experiments::{
-    ablations, decode, energy, fleet_disagg, fusion_applied, future_workloads, kv_capacity, seqlen,
-    serving, serving_observability, serving_policies,
+    ablations, capacity, decode, energy, fleet_disagg, fusion_applied, future_workloads,
+    kv_capacity, seqlen, serving, serving_observability, serving_policies,
 };
 
 fn main() {
@@ -25,4 +25,5 @@ fn main() {
         "{}",
         fleet_disagg::render(&fleet_disagg::run(), &fleet_disagg::run_coupling())
     );
+    println!("{}", capacity::render(&capacity::run()));
 }

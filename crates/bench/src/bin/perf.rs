@@ -32,12 +32,18 @@
 //!   pass of engine runs, then shape-signature pattern lookups.
 //! * `fusion_recommend` — chain extraction + recommendation over a GPT2
 //!   prefill trace, iterated for a stable reading.
+//! * `serving_100k` / `fleet_100k` — one hundred thousand requests through
+//!   the four-replica serving floor and the disaggregated fleet floor, one
+//!   pass each: the population-scale path the allocation audit exists for.
+//!   `--budget-ms N` puts an absolute wall-clock cap on these two entries
+//!   (the CI smoke), independent of the relative baseline gates.
 //!
 //! Flags: `--threads N` (parallel worker count; default 4), `--out PATH`
 //! (default `BENCH_SUITE.json`), `--baseline PATH` (print per-entry deltas
 //! against a committed baseline and exit non-zero if any workload's wall
 //! clock regresses more than 2x or its events/s throughput drops more
-//! than 2x).
+//! than 2x), `--budget-ms N` (fail if a `*_100k` entry exceeds N ms wall
+//! clock; 0 or absent disables the gate).
 
 use std::time::Instant;
 
@@ -49,8 +55,8 @@ use skip_hw::Platform;
 use skip_llm::{zoo, Phase, Workload};
 use skip_runtime::{Engine, ExecMode};
 use skip_serve::{
-    simulate_fleet, simulate_replicas, ArrivalProcess, FleetConfig, FleetRouterPolicy, FleetSpec,
-    LatencyModel, Policy, RouterPolicy, ServingConfig, SloTargets,
+    simulate_fleet, simulate_replicas, ArrivalProcess, FleetBatchPolicy, FleetConfig,
+    FleetRouterPolicy, FleetSpec, LatencyModel, Policy, RouterPolicy, ServingConfig, SloTargets,
 };
 
 /// One timed workload.
@@ -225,6 +231,7 @@ fn handoff_pricing() -> Option<u64> {
         seed: 13,
         slo: SloTargets::default(),
         router: FleetRouterPolicy::CostModelJsq,
+        policy: FleetBatchPolicy::Continuous,
         autoscale: None,
     };
     let mut handoffs = 0u64;
@@ -236,10 +243,62 @@ fn handoff_pricing() -> Option<u64> {
     Some(handoffs)
 }
 
-fn parse_args() -> (usize, String, Option<String>) {
+/// Requests in the population-scale `*_100k` entries.
+const POPULATION: u32 = 100_000;
+
+/// One hundred thousand requests through the four-replica serving floor,
+/// one pass (no [`ITERS`]): the allocation-lean per-event path at the
+/// population scale the capacity planner sweeps. Events are completed
+/// requests, so the throughput gate reads requests per second.
+fn serving_100k() -> Option<u64> {
+    let cfg = ServingConfig {
+        platform: Platform::intel_h100(),
+        model: zoo::gpt2(),
+        policy: Policy::Continuous { max_batch: 8 },
+        requests: POPULATION,
+        arrival_rate_per_s: 1_000.0,
+        prompt_len: 128,
+        new_tokens: 4,
+        seed: 13,
+        kv: None,
+        slo: SloTargets::default(),
+        router: RouterPolicy::JoinShortestQueue,
+    };
+    let r = simulate_replicas(&cfg, 4);
+    assert_eq!(r.completed, POPULATION);
+    Some(u64::from(r.completed))
+}
+
+/// One hundred thousand requests through the disaggregated fleet floor
+/// (1 GH200 prefill + 3 H100 decode), one pass: per-request routing, KV
+/// handoff pricing, and lifecycle recording at population scale.
+fn fleet_100k() -> Option<u64> {
+    let cfg = FleetConfig {
+        spec: FleetSpec::disaggregated(Platform::gh200(), 1, Platform::intel_h100(), 3),
+        model: zoo::gpt2(),
+        max_batch: 8,
+        requests: POPULATION,
+        arrivals: ArrivalProcess::Poisson {
+            rate_per_s: 1_000.0,
+        },
+        prompt_len: 128,
+        new_tokens: 4,
+        seed: 13,
+        slo: SloTargets::default(),
+        router: FleetRouterPolicy::CostModelJsq,
+        policy: FleetBatchPolicy::Continuous,
+        autoscale: None,
+    };
+    let r = simulate_fleet(&cfg);
+    assert_eq!(r.completed, POPULATION);
+    Some(u64::from(r.completed))
+}
+
+fn parse_args() -> (usize, String, Option<String>, f64) {
     let mut threads = 0usize;
     let mut out = String::from("BENCH_SUITE.json");
     let mut baseline = None;
+    let mut budget_ms = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -251,10 +310,16 @@ fn parse_args() -> (usize, String, Option<String>) {
             }
             "--out" => out = args.next().expect("--out needs a path"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--budget-ms" => {
+                budget_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--budget-ms needs a number");
+            }
             other => panic!("unknown flag {other}"),
         }
     }
-    (threads, out, baseline)
+    (threads, out, baseline, budget_ms)
 }
 
 /// Prints the per-entry delta of every workload against the baseline and
@@ -308,7 +373,7 @@ fn compare(suite: &BenchSuite, baseline: &BenchSuite) -> Vec<String> {
 }
 
 fn main() {
-    let (threads, out, baseline) = parse_args();
+    let (threads, out, baseline, budget_ms) = parse_args();
     let workers = if threads > 0 {
         threads
     } else {
@@ -356,6 +421,25 @@ fn main() {
     entries.push(timed("router_dispatch", 1, router_dispatch));
     entries.push(timed("latency_cold_keys", 1, latency_cold_keys));
     entries.push(timed("fusion_recommend", 1, fusion_recommend));
+    entries.push(timed("serving_100k", 1, serving_100k));
+    entries.push(timed("fleet_100k", 1, fleet_100k));
+
+    if budget_ms > 0.0 {
+        let over: Vec<_> = entries
+            .iter()
+            .filter(|e| e.name.ends_with("_100k") && e.wall_ms > budget_ms)
+            .collect();
+        if !over.is_empty() {
+            for e in &over {
+                eprintln!(
+                    "PERF BUDGET EXCEEDED: {} took {:.1} ms (budget {budget_ms:.0} ms)",
+                    e.name, e.wall_ms
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("population-scale entries within the {budget_ms:.0} ms budget");
+    }
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     if cores >= 2 {

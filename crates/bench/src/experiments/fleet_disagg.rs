@@ -37,8 +37,8 @@ use skip_des::SimDuration;
 use skip_hw::{Coupling, Interconnect, Platform, PlatformBuilder};
 use skip_llm::zoo;
 use skip_serve::{
-    simulate_fleet_traced, ArrivalProcess, FleetConfig, FleetReport, FleetRouterPolicy, FleetSpec,
-    FleetTrace, SloTargets,
+    simulate_fleet_traced, ArrivalProcess, FleetBatchPolicy, FleetConfig, FleetReport,
+    FleetRouterPolicy, FleetSpec, FleetTrace, SloTargets,
 };
 
 use crate::TextTable;
@@ -121,6 +121,7 @@ fn config(spec: FleetSpec) -> FleetConfig {
             e2e: Some(SimDuration::from_millis(SLO_E2E_MS)),
         },
         router: FleetRouterPolicy::CostModelJsq,
+        policy: FleetBatchPolicy::Continuous,
         autoscale: None,
     }
 }

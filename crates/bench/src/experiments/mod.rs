@@ -27,8 +27,10 @@
 //! | [`seqlen`] | sequence-length sensitivity: the Fig. 6 transition along the seq axis |
 //! | [`kv_capacity`] | paged-KV capacity: load × model × block budget, coupling-aware offload |
 //! | [`fleet_disagg`] | heterogeneous fleets: prefill/decode disaggregation with coupling-priced KV handoff |
+//! | [`capacity`] | capacity-frontier planner: cost-optimal fleet for a traffic envelope by replica-seconds |
 
 pub mod ablations;
+pub mod capacity;
 pub mod decode;
 pub mod energy;
 pub mod fig10;

@@ -64,6 +64,11 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
     let launch_begins = trace.launches().begins();
     let kernel_begins = trace.kernels().begins();
     let kernel_ends = trace.kernels().ends();
+    // Per-kernel durations, precomputed in one vectorized column pass so
+    // the gather below indexes a flat slice instead of re-deriving each
+    // duration scalar-by-scalar.
+    let mut kernel_durs = Vec::new();
+    crate::scan::deltas_into(kernel_ends, kernel_begins, &mut kernel_durs);
 
     struct Acc {
         instances: std::collections::BTreeSet<usize>,
@@ -94,7 +99,7 @@ pub fn attribute_to_operators(trace: &Trace) -> Vec<OpStat> {
         });
         acc.instances.insert(instance);
         acc.kernels += 1;
-        acc.gpu_time += kernel_ends[kidx].duration_since(kernel_begins[kidx]);
+        acc.gpu_time += kernel_durs[kidx];
         acc.lq_time +=
             kernel_begins[kidx].saturating_duration_since(launch_begins[link.launch_idx]);
     }

@@ -105,14 +105,31 @@ impl DependencyGraph {
             ch.sort_unstable();
         }
 
-        // Kernel lookup by correlation (a single pass over the SoA column).
-        let kernel_by_corr: BTreeMap<CorrelationId, usize> = trace
-            .kernels()
-            .correlations()
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (c, i))
-            .collect();
+        // Kernel lookup by correlation. Engine-generated traces assign
+        // correlation IDs monotonically, which a vectorized 8-lane scan
+        // over the SoA column verifies in O(n); when it holds, lookups
+        // binary-search the column directly and the map (one allocation
+        // per kernel plus log-n inserts) is never built. Imported traces
+        // with shuffled or duplicate IDs fall back to the map, where a
+        // later kernel wins a duplicated correlation — same as before.
+        let kernel_corrs = trace.kernels().correlations();
+        let corrs_ascending = crate::scan::is_strictly_ascending(kernel_corrs);
+        let kernel_by_corr: BTreeMap<CorrelationId, usize> = if corrs_ascending {
+            BTreeMap::new()
+        } else {
+            kernel_corrs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, i))
+                .collect()
+        };
+        let kernel_for = |corr: &CorrelationId| -> Option<usize> {
+            if corrs_ascending {
+                kernel_corrs.binary_search(corr).ok()
+            } else {
+                kernel_by_corr.get(corr).copied()
+            }
+        };
 
         // Attach launches to the innermost containing operator. Launches
         // sorted by begin sweep through the same per-thread operator stack
@@ -183,7 +200,7 @@ impl DependencyGraph {
             .map(|(launch_idx, corr)| LaunchLink {
                 launch_idx,
                 parent_op: launch_parent[launch_idx],
-                kernel_idx: kernel_by_corr.get(corr).copied(),
+                kernel_idx: kernel_for(corr),
             })
             .collect();
 
@@ -379,6 +396,50 @@ mod tests {
             assert_eq!(g.parent_of(i), Some(i - 1));
         }
         assert_eq!(g.root_ancestor(9), 0);
+    }
+
+    /// Correlation pairing must not depend on which lookup path the
+    /// ascending-scan gate picks: a trace with shuffled correlation IDs
+    /// (map fallback) and its sorted twin (binary-search fast path) must
+    /// both pair every launch with the kernel carrying its ID.
+    #[test]
+    fn correlation_pairing_agrees_across_lookup_paths() {
+        // 0, 7, 14, ... shuffled via a fixed permutation step so the
+        // column is NOT ascending; the sorted twin uses the same IDs in
+        // ascending order.
+        let ids: Vec<u64> = (0..50u64).map(|i| (i * 37) % 101).collect();
+        let mut sorted_ids = ids.clone();
+        sorted_ids.sort_unstable();
+        for id_set in [&ids, &sorted_ids] {
+            let mut t = Trace::new(TraceMeta::default());
+            let launch = t.intern("cudaLaunchKernel");
+            let k = t.intern("k");
+            for (i, &c) in id_set.iter().enumerate() {
+                let at = i as u64 * 10;
+                t.push_launch(RuntimeLaunchEvent {
+                    name: launch,
+                    thread: ThreadId::MAIN,
+                    begin: ns(at),
+                    end: ns(at + 1),
+                    correlation: CorrelationId::new(c),
+                });
+                t.push_kernel(KernelEvent {
+                    name: k,
+                    stream: StreamId::DEFAULT,
+                    begin: ns(at + 2),
+                    end: ns(at + 5),
+                    correlation: CorrelationId::new(c),
+                });
+            }
+            let g = DependencyGraph::build(&t);
+            let kernel_corrs = t.kernels().correlations();
+            for (li, link) in g.launches().iter().enumerate() {
+                let want = kernel_corrs
+                    .iter()
+                    .position(|c| *c == t.launches().correlations()[li]);
+                assert_eq!(link.kernel_idx, want, "launch {li}");
+            }
+        }
     }
 
     /// The sweep-based launch attachment must agree with the naive

@@ -50,6 +50,7 @@ mod boundedness;
 mod compare;
 mod depgraph;
 mod metrics;
+pub mod scan;
 mod topk;
 
 pub use attribution::{attribute_to_operators, OpStat};

@@ -74,26 +74,24 @@ impl ProfileReport {
             }
         }
 
-        // Eq. 3: average kernel duration.
-        let total_kernel_time: SimDuration = kernel_begins
-            .iter()
-            .zip(kernel_ends)
-            .map(|(&b, &e)| e.duration_since(b))
-            .sum();
+        // Eq. 3: average kernel duration — an 8-lane chunked column sum
+        // (see `scan`) over the paired begin/end columns.
+        let total_kernel_time = crate::scan::sum_deltas(kernel_ends, kernel_begins);
         let akd = if kernels.is_empty() {
             SimDuration::ZERO
         } else {
             total_kernel_time / kernels.len() as u64
         };
 
-        // Eq. 4: inference latency.
+        // Eq. 4: inference latency. CPU ops are AoS (struct scan); the
+        // kernel-end column reduces through the vectorized max.
         let first_op_begin = trace
             .cpu_ops()
             .iter()
             .map(|o| o.begin)
             .min()
             .unwrap_or(SimTime::ZERO);
-        let last_kernel_end = kernel_ends.iter().max().copied();
+        let last_kernel_end = crate::scan::max_time(kernel_ends);
         let inference_latency = match last_kernel_end {
             Some(end) => end.saturating_duration_since(first_op_begin),
             None => trace.span(),
@@ -102,12 +100,15 @@ impl ProfileReport {
         // Eq. 5: GPU idle.
         let gpu_idle = inference_latency.saturating_sub(total_kernel_time);
 
-        // CPU busy span: first op begin to last CPU-side event end.
+        // CPU busy span: first op begin to last CPU-side event end. The
+        // launch-end column reduces vectorized; the AoS op ends stay scalar.
         let last_cpu_end = trace
             .cpu_ops()
             .iter()
             .map(|o| o.end)
-            .chain(launches.ends().iter().copied())
+            .max()
+            .into_iter()
+            .chain(crate::scan::max_time(launches.ends()))
             .max();
         let cpu_busy = match last_cpu_end {
             Some(end) => end.saturating_duration_since(first_op_begin),

@@ -25,8 +25,9 @@ pub fn mean(samples: &[f64]) -> f64 {
 
 /// Nearest-rank percentile of `samples` (``p`` in ``[0, 100]``).
 ///
-/// Sorts a copy; `0.0` for an empty slice. `p = 0` yields the minimum and
-/// `p = 100` the maximum.
+/// Selects the nearest-rank element in O(n) expected time (one scratch
+/// copy, no full sort); `0.0` for an empty slice. `p = 0` yields the
+/// minimum and `p = 100` the maximum.
 ///
 /// # Example
 ///
@@ -40,14 +41,33 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+    let mut scratch = samples.to_vec();
+    select_nearest_rank(&mut scratch, p)
+}
+
+/// Nearest-rank index for `p` percent of `len` samples.
+fn nearest_rank_index(len: usize, p: f64) -> usize {
     let p = p.clamp(0.0, 100.0);
     if p == 0.0 {
-        return sorted[0];
+        return 0;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1)]
+    let rank = ((p / 100.0) * len as f64).ceil() as usize;
+    rank.saturating_sub(1).min(len - 1)
+}
+
+/// In-place nearest-rank selection over a reusable scratch buffer.
+///
+/// Equivalent to sorting `scratch` and indexing the nearest rank, but via
+/// `select_nth_unstable_by` — O(n) expected instead of O(n log n). The
+/// buffer is partially reordered, not sorted. Panics on NaN samples, like
+/// the sorted path did.
+fn select_nearest_rank(scratch: &mut [f64], p: f64) -> f64 {
+    debug_assert!(!scratch.is_empty());
+    let idx = nearest_rank_index(scratch.len(), p);
+    let (_, nth, _) = scratch.select_nth_unstable_by(idx, |a, b| {
+        a.partial_cmp(b).expect("NaN sample in percentile")
+    });
+    *nth
 }
 
 /// Fraction of `samples` at or below `threshold` — SLO attainment.
@@ -107,13 +127,16 @@ impl Summary {
         if samples.is_empty() {
             return Summary::default();
         }
+        // One scratch buffer serves all four selections; each is an O(n)
+        // partial reorder, so the summary costs one allocation total.
+        let mut scratch = samples.to_vec();
         Summary {
             count: samples.len(),
             mean: mean(samples),
-            min: percentile(samples, 0.0),
-            p50: percentile(samples, 50.0),
-            p99: percentile(samples, 99.0),
-            max: percentile(samples, 100.0),
+            min: select_nearest_rank(&mut scratch, 0.0),
+            p50: select_nearest_rank(&mut scratch, 50.0),
+            p99: select_nearest_rank(&mut scratch, 99.0),
+            max: select_nearest_rank(&mut scratch, 100.0),
         }
     }
 }
@@ -157,6 +180,61 @@ mod tests {
     #[test]
     fn summary_of_empty_is_default() {
         assert_eq!(Summary::of(&[]), Summary::default());
+    }
+
+    /// The sorted-oracle implementation `percentile` replaced: full sort,
+    /// then nearest-rank index. Kept here as the differential reference.
+    fn percentile_sorted_oracle(samples: &[f64], p: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in percentile"));
+        let p = p.clamp(0.0, 100.0);
+        if p == 0.0 {
+            return sorted[0];
+        }
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1)]
+    }
+
+    #[test]
+    fn selection_matches_sorted_oracle_at_every_percentile() {
+        // Deterministic LCG samples, including duplicates and a broad value
+        // range; every integer percentile plus fractional edge cases must
+        // agree bit-for-bit with the clone-and-sort oracle.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        for len in [1usize, 2, 3, 7, 100, 1023] {
+            let samples: Vec<f64> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % 997) as f64 / 7.0
+                })
+                .collect();
+            for p in 0..=100 {
+                let p = f64::from(p);
+                assert_eq!(
+                    percentile(&samples, p),
+                    percentile_sorted_oracle(&samples, p),
+                    "len={len} p={p}"
+                );
+            }
+            for p in [0.001, 0.5, 33.3, 49.999, 50.001, 98.9, 99.99] {
+                assert_eq!(
+                    percentile(&samples, p),
+                    percentile_sorted_oracle(&samples, p),
+                    "len={len} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample in percentile")]
+    fn percentile_still_panics_on_nan() {
+        let _ = percentile(&[1.0, f64::NAN, 2.0], 50.0);
     }
 
     #[test]

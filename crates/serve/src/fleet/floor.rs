@@ -26,7 +26,7 @@ use skip_mem::KvSpec;
 
 use crate::fleet::autoscale::{ScaleAction, ScalingEvent};
 use crate::fleet::observe::{FleetReport, FleetSample, FleetTrace};
-use crate::fleet::spec::{FleetConfig, FleetRouterPolicy, PoolRole};
+use crate::fleet::spec::{FleetBatchPolicy, FleetConfig, FleetRouterPolicy, PoolRole};
 use crate::latency::LatencyModel;
 use crate::observe::{LifecycleKind, SloReport};
 use crate::request::Request;
@@ -56,8 +56,12 @@ enum RState {
 #[derive(Debug, Clone, Copy)]
 struct FActive {
     req: Request,
-    /// Output tokens produced so far (0 until prefill retires).
+    /// Output tokens produced so far (0 until prefill completes).
     generated: u32,
+    /// Prompt tokens prefilled so far. Advances chunk-by-chunk under
+    /// [`FleetBatchPolicy::ChunkedPrefill`]; continuous batching jumps it
+    /// to `prompt_len` when the prefill iteration retires.
+    prefilled: u32,
 }
 
 /// One replica's runtime state.
@@ -69,6 +73,10 @@ struct ReplicaRt {
     queue: VecDeque<Request>,
     actives: Vec<FActive>,
     busy: bool,
+    /// Chunked-prefill plan for the running iteration: `plan[i]` is the
+    /// prompt-token budget granted to `actives[i]` (0 = no chunk).
+    /// Reused across iterations; empty under continuous batching.
+    plan: Vec<u32>,
 }
 
 impl ReplicaRt {
@@ -116,6 +124,14 @@ struct FleetFloor<'a> {
     rr_arrival: usize,
     rr_handoff: usize,
     finished: Vec<(SimDuration, SimDuration)>,
+    /// Reusable retire scratch: the drained running set ping-pongs
+    /// between here and each replica's `actives`, so retires allocate
+    /// nothing once the buffers have grown to batch size.
+    scratch_actives: Vec<FActive>,
+    /// Reusable buffer for handoffs discovered during a retire.
+    scratch_handoffs: Vec<Request>,
+    /// Reusable buffer of routable replica indices.
+    eligible_buf: Vec<usize>,
     last_completion: SimTime,
     obs: FleetTrace,
     handoffs: u64,
@@ -189,8 +205,10 @@ impl FleetFloor<'_> {
     }
 
     /// Starts the next iteration on replica `r` if it is idle and has
-    /// work: a batched prefill when unprefilled admits exist, else one
-    /// decode step for the running batch.
+    /// work. Under continuous batching: a batched prefill when
+    /// unprefilled admits exist, else one decode step for the running
+    /// batch. Under chunked prefill: a token-budgeted chunk plan with
+    /// co-scheduled decode steps.
     fn kick(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize) {
         let now = ctx.now();
         let rep = &mut self.replicas[r];
@@ -200,7 +218,6 @@ impl FleetFloor<'_> {
         // Admit newcomers at the iteration boundary.
         let room = (self.cfg.max_batch as usize).saturating_sub(rep.actives.len());
         let decode_side = rep.pool == PoolRole::Decode;
-        let mut admitted = 0u32;
         for _ in 0..room {
             let Some(req) = rep.queue.pop_front() else {
                 break;
@@ -212,36 +229,101 @@ impl FleetFloor<'_> {
             };
             self.obs.record(req.id, now, kind);
             rep.actives.push(FActive {
-                req,
-                // Handed-off requests arrive with their first token
-                // already produced by the prefill pool.
+                // Handed-off requests arrive with their prompt prefilled
+                // and their first token already produced by the prefill
+                // pool.
                 generated: u32::from(decode_side),
+                prefilled: if decode_side { req.prompt_len } else { 0 },
+                req,
             });
-            admitted += 1;
         }
-        let _ = admitted;
-        let rep = &self.replicas[r];
         if rep.actives.is_empty() {
             return;
         }
-        let lat = &self.lat[rep.platform_idx];
-        let fresh: Vec<&FActive> = rep.actives.iter().filter(|a| a.generated == 0).collect();
-        let dur = if fresh.is_empty() {
-            let batch = rep.actives.len() as u32;
-            let ctx_len = rep
-                .actives
-                .iter()
-                .map(|a| a.req.prompt_len + a.generated)
-                .max()
-                .unwrap_or(1);
-            lat.decode_step(batch, ctx_len)
-        } else {
-            let batch = fresh.len() as u32;
-            let len = fresh.iter().map(|a| a.req.prompt_len).max().unwrap_or(1);
-            lat.prefill(batch, len)
+        let dur = match self.cfg.policy {
+            FleetBatchPolicy::Continuous => self.continuous_iteration(r),
+            FleetBatchPolicy::ChunkedPrefill { chunk_tokens } => {
+                self.chunked_iteration(r, chunk_tokens)
+            }
         };
-        self.replicas[r].busy = true;
-        ctx.schedule(now + dur, FEvent::IterationDone(r));
+        if let Some(dur) = dur {
+            self.replicas[r].busy = true;
+            ctx.schedule(now + dur, FEvent::IterationDone(r));
+        }
+    }
+
+    /// Prices one continuous-batching iteration for `r`'s running batch
+    /// in a single counting pass (prefill-priority: when any admitted
+    /// request still needs its prompt, the iteration prefills those whole
+    /// while decoders idle).
+    fn continuous_iteration(&self, r: usize) -> Option<SimDuration> {
+        let rep = &self.replicas[r];
+        let lat = &self.lat[rep.platform_idx];
+        let mut fresh_rows = 0u32;
+        let mut fresh_len = 0u32;
+        let mut batch_ctx = 0u32;
+        for a in &rep.actives {
+            if a.generated == 0 {
+                fresh_rows += 1;
+                fresh_len = fresh_len.max(a.req.prompt_len);
+            }
+            batch_ctx = batch_ctx.max(a.req.prompt_len + a.generated);
+        }
+        Some(if fresh_rows == 0 {
+            lat.decode_step(rep.actives.len() as u32, batch_ctx)
+        } else {
+            lat.prefill(fresh_rows, fresh_len)
+        })
+    }
+
+    /// Plans one Sarathi-style chunked iteration for `r`, mirroring the
+    /// single-platform floor's `ChunkedPrefillBatch`: spend at most
+    /// `chunk_tokens` prompt tokens across unfinished prefills (oldest
+    /// first) and co-schedule one decode step for every request already
+    /// past its prompt. The plan lives in `ReplicaRt::plan` (reused
+    /// across iterations) and is applied by [`Self::retire_chunked`].
+    fn chunked_iteration(&mut self, r: usize, chunk_tokens: u32) -> Option<SimDuration> {
+        let FleetFloor { replicas, lat, .. } = self;
+        let rep = &mut replicas[r];
+        let lat = &lat[rep.platform_idx];
+        rep.plan.clear();
+        rep.plan.resize(rep.actives.len(), 0);
+        let mut budget = chunk_tokens;
+        for (i, a) in rep.actives.iter().enumerate() {
+            if budget == 0 {
+                break;
+            }
+            if a.prefilled >= a.req.prompt_len {
+                continue;
+            }
+            let tokens = (a.req.prompt_len - a.prefilled).min(budget);
+            rep.plan[i] = tokens;
+            budget -= tokens;
+        }
+        // Price: one batched prefill over the chunk rows (sized by the
+        // largest chunk) plus one decode step over the decode rows (sized
+        // by the longest context).
+        let mut chunk_rows = 0u32;
+        let mut max_chunk = 0u32;
+        let mut decode_rows = 0u32;
+        let mut decode_ctx = 0u32;
+        for (i, a) in rep.actives.iter().enumerate() {
+            if rep.plan[i] > 0 {
+                chunk_rows += 1;
+                max_chunk = max_chunk.max(rep.plan[i]);
+            } else if a.prefilled >= a.req.prompt_len {
+                decode_rows += 1;
+                decode_ctx = decode_ctx.max(a.prefilled + a.generated);
+            }
+        }
+        let mut cost = SimDuration::ZERO;
+        if chunk_rows > 0 {
+            cost += lat.prefill(chunk_rows, max_chunk);
+        }
+        if decode_rows > 0 {
+            cost += lat.decode_step(decode_rows, decode_ctx);
+        }
+        (chunk_rows + decode_rows > 0).then_some(cost)
     }
 
     /// Applies the finished iteration's effects: freshly-prefilled
@@ -249,37 +331,102 @@ impl FleetFloor<'_> {
     /// for decode); decoding requests advance one token and complete at
     /// their budget.
     fn retire(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
+        match self.cfg.policy {
+            FleetBatchPolicy::Continuous => self.retire_continuous(ctx, r, now),
+            FleetBatchPolicy::ChunkedPrefill { .. } => self.retire_chunked(ctx, r, now),
+        }
+    }
+
+    fn retire_continuous(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
         let was_prefill = self.replicas[r].actives.iter().any(|a| a.generated == 0);
         let target = self.cfg.new_tokens.max(1);
         let pool = self.replicas[r].pool;
-        let mut keep = Vec::new();
-        let mut handoffs = Vec::new();
-        for mut a in std::mem::take(&mut self.replicas[r].actives) {
+        // Drain through the reusable scratch buffer: swap the running set
+        // out, push survivors straight back, and keep both capacities for
+        // the next retire.
+        let mut work = std::mem::replace(
+            &mut self.replicas[r].actives,
+            std::mem::take(&mut self.scratch_actives),
+        );
+        for mut a in work.drain(..) {
             if was_prefill {
                 if a.generated == 0 {
                     a.generated = 1;
+                    a.prefilled = a.req.prompt_len;
                     self.obs.record(a.req.id, now, LifecycleKind::FirstToken);
                 } else {
                     // Decoding requests idled through the prefill
                     // iteration (prefill-priority continuous batching).
-                    keep.push(a);
+                    self.replicas[r].actives.push(a);
                     continue;
                 }
             } else {
                 a.generated += 1;
             }
-            if a.generated >= target {
-                self.complete(a.req, r, now);
-            } else if pool == PoolRole::Prefill {
-                handoffs.push(a.req);
-            } else {
-                keep.push(a);
-            }
+            self.finish_or_keep(a, r, pool, target, now);
         }
-        self.replicas[r].actives = keep;
-        for req in handoffs {
+        self.scratch_actives = work;
+        self.flush_handoffs(ctx, r, now);
+    }
+
+    /// Applies the chunk plan recorded by [`Self::chunked_iteration`]:
+    /// planned chunks advance `prefilled` (the final chunk emits the
+    /// first token), decode-phase requests advance one token, and
+    /// completion/handoff routing matches the continuous path.
+    fn retire_chunked(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
+        let target = self.cfg.new_tokens.max(1);
+        let pool = self.replicas[r].pool;
+        let plan = std::mem::take(&mut self.replicas[r].plan);
+        let mut work = std::mem::replace(
+            &mut self.replicas[r].actives,
+            std::mem::take(&mut self.scratch_actives),
+        );
+        for (i, mut a) in work.drain(..).enumerate() {
+            if a.prefilled >= a.req.prompt_len {
+                // Spent the iteration in its decode phase.
+                a.generated += 1;
+            } else if plan[i] > 0 {
+                a.prefilled += plan[i];
+                if a.prefilled >= a.req.prompt_len {
+                    // Final chunk: first token out with it.
+                    a.generated = 1;
+                    self.obs.record(a.req.id, now, LifecycleKind::FirstToken);
+                } else {
+                    self.replicas[r].actives.push(a);
+                    continue;
+                }
+            } else {
+                // Out of chunk budget this iteration; stays admitted.
+                self.replicas[r].actives.push(a);
+                continue;
+            }
+            self.finish_or_keep(a, r, pool, target, now);
+        }
+        self.scratch_actives = work;
+        self.replicas[r].plan = plan;
+        self.flush_handoffs(ctx, r, now);
+    }
+
+    /// Routes a request that just produced a token: complete at its
+    /// budget, hand off from the prefill pool, else keep decoding.
+    fn finish_or_keep(&mut self, a: FActive, r: usize, pool: PoolRole, target: u32, now: SimTime) {
+        if a.generated >= target {
+            self.complete(a.req, r, now);
+        } else if pool == PoolRole::Prefill {
+            self.scratch_handoffs.push(a.req);
+        } else {
+            self.replicas[r].actives.push(a);
+        }
+    }
+
+    /// Starts every handoff parked in the scratch buffer (reused across
+    /// retires).
+    fn flush_handoffs(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
+        let mut handoffs = std::mem::take(&mut self.scratch_handoffs);
+        for req in handoffs.drain(..) {
             self.start_handoff(ctx, r, req, now);
         }
+        self.scratch_handoffs = handoffs;
     }
 
     fn complete(&mut self, req: Request, r: usize, now: SimTime) {
@@ -339,40 +486,40 @@ impl FleetFloor<'_> {
         }
     }
 
-    /// Replica indices eligible for new work in the given direction.
-    fn eligible(&self, arrivals: bool) -> Vec<usize> {
-        let want: Vec<usize> = (0..self.replicas.len())
-            .filter(|&i| {
-                let rep = &self.replicas[i];
-                rep.state == RState::Up
-                    && if arrivals {
-                        rep.takes_arrivals()
-                    } else {
-                        rep.pool == PoolRole::Decode
-                    }
-            })
-            .collect();
-        if !want.is_empty() {
-            return want;
+    /// Fills `eligible_buf` with the replica indices eligible for new
+    /// work in the given direction (buffer reused across routing
+    /// decisions, so steady-state routing allocates nothing).
+    fn fill_eligible(&mut self, arrivals: bool) {
+        let want = |rep: &ReplicaRt| {
+            if arrivals {
+                rep.takes_arrivals()
+            } else {
+                rep.pool == PoolRole::Decode
+            }
+        };
+        self.eligible_buf.clear();
+        for i in 0..self.replicas.len() {
+            let rep = &self.replicas[i];
+            if rep.state == RState::Up && want(rep) {
+                self.eligible_buf.push(i);
+            }
+        }
+        if !self.eligible_buf.is_empty() {
+            return;
         }
         // Degenerate fallback (every candidate mid-drain): route to any
         // non-down replica of the right pool so no request is stranded.
-        (0..self.replicas.len())
-            .filter(|&i| {
-                let rep = &self.replicas[i];
-                rep.state != RState::Down
-                    && if arrivals {
-                        rep.takes_arrivals()
-                    } else {
-                        rep.pool == PoolRole::Decode
-                    }
-            })
-            .collect()
+        for i in 0..self.replicas.len() {
+            let rep = &self.replicas[i];
+            if rep.state != RState::Down && want(rep) {
+                self.eligible_buf.push(i);
+            }
+        }
     }
 
     fn route_arrival(&mut self, req: &Request) -> usize {
-        let eligible = self.eligible(true);
-        let pick = self.pick(&eligible, self.rr_arrival, req);
+        self.fill_eligible(true);
+        let pick = self.pick(&self.eligible_buf, self.rr_arrival, req);
         if self.cfg.router == FleetRouterPolicy::RoundRobin {
             self.rr_arrival += 1;
         }
@@ -380,8 +527,8 @@ impl FleetFloor<'_> {
     }
 
     fn route_handoff(&mut self, req: &Request) -> usize {
-        let eligible = self.eligible(false);
-        let pick = self.pick(&eligible, self.rr_handoff, req);
+        self.fill_eligible(false);
+        let pick = self.pick(&self.eligible_buf, self.rr_handoff, req);
         if self.cfg.router == FleetRouterPolicy::RoundRobin {
             self.rr_handoff += 1;
         }
@@ -465,23 +612,35 @@ impl FleetFloor<'_> {
         auto: crate::fleet::autoscale::AutoscaleConfig,
         now: SimTime,
     ) {
-        let idx: Vec<usize> = (0..self.replicas.len())
-            .filter(|&i| self.replicas[i].pool == pool)
-            .collect();
-        let outstanding: u32 = idx.iter().map(|&i| self.backlog(i)).sum();
-        let up: Vec<usize> = idx
-            .iter()
-            .copied()
-            .filter(|&i| self.replicas[i].state == RState::Up)
-            .collect();
-        let launching = idx
-            .iter()
-            .filter(|&&i| self.replicas[i].state == RState::Launching)
-            .count() as u32;
-        let pressure = f64::from(outstanding) / f64::from(up.len().max(1) as u32);
-        if pressure > auto.high_load && (up.len() as u32 + launching) < auto.max_per_pool {
+        // One counting pass over the pool: outstanding work, up/launching
+        // tallies, the newest up replica (drain victim), and the pool's
+        // seed platform — no per-tick index vectors.
+        let mut outstanding = 0u32;
+        let mut up_count = 0u32;
+        let mut last_up = None;
+        let mut launching = 0u32;
+        let mut seed_platform = None;
+        for i in 0..self.replicas.len() {
+            if self.replicas[i].pool != pool {
+                continue;
+            }
+            if seed_platform.is_none() {
+                seed_platform = Some(self.replicas[i].platform_idx);
+            }
+            outstanding += self.backlog(i);
+            match self.replicas[i].state {
+                RState::Up => {
+                    up_count += 1;
+                    last_up = Some(i);
+                }
+                RState::Launching => launching += 1,
+                _ => {}
+            }
+        }
+        let pressure = f64::from(outstanding) / f64::from(up_count.max(1));
+        if pressure > auto.high_load && (up_count + launching) < auto.max_per_pool {
             // Clone the pool's seed platform for the new replica.
-            let platform_idx = self.replicas[idx[0]].platform_idx;
+            let platform_idx = seed_platform.expect("pool has at least one replica");
             let weights = self.cfg.model.weight_bytes_fp16();
             let launch_cost =
                 auto.provision_delay + self.platforms[platform_idx].h2d_transfer(weights);
@@ -493,6 +652,7 @@ impl FleetFloor<'_> {
                 queue: VecDeque::new(),
                 actives: Vec::new(),
                 busy: false,
+                plan: Vec::new(),
             });
             self.links.push(LinkRt::default());
             self.obs.scaling.push(ScalingEvent {
@@ -502,11 +662,10 @@ impl FleetFloor<'_> {
                 action: ScaleAction::LaunchRequested,
             });
             ctx.schedule(now + launch_cost, FEvent::ReplicaUp(new_idx));
-        } else if pressure < auto.low_load && up.len() as u32 > auto.min_per_pool && launching == 0
-        {
+        } else if pressure < auto.low_load && up_count > auto.min_per_pool && launching == 0 {
             // Drain the newest up replica; it keeps its backlog and
             // leaves once empty.
-            let victim = *up.last().expect("up set non-empty above");
+            let victim = last_up.expect("up set non-empty above");
             self.bill(now);
             self.replicas[victim].state = RState::Draining;
             self.obs.scaling.push(ScalingEvent {
@@ -628,8 +787,9 @@ pub fn simulate_fleet_traced(cfg: &FleetConfig) -> (FleetReport, FleetTrace) {
                 pool: g.role,
                 state: RState::Up,
                 queue: VecDeque::new(),
-                actives: Vec::new(),
+                actives: Vec::with_capacity(cfg.max_batch as usize),
                 busy: false,
+                plan: Vec::new(),
             });
         }
     }
@@ -655,21 +815,31 @@ pub fn simulate_fleet_traced(cfg: &FleetConfig) -> (FleetReport, FleetTrace) {
     }
 
     let initial_live = replicas.len() as u32;
+    let disagg = cfg.spec.is_disaggregated();
+    // Preallocate the whole-run observation storage: every request's
+    // lifecycle takes a bounded number of events (arrive/admit/first
+    // token/complete, plus the three handoff events when disaggregated),
+    // so the recording hot path never reallocates mid-simulation.
+    let mut obs = FleetTrace::new(cfg.model.name.clone(), cfg.spec.label());
+    obs.reserve(cfg.requests, if disagg { 7 } else { 4 });
     let mut floor = FleetFloor {
         cfg,
         lat,
         kv: KvSpec::for_model(&cfg.model, KvSpec::DEFAULT_BLOCK_TOKENS),
-        replicas,
         links,
-        disagg: cfg.spec.is_disaggregated(),
+        disagg,
         rr_arrival: 0,
         rr_handoff: 0,
-        finished: Vec::new(),
+        finished: Vec::with_capacity(cfg.requests as usize),
+        scratch_actives: Vec::with_capacity(cfg.max_batch as usize),
+        scratch_handoffs: Vec::with_capacity(if disagg { cfg.max_batch as usize } else { 0 }),
+        eligible_buf: Vec::with_capacity(replicas.len()),
+        replicas,
         last_completion: SimTime::ZERO,
-        obs: FleetTrace::new(cfg.model.name.clone(), cfg.spec.label()),
+        obs,
         handoffs: 0,
         handoff_bytes: 0,
-        handoff_waits: Vec::new(),
+        handoff_waits: Vec::with_capacity(if disagg { cfg.requests as usize } else { 0 }),
         handoff_transfer_ns: 0.0,
         scale_ups: 0,
         scale_downs: 0,
@@ -749,6 +919,7 @@ mod tests {
             seed: 13,
             slo: SloTargets::default(),
             router: FleetRouterPolicy::CostModelJsq,
+            policy: FleetBatchPolicy::Continuous,
             autoscale: None,
         }
     }
@@ -976,5 +1147,72 @@ mod tests {
         let mut cfg = base(FleetSpec::homogeneous(Platform::gh200(), 1));
         cfg.max_batch = 0;
         let _ = simulate_fleet(&cfg);
+    }
+
+    /// Chunked prefill on a disaggregated fleet: every multi-token
+    /// request still crosses the handoff link exactly once — the chunk
+    /// plan must trigger the same handoff-aware retire as continuous
+    /// batching once the final chunk lands.
+    #[test]
+    fn chunked_prefill_composes_with_disaggregation() {
+        let mut cfg = base(FleetSpec::disaggregated(
+            Platform::gh200(),
+            2,
+            Platform::intel_h100(),
+            2,
+        ));
+        cfg.policy = FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 32 };
+        let (report, trace) = simulate_fleet_traced(&cfg);
+        assert_eq!(report.completed, 40);
+        assert!(trace.conserves_requests());
+        assert_eq!(report.handoffs, 40);
+        assert!(report.ttft_p50 > SimDuration::ZERO);
+        assert!(report.e2e_p50 >= report.ttft_p50);
+        // Every lifecycle emits exactly one first token.
+        for lc in &trace.lifecycles {
+            let firsts = lc
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, LifecycleKind::FirstToken))
+                .count();
+            assert_eq!(firsts, 1, "request {} first-token count", lc.id);
+        }
+    }
+
+    /// A prompt that fits one chunk budget prefills in a single
+    /// iteration; slicing the same prompt into eight chunks serializes
+    /// eight budgeted iterations, so the first token must come later.
+    #[test]
+    fn tighter_chunk_budgets_delay_the_first_token() {
+        let mut wide = base(FleetSpec::homogeneous(Platform::intel_h100(), 2));
+        wide.policy = FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 1024 };
+        let mut narrow = wide.clone();
+        narrow.policy = FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 16 };
+        let w = simulate_fleet(&wide);
+        let n = simulate_fleet(&narrow);
+        assert_eq!(w.completed, 40);
+        assert_eq!(n.completed, 40);
+        assert!(
+            n.ttft_p50 > w.ttft_p50,
+            "16-token chunks must stretch TTFT past one-shot prefill: {} vs {}",
+            n.ttft_p50,
+            w.ttft_p50
+        );
+    }
+
+    #[test]
+    fn chunked_fleet_simulation_is_deterministic() {
+        let mut cfg = base(FleetSpec::disaggregated(
+            Platform::gh200(),
+            1,
+            Platform::amd_a100(),
+            2,
+        ));
+        cfg.policy = FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 48 };
+        cfg.autoscale = Some(AutoscaleConfig::default());
+        let (ra, ta) = simulate_fleet_traced(&cfg);
+        let (rb, tb) = simulate_fleet_traced(&cfg);
+        assert_eq!(ra, rb);
+        assert_eq!(ta, tb);
     }
 }

@@ -22,15 +22,24 @@
 //!   diurnal and bursty arrival processes drive watermark scaling with
 //!   coupling-priced replica launches (provision delay + weight load over
 //!   the platform's interconnect).
+//! * **Capacity planning** ([`plan`]) — enumerate fleet compositions
+//!   (platform mixes, disaggregation splits, autoscale on/off) against a
+//!   traffic envelope and keep the cost-optimal frontier by
+//!   replica-seconds billing; the candidate list is index-ordered so any
+//!   in-order executor reproduces it byte for byte.
 
 pub mod arrivals;
 pub mod autoscale;
 pub mod floor;
 pub mod observe;
+pub mod plan;
 pub mod spec;
 
 pub use arrivals::ArrivalProcess;
 pub use autoscale::{AutoscaleConfig, ScaleAction, ScalingEvent};
 pub use floor::{simulate_fleet, simulate_fleet_traced};
 pub use observe::{FleetReport, FleetSample, FleetTrace};
-pub use spec::{FleetConfig, FleetError, FleetRouterPolicy, FleetSpec, PoolRole, ReplicaGroup};
+pub use plan::{PlanCandidate, PlanOutcome, PlannerConfig, TrafficEnvelope};
+pub use spec::{
+    FleetBatchPolicy, FleetConfig, FleetError, FleetRouterPolicy, FleetSpec, PoolRole, ReplicaGroup,
+};

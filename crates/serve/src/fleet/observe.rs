@@ -98,6 +98,27 @@ impl FleetTrace {
         self.completed
     }
 
+    /// Preallocates lifecycle and sample storage for `requests` requests
+    /// of ~`events_per_request` lifecycle events each, so a sized run
+    /// records without reallocating mid-simulation. Purely a capacity
+    /// hint: recorded content (and its serialized form) is unchanged,
+    /// because every request id below `requests` arrives eventually and
+    /// [`record`](Self::record) would have created the same entries.
+    pub fn reserve(&mut self, requests: u32, events_per_request: usize) {
+        let requests = requests as usize;
+        self.lifecycles
+            .reserve(requests.saturating_sub(self.lifecycles.len()));
+        while self.lifecycles.len() < requests {
+            self.lifecycles.push(RequestLifecycle {
+                id: self.lifecycles.len() as u64,
+                events: Vec::with_capacity(events_per_request),
+            });
+        }
+        // Sample count tracks handled events; start near the floor of two
+        // boundaries per request and let growth amortize the rest.
+        self.samples.reserve(requests.saturating_mul(2));
+    }
+
     /// Appends a lifecycle transition for request `id` (dense arrival
     /// order, as in [`ServingTrace::record`]).
     pub fn record(&mut self, id: u64, at: SimTime, kind: LifecycleKind) {

@@ -1,0 +1,458 @@
+//! Capacity-frontier planner: which fleet, at what cost, for this traffic?
+//!
+//! The paper's north-star question — *how many of which platform for a
+//! given user population at SLO X?* — is a search over fleet compositions,
+//! and every point in that search is one fleet simulation. This module
+//! owns the search space and the scoring; it deliberately does **not** own
+//! the fan-out. [`enumerate`] produces a deterministic, index-ordered
+//! candidate list and [`evaluate`] scores one candidate independently of
+//! every other, so any executor that maps `evaluate` over the list in
+//! input order — serially, or through `skip-bench`'s deterministic
+//! harness at any worker count — produces byte-identical outcomes.
+//!
+//! Scoring is **billing-first**: every candidate that clears the SLO
+//! attainment floor is *feasible*, and feasible candidates compete on
+//! [`FleetReport::replica_seconds`] — the integral of live replicas over
+//! the makespan, i.e. what the deployment actually rents. [`frontier`]
+//! keeps the Pareto set over (replica-seconds, p95 end-to-end latency):
+//! the fleets for which spending less means waiting longer. [`cheapest`]
+//! is the frontier's economical end — the planner's one-line answer.
+
+use serde::{Deserialize, Serialize};
+use skip_des::SimDuration;
+use skip_hw::Platform;
+use skip_llm::ModelConfig;
+
+use crate::fleet::arrivals::ArrivalProcess;
+use crate::fleet::autoscale::AutoscaleConfig;
+use crate::fleet::floor::simulate_fleet;
+use crate::fleet::observe::FleetReport;
+use crate::fleet::spec::{FleetBatchPolicy, FleetConfig, FleetRouterPolicy, FleetSpec};
+use crate::observe::SloTargets;
+
+/// Period of the diurnal arrival cycle a peaked envelope simulates. Long
+/// enough that an autoscaled candidate sees several scale decisions per
+/// cycle, short enough that a few hundred simulated requests span one.
+pub const DIURNAL_PERIOD: SimDuration = SimDuration::from_secs(8);
+
+/// The traffic a candidate fleet must absorb: workload shape, offered
+/// load, and the SLO the deployment is contractually scored against.
+#[derive(Debug, Clone)]
+pub struct TrafficEnvelope {
+    /// The model every replica serves.
+    pub model: ModelConfig,
+    /// Mean offered load, requests/second.
+    pub qps: f64,
+    /// Peak offered load; `Some` turns the arrivals diurnal (base
+    /// [`qps`](Self::qps), peak `peak_qps`, period [`DIURNAL_PERIOD`]),
+    /// `None` keeps them Poisson at the mean.
+    pub peak_qps: Option<f64>,
+    /// Requests per evaluation — the sample the envelope is scored on.
+    pub requests: u32,
+    /// Prompt length of every request, tokens.
+    pub prompt_len: u32,
+    /// Output tokens per request.
+    pub new_tokens: u32,
+    /// Arrival-process seed shared by every candidate, so candidates are
+    /// scored on the *same* request stream.
+    pub seed: u64,
+    /// The latency targets feasibility is judged against.
+    pub slo: SloTargets,
+}
+
+impl TrafficEnvelope {
+    /// The arrival process the envelope prescribes.
+    #[must_use]
+    pub fn arrivals(&self) -> ArrivalProcess {
+        match self.peak_qps {
+            Some(peak) if peak > self.qps => ArrivalProcess::Diurnal {
+                base_rate_per_s: self.qps,
+                peak_rate_per_s: peak,
+                period: DIURNAL_PERIOD,
+            },
+            _ => ArrivalProcess::Poisson {
+                rate_per_s: self.qps,
+            },
+        }
+    }
+}
+
+/// The planner's search space and scoring knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// The traffic every candidate is scored against.
+    pub envelope: TrafficEnvelope,
+    /// Platform menu; candidates draw homogeneous fleets and
+    /// prefill/decode pairings from this list, in order.
+    pub platforms: Vec<Platform>,
+    /// Ceiling on a candidate's *provisioned* replicas (autoscaled
+    /// candidates may grow past it at their own billing peril).
+    pub max_replicas: u32,
+    /// Concurrent-request cap per replica.
+    pub max_batch: u32,
+    /// Minimum TTFT *and* e2e attainment a feasible fleet must reach.
+    pub attainment_floor: f64,
+    /// How arrivals and handoffs are dispatched in every candidate.
+    pub router: FleetRouterPolicy,
+    /// Iteration-forming policy every candidate's replicas run.
+    pub policy: FleetBatchPolicy,
+}
+
+impl PlannerConfig {
+    /// A planner over the paper-trio platform menu with the defaults the
+    /// experiments use: up to 4 provisioned replicas, batch cap 8, a 95%
+    /// attainment floor, cost-model JSQ routing, continuous batching.
+    #[must_use]
+    pub fn new(envelope: TrafficEnvelope) -> Self {
+        PlannerConfig {
+            envelope,
+            platforms: Platform::paper_trio(),
+            max_replicas: 4,
+            max_batch: 8,
+            attainment_floor: 0.95,
+            router: FleetRouterPolicy::CostModelJsq,
+            policy: FleetBatchPolicy::Continuous,
+        }
+    }
+}
+
+/// One point of the search space: a replica topology plus whether the
+/// arrival-driven autoscaler is on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCandidate {
+    /// The provisioned topology.
+    pub spec: FleetSpec,
+    /// `true` runs the candidate under [`AutoscaleConfig::default`].
+    pub autoscaled: bool,
+}
+
+impl PlanCandidate {
+    /// Canonical candidate label: the spec label, `+auto` when autoscaled.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.autoscaled {
+            format!("{}+auto", self.spec.label())
+        } else {
+            self.spec.label()
+        }
+    }
+}
+
+/// Enumerates the candidate fleet compositions for `cfg`, in a fixed
+/// deterministic order: homogeneous fleets first (platform-menu order ×
+/// ascending replica count), then every prefill×decode platform pairing ×
+/// every split summing to at most `max_replicas` — each in a fixed and an
+/// autoscaled variant. The order is part of the planner's contract: any
+/// in-order map of [`evaluate`] over this list yields identical output.
+#[must_use]
+pub fn enumerate(cfg: &PlannerConfig) -> Vec<PlanCandidate> {
+    let mut out = Vec::new();
+    let mut push_both = |spec: FleetSpec| {
+        out.push(PlanCandidate {
+            spec: spec.clone(),
+            autoscaled: false,
+        });
+        out.push(PlanCandidate {
+            spec,
+            autoscaled: true,
+        });
+    };
+    for p in &cfg.platforms {
+        for count in 1..=cfg.max_replicas {
+            push_both(FleetSpec::homogeneous(p.clone(), count));
+        }
+    }
+    for pf in &cfg.platforms {
+        for dec in &cfg.platforms {
+            for p_count in 1..cfg.max_replicas {
+                for d_count in 1..=(cfg.max_replicas - p_count) {
+                    push_both(FleetSpec::disaggregated(
+                        pf.clone(),
+                        p_count,
+                        dec.clone(),
+                        d_count,
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The fleet configuration [`evaluate`] simulates for one candidate.
+#[must_use]
+pub fn fleet_config(cfg: &PlannerConfig, cand: &PlanCandidate) -> FleetConfig {
+    FleetConfig {
+        spec: cand.spec.clone(),
+        model: cfg.envelope.model.clone(),
+        max_batch: cfg.max_batch,
+        requests: cfg.envelope.requests,
+        arrivals: cfg.envelope.arrivals(),
+        prompt_len: cfg.envelope.prompt_len,
+        new_tokens: cfg.envelope.new_tokens,
+        seed: cfg.envelope.seed,
+        slo: cfg.envelope.slo,
+        router: cfg.router,
+        policy: cfg.policy,
+        autoscale: cand.autoscaled.then(AutoscaleConfig::default),
+    }
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanOutcome {
+    /// [`PlanCandidate::label`] of the candidate behind this outcome.
+    pub label: String,
+    /// `true` for split prefill/decode pools.
+    pub disagg: bool,
+    /// `true` when the candidate ran autoscaled.
+    pub autoscaled: bool,
+    /// Provisioned replicas (before any autoscaling).
+    pub base_replicas: u32,
+    /// Every request completed *and* both attainment axes cleared the
+    /// planner's floor — the candidate can legally serve the envelope.
+    pub feasible: bool,
+    /// The full measurement, including the `replica_seconds` bill.
+    pub report: FleetReport,
+}
+
+impl PlanOutcome {
+    /// The capacity bill this outcome competes on.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.report.replica_seconds
+    }
+}
+
+/// Scores one candidate against the envelope: simulates the fleet and
+/// applies the feasibility floor. Pure in the candidate — evaluations of
+/// distinct candidates share no state, which is what lets an executor
+/// fan them out in any order.
+///
+/// # Panics
+///
+/// Panics if the resulting [`FleetConfig`] is invalid — [`enumerate`]
+/// never produces such a candidate, so this only fires on hand-built ones.
+#[must_use]
+pub fn evaluate(cfg: &PlannerConfig, cand: &PlanCandidate) -> PlanOutcome {
+    let fleet = fleet_config(cfg, cand);
+    let report = simulate_fleet(&fleet);
+    let feasible = report.completed == cfg.envelope.requests
+        && report.slo.ttft_attainment >= cfg.attainment_floor
+        && report.slo.e2e_attainment >= cfg.attainment_floor;
+    PlanOutcome {
+        label: cand.label(),
+        disagg: cand.spec.is_disaggregated(),
+        autoscaled: cand.autoscaled,
+        base_replicas: cand.spec.total_replicas(),
+        feasible,
+        report,
+    }
+}
+
+/// Runs the whole plan serially: [`enumerate`], then [`evaluate`] each
+/// candidate in order. Parallel front ends (the `skip-bench` capacity
+/// experiment, `skip plan --workers N`) instead map `evaluate` over
+/// `enumerate`'s list through the deterministic harness; both paths
+/// produce byte-identical outcome vectors.
+#[must_use]
+pub fn plan(cfg: &PlannerConfig) -> Vec<PlanOutcome> {
+    enumerate(cfg).iter().map(|c| evaluate(cfg, c)).collect()
+}
+
+/// The cost-optimal frontier: feasible outcomes not dominated on the
+/// (replica-seconds, p95 e2e) plane — an outcome is dropped only when
+/// another feasible outcome is at least as cheap *and* at least as fast,
+/// and strictly better on one axis. Returned sorted by ascending cost
+/// (ties by ascending p95, then enumeration order), so the first entry is
+/// [`cheapest`] and the last is the latency-optimal end.
+#[must_use]
+pub fn frontier(outcomes: &[PlanOutcome]) -> Vec<&PlanOutcome> {
+    let dominates = |a: &PlanOutcome, b: &PlanOutcome| {
+        let (c, e) = (a.cost() <= b.cost(), a.report.e2e_p95 <= b.report.e2e_p95);
+        c && e && (a.cost() < b.cost() || a.report.e2e_p95 < b.report.e2e_p95)
+    };
+    let mut front: Vec<&PlanOutcome> = outcomes
+        .iter()
+        .filter(|o| o.feasible)
+        .filter(|o| {
+            !outcomes
+                .iter()
+                .any(|other| other.feasible && dominates(other, o))
+        })
+        .collect();
+    front.sort_by(|a, b| {
+        a.cost()
+            .total_cmp(&b.cost())
+            .then(a.report.e2e_p95.cmp(&b.report.e2e_p95))
+    });
+    front
+}
+
+/// The cheapest feasible outcome — minimum replica-seconds, ties broken
+/// by p95 e2e and then by enumeration order. `None` when no candidate
+/// clears the floor (the envelope needs a bigger `max_replicas`).
+#[must_use]
+pub fn cheapest(outcomes: &[PlanOutcome]) -> Option<&PlanOutcome> {
+    outcomes
+        .iter()
+        .filter(|o| o.feasible)
+        .fold(None, |best, o| match best {
+            Some(b) if (b.cost(), b.report.e2e_p95) <= (o.cost(), o.report.e2e_p95) => Some(b),
+            _ => Some(o),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skip_llm::zoo;
+
+    fn small_planner() -> PlannerConfig {
+        let mut cfg = PlannerConfig::new(TrafficEnvelope {
+            model: zoo::gpt2(),
+            qps: 60.0,
+            peak_qps: None,
+            requests: 24,
+            prompt_len: 128,
+            new_tokens: 4,
+            seed: 7,
+            slo: SloTargets {
+                ttft: Some(SimDuration::from_millis(400)),
+                e2e: Some(SimDuration::from_millis(2000)),
+            },
+        });
+        cfg.max_replicas = 3;
+        cfg
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_ordered_and_valid() {
+        let cfg = small_planner();
+        let cands = enumerate(&cfg);
+        assert_eq!(cands, enumerate(&cfg), "same config, same candidate list");
+        // 3 platforms × 3 counts × 2 variants homogeneous, plus
+        // 9 pairings × 3 splits (1+1, 1+2, 2+1) × 2 variants disaggregated.
+        assert_eq!(cands.len(), 3 * 3 * 2 + 9 * 3 * 2);
+        for c in &cands {
+            assert!(c.spec.total_replicas() <= cfg.max_replicas, "{}", c.label());
+            assert_eq!(fleet_config(&cfg, c).validate(), Ok(()), "{}", c.label());
+        }
+        // Labels are unique — every candidate is a distinct fleet.
+        let mut labels: Vec<String> = cands.iter().map(PlanCandidate::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), cands.len());
+    }
+
+    #[test]
+    fn peaked_envelopes_turn_diurnal() {
+        let mut cfg = small_planner();
+        assert!(matches!(
+            cfg.envelope.arrivals(),
+            ArrivalProcess::Poisson { .. }
+        ));
+        cfg.envelope.peak_qps = Some(cfg.envelope.qps * 4.0);
+        assert!(matches!(
+            cfg.envelope.arrivals(),
+            ArrivalProcess::Diurnal { .. }
+        ));
+        // A "peak" at or below the mean degenerates back to Poisson.
+        cfg.envelope.peak_qps = Some(cfg.envelope.qps);
+        assert!(matches!(
+            cfg.envelope.arrivals(),
+            ArrivalProcess::Poisson { .. }
+        ));
+    }
+
+    #[test]
+    fn attainment_floor_separates_feasible_from_infeasible() {
+        let cfg = small_planner();
+        let starved = PlanCandidate {
+            spec: FleetSpec::homogeneous(Platform::amd_a100(), 1),
+            autoscaled: false,
+        };
+        let mut strict = cfg.clone();
+        strict.envelope.slo = SloTargets {
+            ttft: Some(SimDuration::from_nanos(1)),
+            e2e: None,
+        };
+        assert!(
+            !evaluate(&strict, &starved).feasible,
+            "a 1ns TTFT target is unattainable"
+        );
+        let mut generous = cfg;
+        generous.envelope.slo = SloTargets {
+            ttft: Some(SimDuration::from_secs(3600)),
+            e2e: Some(SimDuration::from_secs(3600)),
+        };
+        let o = evaluate(&generous, &starved);
+        assert!(o.feasible, "an hour-long target is trivially met");
+        assert!(o.cost() > 0.0, "completed runs bill replica-seconds");
+    }
+
+    #[test]
+    fn plan_finds_a_feasible_fleet_and_prices_it() {
+        let cfg = small_planner();
+        let outcomes = plan(&cfg);
+        assert_eq!(outcomes.len(), enumerate(&cfg).len());
+        let best = cheapest(&outcomes).expect("some fleet serves this envelope");
+        assert!(best.feasible);
+        // Minimality: nothing feasible is strictly cheaper.
+        for o in outcomes.iter().filter(|o| o.feasible) {
+            assert!(
+                best.cost() <= o.cost(),
+                "{} undercut {}",
+                o.label,
+                best.label
+            );
+        }
+    }
+
+    #[test]
+    fn frontier_is_sorted_feasible_and_mutually_nondominated() {
+        let cfg = small_planner();
+        let outcomes = plan(&cfg);
+        let front = frontier(&outcomes);
+        assert!(!front.is_empty(), "a feasible plan implies a frontier");
+        assert_eq!(
+            front[0].label,
+            cheapest(&outcomes).expect("feasible").label,
+            "the frontier starts at the cheapest feasible fleet"
+        );
+        for w in front.windows(2) {
+            assert!(w[0].cost() <= w[1].cost(), "frontier sorted by cost");
+            assert!(
+                w[1].report.e2e_p95 <= w[0].report.e2e_p95,
+                "paying more must buy latency on the frontier: {} vs {}",
+                w[0].label,
+                w[1].label
+            );
+        }
+        for a in &front {
+            assert!(a.feasible);
+            for b in &front {
+                let strictly_better = b.cost() < a.cost() && b.report.e2e_p95 < a.report.e2e_p95;
+                assert!(
+                    !strictly_better,
+                    "{} strictly dominates {} on the frontier",
+                    b.label, a.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_sets_have_no_frontier() {
+        let mut cfg = small_planner();
+        cfg.envelope.slo = SloTargets {
+            ttft: Some(SimDuration::from_nanos(1)),
+            e2e: None,
+        };
+        cfg.platforms.truncate(1);
+        cfg.max_replicas = 1;
+        let outcomes = plan(&cfg);
+        assert!(cheapest(&outcomes).is_none());
+        assert!(frontier(&outcomes).is_empty());
+    }
+}

@@ -278,6 +278,51 @@ impl fmt::Display for FleetRouterPolicy {
     }
 }
 
+/// Iteration-forming policy every replica in the fleet runs — the PR 5
+/// batching-policy seam carried over to the fleet floor. Static batching
+/// has no fleet analogue (its flush timers belong to the single-platform
+/// floor), so the fleet menu is continuous vs. chunked prefill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FleetBatchPolicy {
+    /// Prefill-priority continuous batching (the PR 6 behaviour): when
+    /// any admitted request still needs its prompt, the iteration
+    /// prefills those requests whole while decoders idle.
+    #[default]
+    Continuous,
+    /// Sarathi-style chunked prefill: each iteration spends at most
+    /// `chunk_tokens` prompt tokens (split across requests) and
+    /// co-schedules a decode step for every prefilled request, so long
+    /// prompts stop stalling decode. On a disaggregated fleet the prefill
+    /// pool chunks prompts and hands off exactly as the continuous floor
+    /// does once the final chunk lands.
+    ChunkedPrefill {
+        /// Prefill-token budget per iteration.
+        chunk_tokens: u32,
+    },
+}
+
+impl FleetBatchPolicy {
+    /// Short label used in experiment tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FleetBatchPolicy::Continuous => "continuous",
+            FleetBatchPolicy::ChunkedPrefill { .. } => "chunked",
+        }
+    }
+}
+
+impl fmt::Display for FleetBatchPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetBatchPolicy::Continuous => f.write_str("continuous"),
+            FleetBatchPolicy::ChunkedPrefill { chunk_tokens } => {
+                write!(f, "chunked:{chunk_tokens}")
+            }
+        }
+    }
+}
+
 /// One fleet simulation's configuration.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
@@ -301,6 +346,8 @@ pub struct FleetConfig {
     pub slo: SloTargets,
     /// How arrivals and handoffs are dispatched.
     pub router: FleetRouterPolicy,
+    /// How each replica forms iterations.
+    pub policy: FleetBatchPolicy,
     /// Arrival-driven scaling; `None` keeps the fleet fixed.
     pub autoscale: Option<AutoscaleConfig>,
 }
@@ -326,6 +373,8 @@ pub enum FleetError {
     ZeroRequests,
     /// `max_batch` was zero.
     ZeroMaxBatch,
+    /// Chunked prefill with a zero token budget.
+    ZeroChunkTokens,
     /// The arrival process has a non-positive or non-finite rate.
     BadArrivals(
         /// What is wrong with it.
@@ -354,6 +403,9 @@ impl fmt::Display for FleetError {
             }
             FleetError::ZeroRequests => write!(f, "simulate at least one request"),
             FleetError::ZeroMaxBatch => write!(f, "max_batch must be positive"),
+            FleetError::ZeroChunkTokens => {
+                write!(f, "chunked prefill needs a positive chunk_tokens budget")
+            }
             FleetError::BadArrivals(msg) => write!(f, "bad arrival process: {msg}"),
             FleetError::BadAutoscale(msg) => write!(f, "bad autoscale config: {msg}"),
         }
@@ -394,6 +446,9 @@ impl FleetConfig {
         if self.max_batch == 0 {
             return Err(FleetError::ZeroMaxBatch);
         }
+        if self.policy == (FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 0 }) {
+            return Err(FleetError::ZeroChunkTokens);
+        }
         self.arrivals.validate().map_err(FleetError::BadArrivals)?;
         if let Some(a) = &self.autoscale {
             a.validate().map_err(FleetError::BadAutoscale)?;
@@ -419,6 +474,7 @@ mod tests {
             seed: 1,
             slo: SloTargets::default(),
             router: FleetRouterPolicy::CostModelJsq,
+            policy: FleetBatchPolicy::default(),
             autoscale: None,
         }
     }
@@ -491,6 +547,10 @@ mod tests {
         let mut c = valid();
         c.max_batch = 0;
         assert_eq!(c.validate(), Err(FleetError::ZeroMaxBatch));
+
+        let mut c = valid();
+        c.policy = FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 0 };
+        assert_eq!(c.validate(), Err(FleetError::ZeroChunkTokens));
 
         let mut c = valid();
         c.arrivals = ArrivalProcess::Poisson { rate_per_s: 0.0 };

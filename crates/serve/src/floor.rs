@@ -99,6 +99,12 @@ struct Floor<'a> {
     flush: Vec<FlushTimer>,
     /// The observability recording: lifecycle records + counter samples.
     obs: ServingTrace,
+    /// Reused per-event scratch: which queues' oldest waiter timed out.
+    /// Refilled by [`refresh_expired`](Self::refresh_expired); never
+    /// reallocated after construction.
+    expired_buf: Vec<bool>,
+    /// Reused per-arrival scratch: the router's load snapshot.
+    load_buf: Vec<ReplicaLoad>,
 }
 
 impl Floor<'_> {
@@ -107,20 +113,23 @@ impl Floor<'_> {
         match event {
             Event::Arrival(req) => {
                 self.obs.record(req.id, now, LifecycleKind::Arrived);
-                let load = self.load_snapshot();
-                let q = self.router.route(&req, &load).min(self.queues.len() - 1);
+                self.snapshot_load();
+                let q = self
+                    .router
+                    .route(&req, &self.load_buf)
+                    .min(self.queues.len() - 1);
                 self.queues[q].push_back(req);
-                let expired = self.expired_queues(now);
-                self.kick_idle_replicas(ctx, &expired);
+                self.refresh_expired(now);
+                self.kick_idle_replicas(ctx);
                 self.arm_flush_timers(ctx);
             }
             Event::FlushTimeout { queue, generation } => {
                 if generation == self.flush[queue].generation {
                     self.flush[queue].deadline = None;
                     if !self.queues[queue].is_empty() {
-                        let mut expired = vec![false; self.queues.len()];
-                        expired[queue] = true;
-                        self.kick_idle_replicas(ctx, &expired);
+                        self.expired_buf.iter_mut().for_each(|e| *e = false);
+                        self.expired_buf[queue] = true;
+                        self.kick_idle_replicas(ctx);
                     }
                     self.arm_flush_timers(ctx);
                 }
@@ -128,8 +137,8 @@ impl Floor<'_> {
             Event::IterationDone(replica) => {
                 self.states[replica].busy = false;
                 self.with_lane(now, replica, |policy, lane| policy.retire(lane));
-                let expired = self.expired_queues(now);
-                self.kick_idle_replicas(ctx, &expired);
+                self.refresh_expired(now);
+                self.kick_idle_replicas(ctx);
                 self.arm_flush_timers(ctx);
             }
         }
@@ -161,17 +170,17 @@ impl Floor<'_> {
     }
 
     /// Starts work on every idle replica that has something to do.
-    /// `expired` marks queues whose oldest waiter timed out (forcing a
-    /// partial static batch); it is computed once per pass so a replica
-    /// consuming a queue's head cannot change the flush decision for the
-    /// replicas after it.
-    fn kick_idle_replicas(&mut self, ctx: &mut SimContext<'_, Event>, expired: &[bool]) {
+    /// `expired_buf` marks queues whose oldest waiter timed out (forcing a
+    /// partial static batch); the caller fills it once per pass so a
+    /// replica consuming a queue's head cannot change the flush decision
+    /// for the replicas after it.
+    fn kick_idle_replicas(&mut self, ctx: &mut SimContext<'_, Event>) {
         let now = ctx.now();
         for replica in 0..self.states.len() {
             if self.states[replica].busy {
                 continue;
             }
-            let flush = expired[self.queue_of[replica]];
+            let flush = self.expired_buf[self.queue_of[replica]];
             let dur = self.with_lane(now, replica, |policy, lane| {
                 policy.next_iteration(lane, flush)
             });
@@ -182,19 +191,18 @@ impl Floor<'_> {
         }
     }
 
-    /// Which queues' oldest pending arrival has waited the policy's full
-    /// flush window.
-    fn expired_queues(&self, now: SimTime) -> Vec<bool> {
+    /// Refills `expired_buf` with which queues' oldest pending arrival has
+    /// waited the policy's full flush window.
+    fn refresh_expired(&mut self, now: SimTime) {
         let Some(max_wait) = self.policy.flush_after() else {
-            return vec![false; self.queues.len()];
+            self.expired_buf.iter_mut().for_each(|e| *e = false);
+            return;
         };
-        self.queues
-            .iter()
-            .map(|q| {
-                q.front()
-                    .is_some_and(|r| now.saturating_duration_since(r.arrival) >= max_wait)
-            })
-            .collect()
+        for (e, q) in self.expired_buf.iter_mut().zip(&self.queues) {
+            *e = q
+                .front()
+                .is_some_and(|r| now.saturating_duration_since(r.arrival) >= max_wait);
+        }
     }
 
     /// Arms each queue's flush timer for its **oldest** pending arrival.
@@ -234,15 +242,22 @@ impl Floor<'_> {
         }
     }
 
-    /// Per-replica load snapshots for the router.
-    fn load_snapshot(&self) -> Vec<ReplicaLoad> {
-        (0..self.states.len())
-            .map(|r| ReplicaLoad {
-                queued: self.queues[self.queue_of[r]].len() as u32,
-                running: self.states[r].running() as u32,
-                parked: self.mem.as_ref().map_or(0, |m| m.parked_len(r)) as u32,
-            })
-            .collect()
+    /// Refills `load_buf` with per-replica load snapshots for the router.
+    fn snapshot_load(&mut self) {
+        let Floor {
+            queues,
+            queue_of,
+            states,
+            mem,
+            load_buf,
+            ..
+        } = self;
+        load_buf.clear();
+        load_buf.extend((0..states.len()).map(|r| ReplicaLoad {
+            queued: queues[queue_of[r]].len() as u32,
+            running: states[r].running() as u32,
+            parked: mem.as_ref().map_or(0, |m| m.parked_len(r)) as u32,
+        }));
     }
 
     /// Samples every counter track at an iteration boundary. Re-sampling
@@ -331,6 +346,10 @@ pub fn simulate_traced(cfg: &ServingConfig, replicas: u32) -> (ServingReport, Se
 
     let router = cfg.router.build();
     let nq = router.queue_count(n).clamp(1, n);
+    let mut obs = ServingTrace::new(cfg.model.name.clone(), cfg.platform.name.clone(), replicas);
+    // Every request records at least arrive/admit/first-token/complete;
+    // memory pressure adds preempt/resume pairs.
+    obs.reserve(cfg.requests, if cfg.kv.is_some() { 6 } else { 4 });
     let mut floor = Floor {
         cfg,
         lat: &lat,
@@ -340,10 +359,12 @@ pub fn simulate_traced(cfg: &ServingConfig, replicas: u32) -> (ServingReport, Se
         queue_of: (0..n).map(|r| r.min(nq - 1)).collect(),
         states: (0..n).map(|_| ReplicaState::default()).collect(),
         mem: cfg.kv.map(|kv| MemoryLayer::new(cfg, kv, n)),
-        finished: Vec::new(),
+        finished: Vec::with_capacity(cfg.requests as usize),
         last_completion: SimTime::ZERO,
         flush: (0..nq).map(|_| FlushTimer::default()).collect(),
-        obs: ServingTrace::new(cfg.model.name.clone(), cfg.platform.name.clone(), replicas),
+        obs,
+        expired_buf: vec![false; nq],
+        load_buf: Vec::with_capacity(n),
     };
 
     sim.run(|ctx, event| floor.handle(ctx, event));

@@ -94,9 +94,10 @@ mod router;
 
 pub use config::{ConfigError, KvCacheConfig, Policy, RouterPolicy, ServingConfig};
 pub use fleet::{
-    simulate_fleet, simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetConfig,
-    FleetError, FleetReport, FleetRouterPolicy, FleetSample, FleetSpec, FleetTrace, PoolRole,
-    ReplicaGroup, ScaleAction, ScalingEvent,
+    simulate_fleet, simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetBatchPolicy,
+    FleetConfig, FleetError, FleetReport, FleetRouterPolicy, FleetSample, FleetSpec, FleetTrace,
+    PlanCandidate, PlanOutcome, PlannerConfig, PoolRole, ReplicaGroup, ScaleAction, ScalingEvent,
+    TrafficEnvelope,
 };
 pub use floor::{simulate, simulate_replicas, simulate_traced, ServingReport};
 pub use latency::LatencyModel;

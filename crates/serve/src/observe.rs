@@ -19,7 +19,7 @@
 //! `skip_trace::chrome::to_chrome_trace`.
 
 use serde::{Deserialize, Serialize};
-use skip_des::{attainment, SimDuration, SimTime};
+use skip_des::{SimDuration, SimTime};
 use skip_trace::{
     CorrelationId, CounterEvent, CpuOpEvent, KernelEvent, OpId, RuntimeLaunchEvent, StreamId,
     ThreadId, Trace, TraceMeta,
@@ -84,10 +84,16 @@ impl SloReport {
         tokens_per_request: u32,
         makespan: SimDuration,
     ) -> Self {
-        let ttfts: Vec<f64> = latencies.iter().map(|(t, _)| t.as_nanos_f64()).collect();
-        let e2es: Vec<f64> = latencies.iter().map(|(_, e)| e.as_nanos_f64()).collect();
-        let frac = |samples: &[f64], target: Option<SimDuration>| {
-            target.map_or(1.0, |t| attainment(samples, t.as_nanos_f64()))
+        // Attainment counts inline over the latency pairs (same inclusive
+        // `<=` and empty-set semantics as `skip_des::attainment`) instead
+        // of materializing per-axis sample vectors.
+        let frac = |target: Option<SimDuration>, pick: fn(&(SimDuration, SimDuration)) -> f64| {
+            let Some(t) = target else { return 1.0 };
+            if latencies.is_empty() {
+                return 1.0;
+            }
+            let t = t.as_nanos_f64();
+            latencies.iter().filter(|l| pick(l) <= t).count() as f64 / latencies.len() as f64
         };
         let slo_completions = latencies
             .iter()
@@ -102,8 +108,8 @@ impl SloReport {
         SloReport {
             targets,
             completed: latencies.len() as u32,
-            ttft_attainment: frac(&ttfts, targets.ttft),
-            e2e_attainment: frac(&e2es, targets.e2e),
+            ttft_attainment: frac(targets.ttft, |&(t, _)| t.as_nanos_f64()),
+            e2e_attainment: frac(targets.e2e, |&(_, e)| e.as_nanos_f64()),
             slo_completions,
             goodput_req_s,
             goodput_tok_s: goodput_req_s * f64::from(tokens_per_request),
@@ -348,6 +354,27 @@ impl ServingTrace {
     #[must_use]
     pub fn completed_total(&self) -> u32 {
         self.completed
+    }
+
+    /// Preallocates lifecycle and sample storage for `requests` requests
+    /// of ~`events_per_request` lifecycle events each, so a sized run
+    /// records without reallocating mid-simulation. Purely a capacity
+    /// hint: recorded content (and its serialized form) is unchanged,
+    /// because every id below `requests` arrives eventually and
+    /// [`record`](Self::record) would have created the same entries.
+    pub fn reserve(&mut self, requests: u32, events_per_request: usize) {
+        let requests = requests as usize;
+        self.lifecycles
+            .reserve(requests.saturating_sub(self.lifecycles.len()));
+        while self.lifecycles.len() < requests {
+            self.lifecycles.push(RequestLifecycle {
+                id: self.lifecycles.len() as u64,
+                events: Vec::with_capacity(events_per_request),
+            });
+        }
+        // Sample count tracks handled events; start near the floor of two
+        // boundaries per request and let growth amortize the rest.
+        self.samples.reserve(requests.saturating_mul(2));
     }
 
     /// Appends a lifecycle transition for request `id`.

@@ -1,0 +1,145 @@
+//! Allocation budget of the serving and fleet floors' hot paths.
+//!
+//! The population-scale allocation audit moved every per-event `Vec` off
+//! the floors' hot paths: router load snapshots and flush-expiry masks
+//! fill reused buffers, lifecycle records and counter samples are
+//! preallocated from the request count, iteration scratch (chunk plans,
+//! retire ping-pong buffers, handoff staging) is reused across events.
+//! What remains per *request* is amortized growth of a few long-lived
+//! vectors — so the marginal allocation cost of a request must be a
+//! small constant, not a multiple of its event count.
+//!
+//! The budget is measured differentially: the same configuration at two
+//! request counts, bounding allocations per *additional* request. The
+//! subtraction cancels the setup constant (latency-model cold keys run
+//! engine simulations that allocate freely, but once per shape signature,
+//! not per request).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use skip_hw::Platform;
+use skip_llm::zoo;
+use skip_serve::{
+    simulate_fleet_traced, simulate_traced, ArrivalProcess, FleetBatchPolicy, FleetConfig,
+    FleetRouterPolicy, FleetSpec, Policy, RouterPolicy, ServingConfig, SloTargets,
+};
+
+/// System allocator wrapper counting every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn count(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn serve_cfg(requests: u32) -> ServingConfig {
+    ServingConfig {
+        platform: Platform::intel_h100(),
+        model: zoo::gpt2(),
+        policy: Policy::Continuous { max_batch: 8 },
+        requests,
+        arrival_rate_per_s: 400.0,
+        prompt_len: 128,
+        new_tokens: 4,
+        seed: 17,
+        kv: None,
+        slo: SloTargets::default(),
+        router: RouterPolicy::JoinShortestQueue,
+    }
+}
+
+fn fleet_cfg(requests: u32) -> FleetConfig {
+    FleetConfig {
+        spec: FleetSpec::disaggregated(Platform::gh200(), 1, Platform::intel_h100(), 2),
+        model: zoo::gpt2(),
+        max_batch: 8,
+        requests,
+        arrivals: ArrivalProcess::Poisson { rate_per_s: 400.0 },
+        prompt_len: 128,
+        new_tokens: 4,
+        seed: 17,
+        slo: SloTargets::default(),
+        router: FleetRouterPolicy::CostModelJsq,
+        policy: FleetBatchPolicy::Continuous,
+        autoscale: None,
+    }
+}
+
+/// Marginal allocations per additional request the serving floor may pay.
+/// Each request records 4 lifecycle events and drives ~1.5 iterations; the
+/// pre-audit floor paid 2 fresh `Vec`s per *event* (router snapshot +
+/// flush mask) before any recording, so a budget of 8 both proves the
+/// audit held and leaves room for amortized growth of the long vectors.
+const SERVE_BUDGET_PER_REQUEST: u64 = 8;
+
+/// The fleet floor adds handoff staging and per-pool routing to the same
+/// per-request story (7 lifecycle events on a disaggregated fleet).
+const FLEET_BUDGET_PER_REQUEST: u64 = 8;
+
+#[test]
+fn serving_floor_allocations_per_request_are_bounded() {
+    let (small, large) = (2_000u32, 6_000u32);
+    // Warm-up run keeps one-time process setup out of both measurements.
+    let _ = simulate_traced(&serve_cfg(64), 4);
+    let base = count(|| {
+        let (r, _) = simulate_traced(&serve_cfg(small), 4);
+        assert_eq!(r.completed, small);
+    });
+    let full = count(|| {
+        let (r, _) = simulate_traced(&serve_cfg(large), 4);
+        assert_eq!(r.completed, large);
+    });
+    let extra = u64::from(large - small);
+    let marginal = full.saturating_sub(base);
+    assert!(
+        marginal < extra * SERVE_BUDGET_PER_REQUEST,
+        "serving floor allocated {marginal} times for {extra} additional requests \
+         ({:.2}/request; budget {SERVE_BUDGET_PER_REQUEST})",
+        marginal as f64 / extra as f64
+    );
+}
+
+#[test]
+fn fleet_floor_allocations_per_request_are_bounded() {
+    let (small, large) = (2_000u32, 6_000u32);
+    let _ = simulate_fleet_traced(&fleet_cfg(64));
+    let base = count(|| {
+        let (r, _) = simulate_fleet_traced(&fleet_cfg(small));
+        assert_eq!(r.completed, small);
+    });
+    let full = count(|| {
+        let (r, _) = simulate_fleet_traced(&fleet_cfg(large));
+        assert_eq!(r.completed, large);
+    });
+    let extra = u64::from(large - small);
+    let marginal = full.saturating_sub(base);
+    assert!(
+        marginal < extra * FLEET_BUDGET_PER_REQUEST,
+        "fleet floor allocated {marginal} times for {extra} additional requests \
+         ({:.2}/request; budget {FLEET_BUDGET_PER_REQUEST})",
+        marginal as f64 / extra as f64
+    );
+}

@@ -13,8 +13,8 @@ use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
 use skip_serve::{
-    simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetConfig, FleetRouterPolicy,
-    FleetSpec, PoolRole, ReplicaGroup, SloTargets,
+    simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetBatchPolicy, FleetConfig,
+    FleetRouterPolicy, FleetSpec, PoolRole, ReplicaGroup, SloTargets,
 };
 
 fn arb_platform() -> impl Strategy<Value = Platform> {
@@ -61,6 +61,16 @@ fn arb_router() -> impl Strategy<Value = FleetRouterPolicy> {
         FleetRouterPolicy::JoinShortestQueue,
         FleetRouterPolicy::CostModelJsq,
     ])
+}
+
+fn arb_policy() -> impl Strategy<Value = FleetBatchPolicy> {
+    (0usize..2, 16u32..512).prop_map(|(kind, chunk_tokens)| {
+        if kind == 0 {
+            FleetBatchPolicy::Continuous
+        } else {
+            FleetBatchPolicy::ChunkedPrefill { chunk_tokens }
+        }
+    })
 }
 
 fn arb_arrivals() -> impl Strategy<Value = ArrivalProcess> {
@@ -123,6 +133,7 @@ proptest! {
     fn any_fleet_conserves_requests_and_is_deterministic(
         spec in arb_spec(),
         router in arb_router(),
+        policy in arb_policy(),
         arrivals in arb_arrivals(),
         autoscale in arb_autoscale(),
         requests in 1u32..40,
@@ -142,6 +153,7 @@ proptest! {
             seed,
             slo: SloTargets::default(),
             router,
+            policy,
             autoscale,
         };
         prop_assert_eq!(cfg.validate(), Ok(()));

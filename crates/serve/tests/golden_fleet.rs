@@ -18,8 +18,8 @@ use skip_des::SimDuration;
 use skip_hw::Platform;
 use skip_llm::zoo;
 use skip_serve::{
-    simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetConfig, FleetRouterPolicy,
-    FleetSpec, SloTargets,
+    simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetBatchPolicy, FleetConfig,
+    FleetRouterPolicy, FleetSpec, SloTargets,
 };
 
 fn base(spec: FleetSpec) -> FleetConfig {
@@ -37,13 +37,16 @@ fn base(spec: FleetSpec) -> FleetConfig {
             e2e: Some(SimDuration::from_millis(1200)),
         },
         router: FleetRouterPolicy::CostModelJsq,
+        policy: FleetBatchPolicy::Continuous,
         autoscale: None,
     }
 }
 
 /// The fleet fixture grid: the 2-prefill/2-decode disaggregated floor
-/// (the new subsystem's canonical shape), and a bursty autoscaled unified
-/// fleet (pinning scaling-event order and launch pricing).
+/// (the new subsystem's canonical shape), a bursty autoscaled unified
+/// fleet (pinning scaling-event order and launch pricing), and the same
+/// disaggregated shape under chunked prefill (pinning the chunk plan's
+/// handoff-aware retire order).
 fn grid() -> Vec<(String, FleetConfig)> {
     let disagg = base(FleetSpec::disaggregated(
         Platform::gh200(),
@@ -59,9 +62,12 @@ fn grid() -> Vec<(String, FleetConfig)> {
         lull_len: SimDuration::from_secs(2),
     };
     scaled.autoscale = Some(AutoscaleConfig::default());
+    let mut chunked = disagg.clone();
+    chunked.policy = FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 64 };
     vec![
         ("fleet_disagg_2p2d".to_owned(), disagg),
         ("fleet_autoscale_bursty".to_owned(), scaled),
+        ("fleet_chunked_disagg".to_owned(), chunked),
     ]
 }
 

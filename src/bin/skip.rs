@@ -18,10 +18,11 @@ use skip_fusion::{recommend, FusionAnalysis};
 use skip_hw::Platform;
 use skip_llm::{zoo, ModelConfig, Phase, Workload};
 use skip_runtime::{CompileMode, Engine, ExecMode};
+use skip_serve::fleet::plan;
 use skip_serve::{
-    simulate_fleet_traced, simulate_traced, ArrivalProcess, AutoscaleConfig, FleetConfig,
-    FleetRouterPolicy, FleetSpec, KvCacheConfig, OffloadPolicy, Policy, RouterPolicy,
-    ServingConfig, SloTargets,
+    simulate_fleet_traced, simulate_traced, ArrivalProcess, AutoscaleConfig, FleetBatchPolicy,
+    FleetConfig, FleetRouterPolicy, FleetSpec, KvCacheConfig, OffloadPolicy, PlannerConfig, Policy,
+    RouterPolicy, ServingConfig, SloTargets, TrafficEnvelope,
 };
 use skip_trace::chrome;
 
@@ -39,9 +40,13 @@ USAGE:
                   [--seq N] [--tokens N] [--kv-blocks N] [--offload recompute|swap|auto]
                   [--trace-out FILE] [--slo-ttft-ms T] [--slo-e2e-ms T]
     skip serve    --model <id> --fleet <spec> [--disagg] [--autoscale] [--fleet-router rr|jsq|cost]
+                  [--policy continuous|chunked] [--chunk-tokens N]
                   [--arrivals poisson|diurnal|bursty] [--peak-qps R] [--period-ms T]
                   [--burst-ms T] [--lull-ms T] [--qps R] [--requests N] [--max-batch N]
                   [--seq N] [--tokens N] [--trace-out FILE] [--slo-ttft-ms T] [--slo-e2e-ms T]
+    skip plan     --model <id> [--qps R] [--peak-qps R] [--requests N] [--max-batch N]
+                  [--seq N] [--tokens N] [--slo-ttft-ms T] [--slo-e2e-ms T]
+                  [--max-replicas N] [--workers N]
 
 FLEET SPECS: comma-separated groups '[prefill=|decode=]<platform>:<count>', e.g.
     --fleet intel_h100:4                              homogeneous unified fleet
@@ -282,6 +287,18 @@ fn cmd_serve_fleet(
     }
     let router = FleetRouterPolicy::parse(flags.get("fleet-router").map_or("cost", String::as_str))
         .map_err(|e| format!("--fleet-router: {e}"))?;
+    let policy = match flags.get("policy").map_or("continuous", String::as_str) {
+        "continuous" => FleetBatchPolicy::Continuous,
+        "chunked" | "chunked-prefill" => FleetBatchPolicy::ChunkedPrefill {
+            chunk_tokens: get_u32(flags, "chunk-tokens", 128)?,
+        },
+        other => {
+            return Err(format!(
+                "--policy: unknown fleet policy '{other}' (expected continuous or chunked)"
+            )
+            .into())
+        }
+    };
     let qps: f64 = flags
         .get("qps")
         .map_or(Ok(20.0), |v| v.parse())
@@ -339,6 +356,7 @@ fn cmd_serve_fleet(
             e2e: slo_ms("slo-e2e-ms")?,
         },
         router,
+        policy,
         autoscale: flags
             .contains_key("autoscale")
             .then(AutoscaleConfig::default),
@@ -348,9 +366,10 @@ fn cmd_serve_fleet(
 
     let (report, ftrace) = simulate_fleet_traced(&cfg);
     println!(
-        "== fleet serving {} on {} | router {} | {} arrivals at {qps} req/s ==",
+        "== fleet serving {} on {} | {} | router {} | {} arrivals at {qps} req/s ==",
         model.name,
         cfg.spec,
+        cfg.policy,
         cfg.router,
         flags.get("arrivals").map_or("poisson", String::as_str)
     );
@@ -398,6 +417,108 @@ fn cmd_serve_fleet(
             ftrace.samples.len(),
             ftrace.scaling.len()
         );
+    }
+    Ok(())
+}
+
+/// `skip plan`: the capacity-frontier planner — enumerate fleet
+/// compositions against a traffic envelope, fan the evaluations out
+/// through the deterministic harness, and print the cost-optimal
+/// frontier by replica-seconds billing.
+fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let model = find_model(flags.get("model").ok_or("--model is required")?)?;
+    let qps: f64 = flags
+        .get("qps")
+        .map_or(Ok(50.0), |v| v.parse())
+        .map_err(|_| "--qps: bad number")?;
+    let peak_qps: Option<f64> = flags
+        .get("peak-qps")
+        .map(|v| v.parse())
+        .transpose()
+        .map_err(|_| "--peak-qps: bad number")?;
+    let slo_ms = |key: &str| -> Result<Option<SimDuration>, String> {
+        flags
+            .get(key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map(|ms| SimDuration::from_nanos_f64(ms * 1e6))
+                    .map_err(|_| format!("--{key}: bad number '{v}'"))
+            })
+            .transpose()
+    };
+    let slo = SloTargets {
+        ttft: slo_ms("slo-ttft-ms")?,
+        e2e: slo_ms("slo-e2e-ms")?,
+    };
+    let mut cfg = PlannerConfig::new(TrafficEnvelope {
+        model: model.clone(),
+        qps,
+        peak_qps,
+        requests: get_u32(flags, "requests", 64)?,
+        prompt_len: get_u32(flags, "seq", 256)?,
+        new_tokens: get_u32(flags, "tokens", 8)?,
+        seed: 2026,
+        slo,
+    });
+    cfg.max_batch = get_u32(flags, "max-batch", 8)?;
+    cfg.max_replicas = get_u32(flags, "max-replicas", 4)?;
+    if cfg.max_replicas == 0 {
+        return Err("--max-replicas must be at least 1".into());
+    }
+    let workers = match get_u32(flags, "workers", 0)? as usize {
+        0 => skip_bench::harness::threads(),
+        n => n,
+    };
+
+    let candidates = plan::enumerate(&cfg);
+    let total = candidates.len();
+    let outcomes = skip_bench::harness::map_with(workers, candidates, |c| plan::evaluate(&cfg, &c));
+    let feasible = outcomes.iter().filter(|o| o.feasible).count();
+
+    let arrivals = match peak_qps {
+        Some(p) if p > qps => format!("diurnal {qps}->{p} req/s"),
+        _ => format!("poisson {qps} req/s"),
+    };
+    println!(
+        "== capacity plan for {} | {arrivals} | {} requests | up to {} replicas ==",
+        model.name, cfg.envelope.requests, cfg.max_replicas
+    );
+    println!(
+        "{total} candidates evaluated on {} worker(s); {feasible} feasible at >={:.0}% attainment",
+        skip_bench::harness::effective_workers(workers),
+        cfg.attainment_floor * 100.0
+    );
+    if !slo.is_set() {
+        println!("note: no --slo-ttft-ms/--slo-e2e-ms set, so every completed fleet is feasible");
+    }
+    println!("\ncost-optimal frontier (replica-seconds vs e2e p95):");
+    println!(
+        "{:<40} {:>10} {:>11} {:>12} {:>6} {:>5}",
+        "fleet", "replica-s", "e2e p95 ms", "ttft p95 ms", "slo %", "peak"
+    );
+    for o in plan::frontier(&outcomes) {
+        println!(
+            "{:<40} {:>10.2} {:>11.0} {:>12.0} {:>6.0} {:>5}",
+            o.label,
+            o.cost(),
+            o.report.e2e_p95.as_millis_f64(),
+            o.report.ttft_p95.as_millis_f64(),
+            100.0 * f64::from(o.report.slo.slo_completions)
+                / f64::from(o.report.slo.completed.max(1)),
+            o.report.peak_replicas,
+        );
+    }
+    match plan::cheapest(&outcomes) {
+        Some(best) => println!(
+            "\ncost-optimal fleet: {} at {:.2} replica-seconds (e2e p95 {:.0} ms)",
+            best.label,
+            best.cost(),
+            best.report.e2e_p95.as_millis_f64()
+        ),
+        None => println!(
+            "\nno feasible fleet within {} replicas — raise --max-replicas or relax the SLO",
+            cfg.max_replicas
+        ),
     }
     Ok(())
 }
@@ -584,6 +705,7 @@ fn run() -> Result<(), Box<dyn Error>> {
         }
         "profile" => cmd_profile(&parse_flags(&args[1..])?),
         "serve" => cmd_serve(&parse_flags(&args[1..])?),
+        "plan" => cmd_plan(&parse_flags(&args[1..])?),
         "sweep" => cmd_sweep(&parse_flags(&args[1..])?),
         "fuse" => cmd_fuse(&parse_flags(&args[1..])?),
         "generate" => cmd_generate(&parse_flags(&args[1..])?),

@@ -1,11 +1,11 @@
 //! The acceptance gate for the fan-out harness: every experiment's
 //! rendered output must be byte-identical at any `--threads` value.
 //!
-//! One `#[test]` drives all three experiments (fig6, serving,
-//! kv_capacity) so the process-wide [`harness::set_threads`] override is
+//! One `#[test]` drives all four experiments (fig6, serving, kv_capacity,
+//! capacity) so the process-wide [`harness::set_threads`] override is
 //! never mutated concurrently by the test runner.
 
-use skip_bench::experiments::{fig6, kv_capacity, serving};
+use skip_bench::experiments::{capacity, fig6, kv_capacity, serving};
 use skip_bench::harness;
 
 #[test]
@@ -14,6 +14,7 @@ fn parallel_renders_are_byte_identical_to_serial() {
     let fig6_serial = fig6::render(&fig6::run());
     let serving_serial = serving::render(&serving::run());
     let kv_serial = kv_capacity::render(&kv_capacity::run());
+    let capacity_serial = capacity::render(&capacity::run());
 
     for workers in [2, 4] {
         harness::set_threads(workers);
@@ -27,6 +28,11 @@ fn parallel_renders_are_byte_identical_to_serial() {
             kv_capacity::render(&kv_capacity::run()),
             kv_serial,
             "kv_capacity @ {workers}"
+        );
+        assert_eq!(
+            capacity::render(&capacity::run()),
+            capacity_serial,
+            "capacity @ {workers}"
         );
     }
     harness::set_threads(0);
