@@ -42,6 +42,13 @@ plan_out=$(cargo run --release -p skip-suite --bin skip -- plan --model gpt2 \
   --slo-ttft-ms 400 --slo-e2e-ms 2000)
 grep -q "cost-optimal fleet:" <<<"$plan_out"
 
+echo "== skip plan CLI (pruned generational sweep over an 8-replica space) =="
+plan8_out=$(cargo run --release -p skip-suite --bin skip -- plan --model llama-2-7b \
+  --qps 50 --requests 64 --seq 512 --tokens 16 --max-replicas 8 \
+  --slo-ttft-ms 600 --slo-e2e-ms 2500)
+grep -q "cost-optimal fleet:" <<<"$plan8_out"
+grep -q "pruned sweep:" <<<"$plan8_out"
+
 echo "== parallel determinism (byte-identical renders at any --threads) =="
 cargo test --release --test parallel_determinism -q
 

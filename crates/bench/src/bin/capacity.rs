@@ -1,9 +1,22 @@
 //! Regenerates the capacity-frontier sweep: the planner's cost-optimal
 //! fleet for the reference traffic envelope. `--threads N` pins the
 //! fan-out worker count; the rendered output is byte-identical at any.
+//! `--max-replicas N` opens up the candidate space (default 4; the
+//! EXPERIMENTS.md 12-replica frontier is `--max-replicas 12`).
 use skip_bench::experiments::capacity;
 
 fn main() {
     skip_bench::harness::init_from_args();
-    println!("{}", capacity::render(&capacity::run()));
+    let mut max_replicas = 4u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-replicas" {
+            max_replicas = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--max-replicas needs a number");
+        }
+    }
+    let sweep = capacity::run_at(max_replicas, skip_bench::harness::threads());
+    println!("{}", capacity::render(&sweep));
 }

@@ -35,8 +35,13 @@
 //! * `serving_100k` / `fleet_100k` — one hundred thousand requests through
 //!   the four-replica serving floor and the disaggregated fleet floor, one
 //!   pass each: the population-scale path the allocation audit exists for.
-//!   `--budget-ms N` puts an absolute wall-clock cap on these two entries
-//!   (the CI smoke), independent of the relative baseline gates.
+//! * `plan_sweep` — the pruned generational capacity sweep over the full
+//!   12-replica candidate space (1260 fleet compositions). The entry also
+//!   records how many candidates were fully simulated vs resolved by the
+//!   analytic bounds and early aborts — the pruning win this PR exists
+//!   for. `--budget-ms N` puts an absolute wall-clock cap on this entry
+//!   and the two `*_100k` entries (the CI smoke), independent of the
+//!   relative baseline gates.
 //!
 //! Flags: `--threads N` (parallel worker count; default 4), `--out PATH`
 //! (default `BENCH_SUITE.json`), `--baseline PATH` (print per-entry deltas
@@ -48,15 +53,17 @@
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
-use skip_bench::experiments::{fig10, fleet_disagg, serving, serving_policies};
+use skip_bench::experiments::{capacity, fig10, fleet_disagg, serving, serving_policies};
 use skip_bench::harness;
 use skip_core::ProfileReport;
 use skip_hw::Platform;
 use skip_llm::{zoo, Phase, Workload};
 use skip_runtime::{Engine, ExecMode};
+use skip_serve::fleet::plan;
 use skip_serve::{
     simulate_fleet, simulate_replicas, ArrivalProcess, FleetBatchPolicy, FleetConfig,
     FleetRouterPolicy, FleetSpec, LatencyModel, Policy, RouterPolicy, ServingConfig, SloTargets,
+    SweepStats,
 };
 
 /// One timed workload.
@@ -74,6 +81,13 @@ struct BenchEntry {
     events_per_s: Option<f64>,
     /// Process peak RSS after the workload, KiB (`/proc/self/status`).
     peak_rss_kb: Option<u64>,
+    /// Planner candidates fully simulated (the `plan_sweep` entry only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    candidates_simulated: Option<u32>,
+    /// Planner candidates resolved without a full simulation — analytic
+    /// pruning plus early aborts (the `plan_sweep` entry only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    candidates_pruned: Option<u32>,
 }
 
 /// The whole suite, as written to `BENCH_SUITE.json`.
@@ -107,6 +121,8 @@ fn timed(name: &str, threads: usize, work: impl FnOnce() -> Option<u64>) -> Benc
         threads,
         events_per_s: events.map(|e| e as f64 / (wall_ms / 1e3)),
         peak_rss_kb: peak_rss_kb(),
+        candidates_simulated: None,
+        candidates_pruned: None,
     };
     let eps = entry
         .events_per_s
@@ -294,6 +310,16 @@ fn fleet_100k() -> Option<u64> {
     Some(u64::from(r.completed))
 }
 
+/// The `plan_sweep` planner: the capacity experiment's reference traffic
+/// envelope opened up to a 12-replica candidate space (1260 candidates vs
+/// the experiment's 132). At this scale the sweep only fits the CI wall
+/// budget because the generational pruning resolves most of the space
+/// without a full simulation — which is exactly what the entry's
+/// `candidates_simulated` / `candidates_pruned` fields pin.
+fn plan_sweep_planner() -> plan::PlannerConfig {
+    capacity::planner_with(12)
+}
+
 fn parse_args() -> (usize, String, Option<String>, f64) {
     let mut threads = 0usize;
     let mut out = String::from("BENCH_SUITE.json");
@@ -386,10 +412,11 @@ fn main() {
     entries.push(timed("engine_run_summary", 1, engine_run_summary));
 
     entries.push(timed("fig10_sweep_serial", 1, || {
+        let mut events = 0u64;
         for _ in 0..ITERS {
-            let _ = fig10::run_with(1);
+            events += fig10::run_with(1).iter().map(|r| r.events).sum::<u64>();
         }
-        None
+        Some(events)
     }));
     // Record the worker count the harness will actually grant, not the
     // request: on a small host the two differ, and the committed baseline
@@ -398,10 +425,14 @@ fn main() {
         "fig10_sweep_parallel",
         harness::effective_workers(workers),
         || {
+            let mut events = 0u64;
             for _ in 0..ITERS {
-                let _ = fig10::run_with(workers);
+                events += fig10::run_with(workers)
+                    .iter()
+                    .map(|r| r.events)
+                    .sum::<u64>();
             }
-            None
+            Some(events)
         },
     ));
 
@@ -424,10 +455,37 @@ fn main() {
     entries.push(timed("serving_100k", 1, serving_100k));
     entries.push(timed("fleet_100k", 1, fleet_100k));
 
+    let mut sweep_stats: Option<SweepStats> = None;
+    let mut plan_entry = timed("plan_sweep", harness::effective_workers(workers), || {
+        let cfg = plan_sweep_planner();
+        let sweep = plan::sweep_with(&cfg, |wave, bounds| {
+            harness::map_with(workers, wave, |c| plan::evaluate_bounded(&cfg, &c, bounds))
+        });
+        let completed: u64 = sweep
+            .outcomes
+            .iter()
+            .map(|o| u64::from(o.report.completed))
+            .sum();
+        sweep_stats = Some(sweep.stats);
+        Some(completed)
+    });
+    if let Some(s) = sweep_stats {
+        plan_entry.candidates_simulated = Some(s.simulated);
+        plan_entry.candidates_pruned = Some(s.resolved_without_full_simulation());
+        println!(
+            "  plan_sweep resolutions: {} candidates, {} simulated, {} aborted, \
+             {} infeasible by bound, {} dominated",
+            s.candidates, s.simulated, s.aborted, s.pruned_infeasible, s.pruned_dominated
+        );
+    }
+    entries.push(plan_entry);
+
     if budget_ms > 0.0 {
         let over: Vec<_> = entries
             .iter()
-            .filter(|e| e.name.ends_with("_100k") && e.wall_ms > budget_ms)
+            .filter(|e| {
+                (e.name.ends_with("_100k") || e.name == "plan_sweep") && e.wall_ms > budget_ms
+            })
             .collect();
         if !over.is_empty() {
             for e in &over {

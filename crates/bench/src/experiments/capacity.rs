@@ -19,7 +19,7 @@
 use skip_des::SimDuration;
 use skip_llm::zoo;
 use skip_serve::fleet::plan::{self, PlannerConfig, TrafficEnvelope};
-use skip_serve::{PlanOutcome, SloTargets};
+use skip_serve::{PlanSweep, SloTargets};
 
 use crate::experiments::fleet_disagg;
 use crate::TextTable;
@@ -34,6 +34,16 @@ pub const ATTAINMENT_FLOOR: f64 = 0.9;
 /// paper-trio platform menu, up to 4 provisioned replicas per candidate.
 #[must_use]
 pub fn planner() -> PlannerConfig {
+    planner_with(4)
+}
+
+/// [`planner`] with an explicit replica ceiling — the same envelope over
+/// a larger candidate space. The perf suite's `plan_sweep` entry and the
+/// EXPERIMENTS.md 12-replica frontier both use `planner_with(12)`; the
+/// experiment's own tests stay at 4 so the exhaustive differential
+/// reference remains cheap.
+#[must_use]
+pub fn planner_with(max_replicas: u32) -> PlannerConfig {
     let mut cfg = PlannerConfig::new(TrafficEnvelope {
         model: zoo::llama2_7b(),
         qps: fleet_disagg::LOAD,
@@ -49,41 +59,60 @@ pub fn planner() -> PlannerConfig {
     });
     cfg.max_batch = fleet_disagg::MAX_BATCH;
     cfg.attainment_floor = ATTAINMENT_FLOOR;
+    cfg.max_replicas = max_replicas;
     cfg
 }
 
 /// Runs the capacity sweep on the harness' resolved worker count.
 #[must_use]
-pub fn run() -> Vec<PlanOutcome> {
+pub fn run() -> PlanSweep {
     run_with(crate::harness::threads())
 }
 
 /// [`run`] with an explicit worker count — the determinism test pins
-/// `run_with(1) == run_with(2) == run_with(4)`. Candidates are evaluated
-/// through [`harness::map_with`](crate::harness::map_with) in enumeration
-/// order, which is exactly the serial `plan::plan` evaluation.
+/// `run_with(1) == run_with(2) == run_with(4)`. The pruned generational
+/// sweep owns wave order and bound accumulation; each wave's candidates
+/// are fanned through [`harness::map_with`](crate::harness::map_with) in
+/// enumeration order, and bounds only ever change at wave boundaries, so
+/// the sweep is byte-identical at any worker count.
 #[must_use]
-pub fn run_with(workers: usize) -> Vec<PlanOutcome> {
-    let cfg = planner();
-    let candidates = plan::enumerate(&cfg);
-    crate::harness::map_with(workers, candidates, |c| plan::evaluate(&cfg, &c))
+pub fn run_with(workers: usize) -> PlanSweep {
+    run_at(4, workers)
+}
+
+/// [`run_with`] at an explicit replica ceiling — regenerates the
+/// EXPERIMENTS.md 12-replica frontier via `capacity --max-replicas 12`.
+#[must_use]
+pub fn run_at(max_replicas: u32, workers: usize) -> PlanSweep {
+    let cfg = planner_with(max_replicas);
+    plan::sweep_with(&cfg, |wave, bounds| {
+        crate::harness::map_with(workers, wave, |c| plan::evaluate_bounded(&cfg, &c, bounds))
+    })
 }
 
 /// Renders the frontier table plus the sweep's headline: the cheapest
-/// feasible fleet and the candidate population behind it.
+/// feasible fleet, the candidate population behind it, and how many
+/// candidates the pruned sweep resolved without a full simulation.
 #[must_use]
-pub fn render(outcomes: &[PlanOutcome]) -> String {
+pub fn render(sweep: &PlanSweep) -> String {
     let cfg = planner();
+    let outcomes = &sweep.outcomes;
     let feasible = outcomes.iter().filter(|o| o.feasible).count();
+    let s = sweep.stats;
     let mut out = format!(
         "Capacity frontier: llama-2-7b, {:.0} req/s offered, {REQUESTS}-request envelope, \
          SLO ttft<={}ms & e2e<={}ms at >={:.0}% attainment\n\
-         {} candidates ({feasible} feasible): platform mixes x disagg splits x autoscale\n",
+         {} candidates ({feasible} feasible): platform mixes x disagg splits x autoscale\n\
+         pruned sweep: {} simulated, {} aborted early, {} infeasible by bound, {} dominated\n",
         cfg.envelope.qps,
         fleet_disagg::SLO_TTFT_MS,
         fleet_disagg::SLO_E2E_MS,
         ATTAINMENT_FLOOR * 100.0,
         outcomes.len(),
+        s.simulated,
+        s.aborted,
+        s.pruned_infeasible,
+        s.pruned_dominated,
     );
     let mut t = TextTable::new(vec![
         "fleet",
@@ -132,18 +161,47 @@ mod tests {
     }
 
     #[test]
-    fn sweep_covers_the_whole_candidate_space_and_finds_a_plan() {
-        let outcomes = run();
+    fn pruned_sweep_matches_the_exhaustive_reference() {
+        // The PR-level acceptance check: over the full 4-replica
+        // candidate space, the pruned generational sweep's frontier and
+        // cheapest pick are byte-identical to the exhaustive serial plan.
         let cfg = planner();
-        assert_eq!(outcomes.len(), plan::enumerate(&cfg).len());
-        // Every outcome is a completed simulation of the full envelope.
-        for o in &outcomes {
-            assert_eq!(o.report.completed, REQUESTS, "{}", o.label);
-            assert!(o.cost() > 0.0, "{} billed nothing", o.label);
+        let exhaustive = plan::plan(&cfg);
+        let sweep = run_with(1);
+        assert_eq!(sweep.outcomes.len(), exhaustive.len());
+        assert_eq!(plan::frontier(&sweep.outcomes), plan::frontier(&exhaustive));
+        assert_eq!(plan::cheapest(&sweep.outcomes), plan::cheapest(&exhaustive));
+        assert!(
+            sweep.stats.resolved_without_full_simulation() > 0,
+            "pruning must actually fire on the reference envelope: {:?}",
+            sweep.stats
+        );
+    }
+
+    #[test]
+    fn sweep_covers_the_whole_candidate_space_and_finds_a_plan() {
+        let sweep = run();
+        let cfg = planner();
+        assert_eq!(sweep.outcomes.len(), plan::enumerate(&cfg).len());
+        assert_eq!(sweep.stats.candidates as usize, sweep.outcomes.len());
+        for o in &sweep.outcomes {
+            match o.resolution {
+                // Fully-simulated outcomes cover the whole envelope.
+                plan::Resolution::Simulated => {
+                    assert_eq!(o.report.completed, REQUESTS, "{}", o.label);
+                    assert!(o.cost() > 0.0, "{} billed nothing", o.label);
+                }
+                // Shortcuts carry an honest truncated report and are
+                // never feasible.
+                _ => {
+                    assert!(o.report.aborted, "{}", o.label);
+                    assert!(!o.feasible, "{}", o.label);
+                }
+            }
         }
-        let best = plan::cheapest(&outcomes).expect("the envelope is serveable");
+        let best = plan::cheapest(&sweep.outcomes).expect("the envelope is serveable");
         assert!(best.feasible);
-        let front = plan::frontier(&outcomes);
+        let front = plan::frontier(&sweep.outcomes);
         assert!(front.iter().all(|o| o.feasible));
         assert_eq!(front[0].label, best.label);
     }
@@ -154,9 +212,10 @@ mod tests {
         // planner also tries smaller fleets, so its cheapest feasible
         // candidate can never bill more than the best fixed 4-replica
         // fleet it also enumerates.
-        let outcomes = run();
-        let best = plan::cheapest(&outcomes).expect("feasible");
-        let four_replica_floor = outcomes
+        let sweep = run();
+        let best = plan::cheapest(&sweep.outcomes).expect("feasible");
+        let four_replica_floor = sweep
+            .outcomes
             .iter()
             .filter(|o| o.feasible && o.base_replicas == 4)
             .map(|o| o.cost())
@@ -172,9 +231,10 @@ mod tests {
 
     #[test]
     fn render_reports_the_headline() {
-        let outcomes = run();
-        let s = render(&outcomes);
+        let sweep = run();
+        let s = render(&sweep);
         assert!(s.contains("Capacity frontier"));
+        assert!(s.contains("pruned sweep:"));
         assert!(s.contains("cost-optimal fleet"));
     }
 }

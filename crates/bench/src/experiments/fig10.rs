@@ -28,6 +28,9 @@ pub struct SweepRow {
     pub gpu_idle_ms: f64,
     /// CPU idle time, ms (Fig. 10c / 11c).
     pub cpu_idle_ms: f64,
+    /// Timeline events behind the cell (kernels + launches + CPU ops) —
+    /// the work unit the perf runner normalizes sweep wall time by.
+    pub events: u64,
 }
 
 /// Sweeps one model across the paper's batch sizes and platforms. Each
@@ -60,6 +63,7 @@ pub fn sweep_model_with(workers: usize, model: &ModelConfig) -> Vec<SweepRow> {
             ttft_ms: r.inference_latency.as_millis_f64(),
             gpu_idle_ms: r.gpu_idle.as_millis_f64(),
             cpu_idle_ms: r.cpu_idle.as_millis_f64(),
+            events: (r.kernel_count + r.launch_count + r.cpu_op_count) as u64,
         }
     })
 }

@@ -30,6 +30,7 @@ use crate::fleet::spec::{FleetBatchPolicy, FleetConfig, FleetRouterPolicy, PoolR
 use crate::latency::LatencyModel;
 use crate::observe::{LifecycleKind, SloReport};
 use crate::request::Request;
+use crate::stop::{StopCondition, StopGuard};
 
 #[derive(Debug, Clone, Copy)]
 enum FEvent {
@@ -715,6 +716,16 @@ impl FleetFloor<'_> {
         self.peak_live = self.peak_live.max(live);
     }
 
+    /// The bill the run has provably accrued by `now`, without mutating
+    /// billing state — what a cost-ceiling [`StopCondition`] compares
+    /// against between events.
+    fn accrued_replica_seconds(&self, now: SimTime) -> f64 {
+        (self.replica_ns
+            + now.saturating_duration_since(self.last_bill).as_nanos_f64()
+                * f64::from(self.live_count()))
+            / 1e9
+    }
+
     fn sample(&mut self, now: SimTime) {
         let mut prefill_queue = 0u32;
         let mut decode_queue = 0u32;
@@ -756,6 +767,19 @@ pub fn simulate_fleet(cfg: &FleetConfig) -> FleetReport {
     simulate_fleet_traced(cfg).0
 }
 
+/// Runs the fleet simulation under `stop`, aborting the moment a budget
+/// is blown. An aborted run returns the truncated-but-honest report of
+/// the simulated prefix with [`FleetReport::aborted`] set; a run no
+/// budget stops is byte-identical to [`simulate_fleet`].
+///
+/// # Panics
+///
+/// Panics if the configuration fails [`FleetConfig::validate`].
+#[must_use]
+pub fn simulate_fleet_bounded(cfg: &FleetConfig, stop: StopCondition) -> FleetReport {
+    run_fleet(cfg, stop).0
+}
+
 /// Runs the fleet simulation and additionally returns the full
 /// [`FleetTrace`] recording (lifecycles, conservation-checked samples,
 /// scaling events).
@@ -765,6 +789,10 @@ pub fn simulate_fleet(cfg: &FleetConfig) -> FleetReport {
 /// Panics if the configuration fails [`FleetConfig::validate`].
 #[must_use]
 pub fn simulate_fleet_traced(cfg: &FleetConfig) -> (FleetReport, FleetTrace) {
+    run_fleet(cfg, StopCondition::UNBOUNDED)
+}
+
+fn run_fleet(cfg: &FleetConfig, stop: StopCondition) -> (FleetReport, FleetTrace) {
     if let Err(e) = cfg.validate() {
         panic!("{e}");
     }
@@ -849,10 +877,42 @@ pub fn simulate_fleet_traced(cfg: &FleetConfig) -> (FleetReport, FleetTrace) {
         platforms,
     };
 
-    sim.run(|ctx, event| floor.handle(ctx, event));
-    floor.bill(floor.last_completion.max(floor.last_bill));
+    let mut aborted = false;
+    if stop.is_unbounded() {
+        sim.run(|ctx, event| floor.handle(ctx, event));
+    } else {
+        // Same event loop, one step at a time, with incremental miss and
+        // bill bookkeeping between steps. The handled events are
+        // byte-identical to `sim.run` up to the abort instant, so a run
+        // no budget stops produces the unbounded run's exact report.
+        let mut guard = StopGuard::new(stop, cfg.slo);
+        let mut noted = 0usize;
+        while sim.step(|ctx, event| floor.handle(ctx, event)) {
+            while noted < floor.finished.len() {
+                let (ttft, e2e) = floor.finished[noted];
+                noted += 1;
+                guard.note(ttft, e2e);
+            }
+            if guard.miss_budget_blown()
+                || (guard.wants_cost()
+                    && guard.cost_blown(floor.accrued_replica_seconds(sim.now())))
+            {
+                aborted = true;
+                break;
+            }
+        }
+    }
+    let bill_to = if aborted {
+        // Bill the span actually simulated — the truncated report still
+        // prices what the run rented before it was called off.
+        sim.now().max(floor.last_completion).max(floor.last_bill)
+    } else {
+        floor.last_completion.max(floor.last_bill)
+    };
+    floor.bill(bill_to);
 
-    let report = assemble_fleet_report(cfg, &floor, first_arrival);
+    let mut report = assemble_fleet_report(cfg, &floor, first_arrival);
+    report.aborted = aborted;
     (report, floor.obs)
 }
 
@@ -894,6 +954,7 @@ fn assemble_fleet_report(
         scale_downs: floor.scale_downs,
         peak_replicas: floor.peak_live,
         replica_seconds: floor.replica_ns / 1e9,
+        aborted: false,
     }
 }
 

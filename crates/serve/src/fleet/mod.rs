@@ -37,9 +37,12 @@ pub mod spec;
 
 pub use arrivals::ArrivalProcess;
 pub use autoscale::{AutoscaleConfig, ScaleAction, ScalingEvent};
-pub use floor::{simulate_fleet, simulate_fleet_traced};
+pub use floor::{simulate_fleet, simulate_fleet_bounded, simulate_fleet_traced};
 pub use observe::{FleetReport, FleetSample, FleetTrace};
-pub use plan::{PlanCandidate, PlanOutcome, PlannerConfig, TrafficEnvelope};
+pub use plan::{
+    PlanCandidate, PlanError, PlanOutcome, PlanSweep, PlannerConfig, Resolution, SweepBounds,
+    SweepStats, TrafficEnvelope,
+};
 pub use spec::{
     FleetBatchPolicy, FleetConfig, FleetError, FleetRouterPolicy, FleetSpec, PoolRole, ReplicaGroup,
 };

@@ -233,6 +233,13 @@ pub struct FleetReport {
     /// Integral of live replicas over the makespan — the capacity bill
     /// an autoscaler is trying to shrink.
     pub replica_seconds: f64,
+    /// `true` when the run was stopped early by a
+    /// [`StopCondition`](crate::StopCondition): every metric covers only
+    /// the simulated prefix, and the report must never be treated as a
+    /// completed envelope. Omitted from serialization when `false`, so
+    /// unbounded runs keep their pinned serde bytes.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub aborted: bool,
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use crate::observe::{CounterSample, LifecycleKind, ServingTrace, SloReport};
 use crate::policy::{BatchPolicy, Finished, Lane, ReplicaState};
 use crate::request::{Request, RequestStream};
 use crate::router::{ReplicaLoad, Router};
+use crate::stop::{StopCondition, StopGuard};
 
 /// Measured serving behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +59,12 @@ pub struct ServingReport {
     /// SLO attainment against [`ServingConfig::slo`] (vacuous when no
     /// target is configured).
     pub slo: SloReport,
+    /// `true` when the run was stopped early by a
+    /// [`StopCondition`](crate::StopCondition): every metric covers only
+    /// the simulated prefix. Omitted from serialization when `false`, so
+    /// unbounded runs keep their pinned serde bytes.
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub aborted: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -309,6 +316,27 @@ pub fn simulate_replicas(cfg: &ServingConfig, replicas: u32) -> ServingReport {
     simulate_traced(cfg, replicas).0
 }
 
+/// Runs the serving simulation under `stop`, aborting the moment a budget
+/// is blown — the single-platform twin of
+/// [`simulate_fleet_bounded`](crate::fleet::floor::simulate_fleet_bounded).
+/// An aborted run returns the truncated report of the simulated prefix
+/// with [`ServingReport::aborted`] set; the cost ceiling prices the fixed
+/// fleet at `replicas × elapsed` seconds. A run no budget stops is
+/// byte-identical to [`simulate_replicas`].
+///
+/// # Panics
+///
+/// Panics if `replicas` is zero or the configuration fails
+/// [`ServingConfig::validate`].
+#[must_use]
+pub fn simulate_replicas_bounded(
+    cfg: &ServingConfig,
+    replicas: u32,
+    stop: StopCondition,
+) -> ServingReport {
+    run_floor(cfg, replicas, stop).0
+}
+
 /// Runs the serving simulation and additionally returns the full
 /// observability recording: per-request lifecycle records and the counter
 /// tracks sampled at every iteration boundary.
@@ -323,6 +351,14 @@ pub fn simulate_replicas(cfg: &ServingConfig, replicas: u32) -> ServingReport {
 /// validate first for a graceful error path).
 #[must_use]
 pub fn simulate_traced(cfg: &ServingConfig, replicas: u32) -> (ServingReport, ServingTrace) {
+    run_floor(cfg, replicas, StopCondition::UNBOUNDED)
+}
+
+fn run_floor(
+    cfg: &ServingConfig,
+    replicas: u32,
+    stop: StopCondition,
+) -> (ServingReport, ServingTrace) {
     assert!(replicas > 0, "need at least one replica");
     if let Err(e) = cfg.validate() {
         panic!("{e}");
@@ -367,15 +403,42 @@ pub fn simulate_traced(cfg: &ServingConfig, replicas: u32) -> (ServingReport, Se
         load_buf: Vec::with_capacity(n),
     };
 
-    sim.run(|ctx, event| floor.handle(ctx, event));
+    let mut aborted = false;
+    if stop.is_unbounded() {
+        sim.run(|ctx, event| floor.handle(ctx, event));
+    } else {
+        // Same event loop, one step at a time, with incremental miss and
+        // bill bookkeeping between steps (see the fleet floor's twin).
+        let mut guard = StopGuard::new(stop, cfg.slo);
+        let mut noted = 0usize;
+        while sim.step(|ctx, event| floor.handle(ctx, event)) {
+            while noted < floor.finished.len() {
+                let f = &floor.finished[noted];
+                noted += 1;
+                guard.note(f.ttft, f.e2e);
+            }
+            let accrued = || {
+                f64::from(replicas)
+                    * sim
+                        .now()
+                        .saturating_duration_since(SimTime::ZERO)
+                        .as_secs_f64()
+            };
+            if guard.miss_budget_blown() || (guard.wants_cost() && guard.cost_blown(accrued())) {
+                aborted = true;
+                break;
+            }
+        }
+    }
 
-    let report = assemble_report(
+    let mut report = assemble_report(
         cfg,
         &floor.finished,
         floor.last_completion,
         first_arrival,
         floor.mem.as_ref(),
     );
+    report.aborted = aborted;
     (report, floor.obs)
 }
 
@@ -419,6 +482,7 @@ fn assemble_report(
         recomputed_tokens: mem.map_or(0, |m| m.counters().recomputed_tokens),
         kv_peak_occupancy: mem.map_or(0.0, MemoryLayer::peak_occupancy),
         slo: SloReport::evaluate(cfg.slo, &latencies, cfg.new_tokens.max(1), makespan),
+        aborted: false,
     }
 }
 

@@ -91,15 +91,19 @@ mod observe;
 mod policy;
 mod request;
 mod router;
+mod stop;
 
 pub use config::{ConfigError, KvCacheConfig, Policy, RouterPolicy, ServingConfig};
 pub use fleet::{
-    simulate_fleet, simulate_fleet_traced, ArrivalProcess, AutoscaleConfig, FleetBatchPolicy,
-    FleetConfig, FleetError, FleetReport, FleetRouterPolicy, FleetSample, FleetSpec, FleetTrace,
-    PlanCandidate, PlanOutcome, PlannerConfig, PoolRole, ReplicaGroup, ScaleAction, ScalingEvent,
+    simulate_fleet, simulate_fleet_bounded, simulate_fleet_traced, ArrivalProcess, AutoscaleConfig,
+    FleetBatchPolicy, FleetConfig, FleetError, FleetReport, FleetRouterPolicy, FleetSample,
+    FleetSpec, FleetTrace, PlanCandidate, PlanError, PlanOutcome, PlanSweep, PlannerConfig,
+    PoolRole, ReplicaGroup, Resolution, ScaleAction, ScalingEvent, SweepBounds, SweepStats,
     TrafficEnvelope,
 };
-pub use floor::{simulate, simulate_replicas, simulate_traced, ServingReport};
+pub use floor::{
+    simulate, simulate_replicas, simulate_replicas_bounded, simulate_traced, ServingReport,
+};
 pub use latency::LatencyModel;
 pub use observe::{
     CounterSample, LifecycleEvent, LifecycleKind, RequestLifecycle, ResumeAction, ServingTrace,
@@ -108,3 +112,4 @@ pub use observe::{
 pub use request::{Request, RequestStream};
 pub use router::{ReplicaLoad, Router};
 pub use skip_mem::OffloadPolicy;
+pub use stop::{allowed_misses, StopCondition};

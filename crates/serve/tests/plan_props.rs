@@ -1,0 +1,205 @@
+//! Property tests over the pruned planner sweep: for any traffic
+//! envelope, SLO, attainment floor, and replica ceiling, the pruned
+//! generational sweep must be *invisible* — same frontier, same cheapest
+//! pick, same feasible outcomes as the exhaustive reference — and every
+//! candidate it resolves without a full simulation must be honestly
+//! marked (aborted report, never feasible).
+//!
+//! The unit tests in `fleet::plan` pin one envelope; these sweep the
+//! envelope space, which is where an unsound analytic bound or a
+//! too-eager abort would actually bite.
+
+use proptest::prelude::*;
+use skip_des::SimDuration;
+use skip_llm::zoo;
+use skip_serve::fleet::plan;
+use skip_serve::{
+    simulate_fleet_bounded, FleetBatchPolicy, PlannerConfig, Resolution, SloTargets, StopCondition,
+    TrafficEnvelope,
+};
+
+/// A small random planner: tight enough to run dozens of cases, varied
+/// enough to exercise Poisson and diurnal arrivals, one- and two-axis
+/// SLOs, and floors from permissive to strict.
+fn arb_planner() -> impl Strategy<Value = PlannerConfig> {
+    (
+        (
+            20.0f64..160.0,           // qps
+            (0usize..2, 2.0f64..4.0), // peak multiplier (diurnal when on)
+            6u32..16,                 // requests
+            32u32..192,               // prompt_len
+            1u32..5,                  // new_tokens
+            0u64..64,                 // seed
+        ),
+        (
+            // SLO axes: 0 = off, otherwise the target in ms. At least
+            // one axis is forced on below so the floor judges something.
+            (0usize..2, 50u64..2000),  // ttft target
+            (0usize..2, 200u64..6000), // e2e target
+            0.55f64..1.0,              // attainment floor
+            1u32..3,                   // max_replicas
+            0usize..2,                 // batching policy
+        ),
+    )
+        .prop_map(
+            |((qps, peak, requests, prompt, new_tokens, seed), (ttft, e2e, floor, max_r, pol))| {
+                let ttft_on = ttft.0 == 1 || e2e.0 == 0;
+                let mut cfg = PlannerConfig::new(TrafficEnvelope {
+                    model: zoo::gpt2(),
+                    qps,
+                    peak_qps: (peak.0 == 1).then_some(qps * peak.1),
+                    requests,
+                    prompt_len: prompt,
+                    new_tokens,
+                    seed,
+                    slo: SloTargets {
+                        ttft: ttft_on.then(|| SimDuration::from_millis(ttft.1)),
+                        e2e: (e2e.0 == 1).then(|| SimDuration::from_millis(e2e.1)),
+                    },
+                });
+                cfg.max_replicas = max_r;
+                cfg.attainment_floor = floor;
+                if pol == 1 {
+                    cfg.policy = FleetBatchPolicy::ChunkedPrefill { chunk_tokens: 64 };
+                }
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline soundness property: pruning and early aborts never
+    /// change what the planner recommends.
+    #[test]
+    fn pruned_sweep_is_invisible_to_the_frontier(cfg in arb_planner()) {
+        prop_assert!(cfg.validate().is_ok());
+        let exhaustive = plan::plan(&cfg);
+        let pruned = plan::plan_pruned(&cfg);
+        prop_assert_eq!(pruned.outcomes.len(), exhaustive.len());
+        prop_assert_eq!(
+            plan::frontier(&pruned.outcomes),
+            plan::frontier(&exhaustive),
+            "frontier must be byte-identical"
+        );
+        prop_assert_eq!(
+            plan::cheapest(&pruned.outcomes),
+            plan::cheapest(&exhaustive),
+            "cheapest pick must be byte-identical"
+        );
+        let front = plan::frontier(&exhaustive);
+        for (p, e) in pruned.outcomes.iter().zip(&exhaustive) {
+            if p.feasible {
+                // Anything the pruned sweep calls feasible was fully
+                // simulated and matches the exhaustive run bit for bit.
+                prop_assert_eq!(p, e, "pruned-feasible must equal exhaustive");
+            } else if e.feasible {
+                // Dropping an exhaustively-feasible candidate is legal
+                // only through dominance (analytic or mid-run cost cap),
+                // and only for candidates off the exhaustive frontier —
+                // which is what keeps the frontier identical.
+                prop_assert!(
+                    matches!(
+                        p.resolution,
+                        Resolution::PrunedDominated | Resolution::Aborted
+                    ),
+                    "{}: feasible candidate dropped as {:?}", p.label, p.resolution
+                );
+                prop_assert!(
+                    !front.iter().any(|f| std::ptr::eq(*f, e)),
+                    "{}: a frontier member may never be pruned", e.label
+                );
+            }
+        }
+        let s = pruned.stats;
+        prop_assert_eq!(
+            s.simulated + s.resolved_without_full_simulation(),
+            s.candidates,
+            "every candidate resolved exactly once: {:?}", s
+        );
+    }
+
+    /// Honesty of shortcuts: any outcome not fully simulated carries an
+    /// aborted report and is never counted feasible.
+    #[test]
+    fn shortcut_outcomes_are_marked_and_never_feasible(cfg in arb_planner()) {
+        for o in plan::plan_pruned(&cfg).outcomes {
+            if o.resolution != Resolution::Simulated {
+                prop_assert!(o.report.aborted, "{}: shortcut must set aborted", o.label);
+                prop_assert!(!o.feasible, "{}: shortcut is never feasible", o.label);
+            } else {
+                prop_assert!(!o.report.aborted, "{}: full run must not set aborted", o.label);
+            }
+        }
+    }
+
+    /// The frontier itself (satellite of this PR: sort-then-scan
+    /// replacement) must match the quadratic reference filter on every
+    /// outcome set the planner can produce.
+    #[test]
+    fn frontier_matches_the_quadratic_reference(cfg in arb_planner()) {
+        let outcomes = plan::plan(&cfg);
+        let fast = plan::frontier(&outcomes);
+        // Reference: keep every feasible outcome no other feasible
+        // outcome strictly dominates, sorted by (cost, p95, index).
+        let feasible: Vec<_> = outcomes.iter().filter(|o| o.feasible).collect();
+        let mut reference: Vec<_> = feasible
+            .iter()
+            .filter(|a| {
+                !feasible.iter().any(|b| {
+                    b.cost() <= a.cost()
+                        && b.report.e2e_p95 <= a.report.e2e_p95
+                        && (b.cost() < a.cost() || b.report.e2e_p95 < a.report.e2e_p95)
+                })
+            })
+            .copied()
+            .collect();
+        reference.sort_by(|a, b| {
+            a.cost()
+                .total_cmp(&b.cost())
+                .then(a.report.e2e_p95.cmp(&b.report.e2e_p95))
+        });
+        prop_assert_eq!(fast, reference);
+    }
+}
+
+/// Regression: an aborted fleet report must never clear the feasibility
+/// gate, even when its truncated prefix happens to look perfect (every
+/// completed request inside SLO). A one-request miss budget of zero with
+/// an SLO no request can meet aborts on the first completion.
+#[test]
+fn aborted_reports_are_never_feasible() {
+    let cfg = PlannerConfig::new(TrafficEnvelope {
+        model: zoo::gpt2(),
+        qps: 50.0,
+        peak_qps: None,
+        requests: 8,
+        prompt_len: 64,
+        new_tokens: 2,
+        seed: 3,
+        slo: SloTargets {
+            ttft: Some(SimDuration::from_nanos(1)),
+            e2e: None,
+        },
+    });
+    let cand = plan::enumerate(&cfg)
+        .into_iter()
+        .next()
+        .expect("non-empty enumeration");
+    let fleet = plan::fleet_config(&cfg, &cand);
+    let stop =
+        StopCondition::for_attainment(cfg.envelope.requests, cfg.attainment_floor, fleet.slo);
+    let report = simulate_fleet_bounded(&fleet, stop);
+    assert!(report.aborted, "a 1ns TTFT must blow the miss budget early");
+    assert!(
+        report.completed < cfg.envelope.requests,
+        "aborted run covers only a prefix"
+    );
+    // The planner-side gate: feed the aborted report through outcome
+    // classification via evaluate_bounded on a bounds object that chooses
+    // to simulate, and confirm it is not feasible.
+    let bounds = plan::SweepBounds::new(&cfg);
+    let o = plan::evaluate_bounded(&cfg, &cand, &bounds);
+    assert!(!o.feasible, "aborted or pruned outcomes are never feasible");
+}

@@ -422,9 +422,10 @@ fn cmd_serve_fleet(
 }
 
 /// `skip plan`: the capacity-frontier planner — enumerate fleet
-/// compositions against a traffic envelope, fan the evaluations out
-/// through the deterministic harness, and print the cost-optimal
-/// frontier by replica-seconds billing.
+/// compositions against a traffic envelope, run the pruned generational
+/// sweep (waves fanned out through the deterministic harness, analytic
+/// bounds and early aborts skipping decided candidates), and print the
+/// cost-optimal frontier by replica-seconds billing.
 fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     let model = find_model(flags.get("model").ok_or("--model is required")?)?;
     let qps: f64 = flags
@@ -462,17 +463,17 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     });
     cfg.max_batch = get_u32(flags, "max-batch", 8)?;
     cfg.max_replicas = get_u32(flags, "max-replicas", 4)?;
-    if cfg.max_replicas == 0 {
-        return Err("--max-replicas must be at least 1".into());
-    }
+    cfg.validate().map_err(|e| format!("skip plan: {e}"))?;
     let workers = match get_u32(flags, "workers", 0)? as usize {
         0 => skip_bench::harness::threads(),
         n => n,
     };
 
-    let candidates = plan::enumerate(&cfg);
-    let total = candidates.len();
-    let outcomes = skip_bench::harness::map_with(workers, candidates, |c| plan::evaluate(&cfg, &c));
+    let sweep = plan::sweep_with(&cfg, |wave, bounds| {
+        skip_bench::harness::map_with(workers, wave, |c| plan::evaluate_bounded(&cfg, &c, bounds))
+    });
+    let outcomes = &sweep.outcomes;
+    let total = outcomes.len();
     let feasible = outcomes.iter().filter(|o| o.feasible).count();
 
     let arrivals = match peak_qps {
@@ -488,6 +489,13 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         skip_bench::harness::effective_workers(workers),
         cfg.attainment_floor * 100.0
     );
+    println!(
+        "pruned sweep: {} simulated in full, {} aborted early, {} infeasible by bound, {} dominated",
+        sweep.stats.simulated,
+        sweep.stats.aborted,
+        sweep.stats.pruned_infeasible,
+        sweep.stats.pruned_dominated,
+    );
     if !slo.is_set() {
         println!("note: no --slo-ttft-ms/--slo-e2e-ms set, so every completed fleet is feasible");
     }
@@ -496,7 +504,7 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         "{:<40} {:>10} {:>11} {:>12} {:>6} {:>5}",
         "fleet", "replica-s", "e2e p95 ms", "ttft p95 ms", "slo %", "peak"
     );
-    for o in plan::frontier(&outcomes) {
+    for o in plan::frontier(outcomes) {
         println!(
             "{:<40} {:>10.2} {:>11.0} {:>12.0} {:>6.0} {:>5}",
             o.label,
@@ -508,7 +516,7 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
             o.report.peak_replicas,
         );
     }
-    match plan::cheapest(&outcomes) {
+    match plan::cheapest(outcomes) {
         Some(best) => println!(
             "\ncost-optimal fleet: {} at {:.2} replica-seconds (e2e p95 {:.0} ms)",
             best.label,
