@@ -7,8 +7,10 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings + dead code) =="
+# -D dead_code keeps a deleted duplicate event loop from lingering as an
+# unreferenced module after the serve/fleet floor unification.
+cargo clippy --workspace --all-targets -- -D warnings -D dead_code
 
 echo "== cargo build --release =="
 cargo build --release --workspace
@@ -35,6 +37,13 @@ fleet_out=$(cargo run --release -p skip-suite --bin skip -- serve --model gpt2 \
   --fleet gh200:1,intel_h100:3 --disagg --autoscale --arrivals bursty \
   --qps 10 --peak-qps 300 --requests 40 --seq 256 --tokens 8 --slo-ttft-ms 200)
 grep -q "completed    : 40 requests" <<<"$fleet_out"
+
+echo "== skip serve CLI (disaggregated fleet under chunked prefill) =="
+chunked_fleet_out=$(cargo run --release -p skip-suite --bin skip -- serve --model gpt2 \
+  --fleet gh200:1,intel_h100:3 --disagg --policy chunked --chunk-tokens 64 \
+  --qps 40 --requests 40 --seq 256 --tokens 8 --slo-ttft-ms 200)
+grep -q "completed    : 40 requests" <<<"$chunked_fleet_out"
+grep -q "KV handoff" <<<"$chunked_fleet_out"
 
 echo "== skip plan CLI (capacity planner frontier over the candidate space) =="
 plan_out=$(cargo run --release -p skip-suite --bin skip -- plan --model gpt2 \

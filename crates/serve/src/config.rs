@@ -12,6 +12,30 @@ use skip_mem::{KvSpec, OffloadPolicy};
 
 use crate::observe::SloTargets;
 
+/// Canonical wording for the checks every validator shares.
+///
+/// [`ConfigError`], [`FleetError`](crate::FleetError), and
+/// [`PlanError`](crate::fleet::plan::PlanError) all reject the same
+/// classes of mistake — zero requests, non-positive rates, zero batch and
+/// replica counts — and historically each spelled the message its own
+/// way. Routing every Display impl through these helpers keeps the three
+/// validators (and the CLIs built on them) word-for-word identical for
+/// identical mistakes.
+pub(crate) mod check {
+    /// A zero-request configuration: nothing to simulate.
+    pub(crate) const ZERO_REQUESTS: &str = "simulate at least one request";
+
+    /// A rate-like knob that must be positive and finite.
+    pub(crate) fn positive_rate(label: &str, v: f64) -> String {
+        format!("{label} must be positive and finite, got {v}")
+    }
+
+    /// A count-like knob that must be at least one.
+    pub(crate) fn at_least_one(label: &str) -> String {
+        format!("{label} must be at least 1")
+    }
+}
+
 /// Batching policy of the serving endpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Policy {
@@ -218,22 +242,22 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            ConfigError::ZeroRequests => write!(f, "simulate at least one request"),
+            ConfigError::ZeroRequests => f.write_str(check::ZERO_REQUESTS),
             ConfigError::BadArrivalRate(rate) => {
-                write!(f, "arrival rate must be positive and finite, got {rate}")
+                f.write_str(&check::positive_rate("arrival rate", rate))
             }
-            ConfigError::ZeroStaticBatch => write!(f, "static batch size must be positive"),
+            ConfigError::ZeroStaticBatch => f.write_str(&check::at_least_one("static batch_size")),
             ConfigError::ZeroContinuousBatch => {
-                write!(f, "continuous max_batch must be positive")
+                f.write_str(&check::at_least_one("continuous max_batch"))
             }
             ConfigError::ZeroChunkedBatch => {
-                write!(f, "chunked-prefill max_batch must be positive")
+                f.write_str(&check::at_least_one("chunked-prefill max_batch"))
             }
             ConfigError::ZeroChunkTokens => {
-                write!(f, "chunked-prefill chunk_tokens must be positive")
+                f.write_str(&check::at_least_one("chunked-prefill chunk_tokens"))
             }
-            ConfigError::ZeroKvBlocks => write!(f, "KV pool must have blocks"),
-            ConfigError::ZeroBlockTokens => write!(f, "KV block_tokens must be positive"),
+            ConfigError::ZeroKvBlocks => f.write_str(&check::at_least_one("KV pool blocks")),
+            ConfigError::ZeroBlockTokens => f.write_str(&check::at_least_one("KV block_tokens")),
             ConfigError::KvPoolTooSmall { blocks, needed } => write!(
                 f,
                 "KV pool of {blocks} blocks cannot hold one full request ({needed} blocks); \

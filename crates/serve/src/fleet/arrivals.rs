@@ -119,7 +119,7 @@ impl ArrivalProcess {
             if v.is_finite() && v > 0.0 {
                 Ok(())
             } else {
-                Err(format!("{label} must be positive and finite, got {v}"))
+                Err(crate::config::check::positive_rate(label, v))
             }
         };
         let non_neg = |label: &str, v: f64| {

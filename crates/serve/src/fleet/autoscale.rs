@@ -74,7 +74,7 @@ impl AutoscaleConfig {
             ));
         }
         if self.min_per_pool == 0 {
-            return Err("min_per_pool must be at least 1".into());
+            return Err(crate::config::check::at_least_one("min_per_pool"));
         }
         if self.max_per_pool < self.min_per_pool {
             return Err(format!(

@@ -1,14 +1,15 @@
-//! The fleet floor: a DES over heterogeneous, optionally disaggregated,
-//! optionally autoscaled replica pools.
+//! The fleet serving front: a thin constructor over the unified floor.
 //!
-//! Structure mirrors the single-platform floor (`crate::floor`): events
-//! move requests between explicitly-tracked buckets (per-replica queues,
-//! running batches, handoff links) and every event boundary takes one
-//! conservation-checked counter sample. What is new here:
+//! This module owns the public fleet API — [`simulate_fleet`],
+//! [`simulate_fleet_traced`], and the bounded variant. The event loop
+//! itself lives in `crate::unified`; this front builds the full-strength
+//! [`ReplicaSet`](crate::unified::ReplicaSet) the single-node front
+//! degenerates:
 //!
 //! * each replica prices iterations through its **own platform's**
 //!   [`LatencyModel`], so a gh200 and an amd_a100 replica in one fleet
-//!   charge different prefill/decode costs;
+//!   charge different prefill/decode costs (deduped by platform name, so
+//!   a 4-replica group shares one memo cache);
 //! * a disaggregated fleet splits replicas into a prefill pool and a
 //!   decode pool, connected by per-destination **handoff links**: a
 //!   finished prefill's KV blocks queue on the destination's link and
@@ -20,741 +21,20 @@
 
 use std::collections::VecDeque;
 
-use skip_des::{percentile, SimContext, SimDuration, SimTime, Simulator};
+use skip_des::{percentile, SimDuration, SimTime, Simulator};
 use skip_hw::Platform;
 use skip_mem::KvSpec;
 
-use crate::fleet::autoscale::{ScaleAction, ScalingEvent};
-use crate::fleet::observe::{FleetReport, FleetSample, FleetTrace};
-use crate::fleet::spec::{FleetBatchPolicy, FleetConfig, FleetRouterPolicy, PoolRole};
+use crate::fleet::observe::{FleetReport, FleetTrace};
+use crate::fleet::spec::FleetConfig;
 use crate::latency::LatencyModel;
-use crate::observe::{LifecycleKind, SloReport};
-use crate::request::Request;
-use crate::stop::{StopCondition, StopGuard};
-
-#[derive(Debug, Clone, Copy)]
-enum FEvent {
-    Arrival(Request),
-    /// A replica finished its running iteration.
-    IterationDone(usize),
-    /// The in-flight transfer on `dst`'s handoff link landed.
-    HandoffDone(usize),
-    /// Autoscaler decision point.
-    ScaleTick,
-    /// A launching replica finished provisioning + weight load.
-    ReplicaUp(usize),
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RState {
-    Launching,
-    Up,
-    Draining,
-    Down,
-}
-
-/// One running request on a replica.
-#[derive(Debug, Clone, Copy)]
-struct FActive {
-    req: Request,
-    /// Output tokens produced so far (0 until prefill completes).
-    generated: u32,
-    /// Prompt tokens prefilled so far. Advances chunk-by-chunk under
-    /// [`FleetBatchPolicy::ChunkedPrefill`]; continuous batching jumps it
-    /// to `prompt_len` when the prefill iteration retires.
-    prefilled: u32,
-}
-
-/// One replica's runtime state.
-#[derive(Debug)]
-struct ReplicaRt {
-    platform_idx: usize,
-    pool: PoolRole,
-    state: RState,
-    queue: VecDeque<Request>,
-    actives: Vec<FActive>,
-    busy: bool,
-    /// Chunked-prefill plan for the running iteration: `plan[i]` is the
-    /// prompt-token budget granted to `actives[i]` (0 = no chunk).
-    /// Reused across iterations; empty under continuous batching.
-    plan: Vec<u32>,
-}
-
-impl ReplicaRt {
-    fn outstanding(&self) -> u32 {
-        (self.queue.len() + self.actives.len()) as u32
-    }
-
-    fn takes_arrivals(&self) -> bool {
-        matches!(self.pool, PoolRole::Unified | PoolRole::Prefill)
-    }
-}
-
-/// A KV handoff parked on (or moving over) a destination link.
-#[derive(Debug, Clone, Copy)]
-struct Handoff {
-    req: Request,
-    queued_at: SimTime,
-    bytes: u64,
-    transfer: SimDuration,
-}
-
-/// Per-decode-replica ingress link: FIFO queue plus at most one
-/// in-flight transfer, so concurrent handoffs to the same destination
-/// serialize and the interconnect shows up as occupancy.
-#[derive(Debug, Default)]
-struct LinkRt {
-    queue: VecDeque<Handoff>,
-    inflight: Option<(Handoff, SimTime)>,
-}
-
-impl LinkRt {
-    fn depth(&self) -> u32 {
-        (self.queue.len() + usize::from(self.inflight.is_some())) as u32
-    }
-}
-
-struct FleetFloor<'a> {
-    cfg: &'a FleetConfig,
-    platforms: Vec<Platform>,
-    lat: Vec<LatencyModel>,
-    kv: KvSpec,
-    replicas: Vec<ReplicaRt>,
-    links: Vec<LinkRt>,
-    disagg: bool,
-    rr_arrival: usize,
-    rr_handoff: usize,
-    finished: Vec<(SimDuration, SimDuration)>,
-    /// Reusable retire scratch: the drained running set ping-pongs
-    /// between here and each replica's `actives`, so retires allocate
-    /// nothing once the buffers have grown to batch size.
-    scratch_actives: Vec<FActive>,
-    /// Reusable buffer for handoffs discovered during a retire.
-    scratch_handoffs: Vec<Request>,
-    /// Reusable buffer of routable replica indices.
-    eligible_buf: Vec<usize>,
-    last_completion: SimTime,
-    obs: FleetTrace,
-    handoffs: u64,
-    handoff_bytes: u64,
-    handoff_waits: Vec<f64>,
-    handoff_transfer_ns: f64,
-    scale_ups: u32,
-    scale_downs: u32,
-    peak_live: u32,
-    replica_ns: f64,
-    last_bill: SimTime,
-}
-
-impl FleetFloor<'_> {
-    fn handle(&mut self, ctx: &mut SimContext<'_, FEvent>, event: FEvent) {
-        let now = ctx.now();
-        match event {
-            FEvent::Arrival(req) => {
-                self.obs.record(req.id, now, LifecycleKind::Arrived);
-                let r = self.route_arrival(&req);
-                self.replicas[r].queue.push_back(req);
-                self.kick(ctx, r);
-            }
-            FEvent::IterationDone(r) => {
-                self.replicas[r].busy = false;
-                self.retire(ctx, r, now);
-                self.kick(ctx, r);
-                self.settle_drains(now);
-            }
-            FEvent::HandoffDone(dst) => {
-                let (h, started) = self.links[dst]
-                    .inflight
-                    .take()
-                    .expect("HandoffDone without an in-flight transfer");
-                self.obs.record(
-                    h.req.id,
-                    now,
-                    LifecycleKind::HandoffDone {
-                        to: dst as u32,
-                        wait: started.saturating_duration_since(h.queued_at),
-                        transfer: h.transfer,
-                    },
-                );
-                self.handoffs += 1;
-                self.handoff_bytes += h.bytes;
-                self.handoff_waits.push(
-                    started
-                        .saturating_duration_since(h.queued_at)
-                        .as_nanos_f64(),
-                );
-                self.handoff_transfer_ns += h.transfer.as_nanos_f64();
-                self.replicas[dst].queue.push_back(h.req);
-                self.pump_link(ctx, dst, now);
-                self.kick(ctx, dst);
-            }
-            FEvent::ScaleTick => self.scale_tick(ctx, now),
-            FEvent::ReplicaUp(r) => {
-                self.bill(now);
-                self.replicas[r].state = RState::Up;
-                self.scale_ups += 1;
-                self.obs.scaling.push(ScalingEvent {
-                    at: now,
-                    pool: self.replicas[r].pool,
-                    replica: r as u32,
-                    action: ScaleAction::Up,
-                });
-                self.kick(ctx, r);
-            }
-        }
-        self.sample(now);
-    }
-
-    /// Starts the next iteration on replica `r` if it is idle and has
-    /// work. Under continuous batching: a batched prefill when
-    /// unprefilled admits exist, else one decode step for the running
-    /// batch. Under chunked prefill: a token-budgeted chunk plan with
-    /// co-scheduled decode steps.
-    fn kick(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize) {
-        let now = ctx.now();
-        let rep = &mut self.replicas[r];
-        if rep.busy || matches!(rep.state, RState::Launching | RState::Down) {
-            return;
-        }
-        // Admit newcomers at the iteration boundary.
-        let room = (self.cfg.max_batch as usize).saturating_sub(rep.actives.len());
-        let decode_side = rep.pool == PoolRole::Decode;
-        for _ in 0..room {
-            let Some(req) = rep.queue.pop_front() else {
-                break;
-            };
-            let kind = if decode_side {
-                LifecycleKind::DecodeAdmitted { replica: r as u32 }
-            } else {
-                LifecycleKind::Admitted { replica: r as u32 }
-            };
-            self.obs.record(req.id, now, kind);
-            rep.actives.push(FActive {
-                // Handed-off requests arrive with their prompt prefilled
-                // and their first token already produced by the prefill
-                // pool.
-                generated: u32::from(decode_side),
-                prefilled: if decode_side { req.prompt_len } else { 0 },
-                req,
-            });
-        }
-        if rep.actives.is_empty() {
-            return;
-        }
-        let dur = match self.cfg.policy {
-            FleetBatchPolicy::Continuous => self.continuous_iteration(r),
-            FleetBatchPolicy::ChunkedPrefill { chunk_tokens } => {
-                self.chunked_iteration(r, chunk_tokens)
-            }
-        };
-        if let Some(dur) = dur {
-            self.replicas[r].busy = true;
-            ctx.schedule(now + dur, FEvent::IterationDone(r));
-        }
-    }
-
-    /// Prices one continuous-batching iteration for `r`'s running batch
-    /// in a single counting pass (prefill-priority: when any admitted
-    /// request still needs its prompt, the iteration prefills those whole
-    /// while decoders idle).
-    fn continuous_iteration(&self, r: usize) -> Option<SimDuration> {
-        let rep = &self.replicas[r];
-        let lat = &self.lat[rep.platform_idx];
-        let mut fresh_rows = 0u32;
-        let mut fresh_len = 0u32;
-        let mut batch_ctx = 0u32;
-        for a in &rep.actives {
-            if a.generated == 0 {
-                fresh_rows += 1;
-                fresh_len = fresh_len.max(a.req.prompt_len);
-            }
-            batch_ctx = batch_ctx.max(a.req.prompt_len + a.generated);
-        }
-        Some(if fresh_rows == 0 {
-            lat.decode_step(rep.actives.len() as u32, batch_ctx)
-        } else {
-            lat.prefill(fresh_rows, fresh_len)
-        })
-    }
-
-    /// Plans one Sarathi-style chunked iteration for `r`, mirroring the
-    /// single-platform floor's `ChunkedPrefillBatch`: spend at most
-    /// `chunk_tokens` prompt tokens across unfinished prefills (oldest
-    /// first) and co-schedule one decode step for every request already
-    /// past its prompt. The plan lives in `ReplicaRt::plan` (reused
-    /// across iterations) and is applied by [`Self::retire_chunked`].
-    fn chunked_iteration(&mut self, r: usize, chunk_tokens: u32) -> Option<SimDuration> {
-        let FleetFloor { replicas, lat, .. } = self;
-        let rep = &mut replicas[r];
-        let lat = &lat[rep.platform_idx];
-        rep.plan.clear();
-        rep.plan.resize(rep.actives.len(), 0);
-        let mut budget = chunk_tokens;
-        for (i, a) in rep.actives.iter().enumerate() {
-            if budget == 0 {
-                break;
-            }
-            if a.prefilled >= a.req.prompt_len {
-                continue;
-            }
-            let tokens = (a.req.prompt_len - a.prefilled).min(budget);
-            rep.plan[i] = tokens;
-            budget -= tokens;
-        }
-        // Price: one batched prefill over the chunk rows (sized by the
-        // largest chunk) plus one decode step over the decode rows (sized
-        // by the longest context).
-        let mut chunk_rows = 0u32;
-        let mut max_chunk = 0u32;
-        let mut decode_rows = 0u32;
-        let mut decode_ctx = 0u32;
-        for (i, a) in rep.actives.iter().enumerate() {
-            if rep.plan[i] > 0 {
-                chunk_rows += 1;
-                max_chunk = max_chunk.max(rep.plan[i]);
-            } else if a.prefilled >= a.req.prompt_len {
-                decode_rows += 1;
-                decode_ctx = decode_ctx.max(a.prefilled + a.generated);
-            }
-        }
-        let mut cost = SimDuration::ZERO;
-        if chunk_rows > 0 {
-            cost += lat.prefill(chunk_rows, max_chunk);
-        }
-        if decode_rows > 0 {
-            cost += lat.decode_step(decode_rows, decode_ctx);
-        }
-        (chunk_rows + decode_rows > 0).then_some(cost)
-    }
-
-    /// Applies the finished iteration's effects: freshly-prefilled
-    /// requests emit their first token (and complete, hand off, or stay
-    /// for decode); decoding requests advance one token and complete at
-    /// their budget.
-    fn retire(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
-        match self.cfg.policy {
-            FleetBatchPolicy::Continuous => self.retire_continuous(ctx, r, now),
-            FleetBatchPolicy::ChunkedPrefill { .. } => self.retire_chunked(ctx, r, now),
-        }
-    }
-
-    fn retire_continuous(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
-        let was_prefill = self.replicas[r].actives.iter().any(|a| a.generated == 0);
-        let target = self.cfg.new_tokens.max(1);
-        let pool = self.replicas[r].pool;
-        // Drain through the reusable scratch buffer: swap the running set
-        // out, push survivors straight back, and keep both capacities for
-        // the next retire.
-        let mut work = std::mem::replace(
-            &mut self.replicas[r].actives,
-            std::mem::take(&mut self.scratch_actives),
-        );
-        for mut a in work.drain(..) {
-            if was_prefill {
-                if a.generated == 0 {
-                    a.generated = 1;
-                    a.prefilled = a.req.prompt_len;
-                    self.obs.record(a.req.id, now, LifecycleKind::FirstToken);
-                } else {
-                    // Decoding requests idled through the prefill
-                    // iteration (prefill-priority continuous batching).
-                    self.replicas[r].actives.push(a);
-                    continue;
-                }
-            } else {
-                a.generated += 1;
-            }
-            self.finish_or_keep(a, r, pool, target, now);
-        }
-        self.scratch_actives = work;
-        self.flush_handoffs(ctx, r, now);
-    }
-
-    /// Applies the chunk plan recorded by [`Self::chunked_iteration`]:
-    /// planned chunks advance `prefilled` (the final chunk emits the
-    /// first token), decode-phase requests advance one token, and
-    /// completion/handoff routing matches the continuous path.
-    fn retire_chunked(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
-        let target = self.cfg.new_tokens.max(1);
-        let pool = self.replicas[r].pool;
-        let plan = std::mem::take(&mut self.replicas[r].plan);
-        let mut work = std::mem::replace(
-            &mut self.replicas[r].actives,
-            std::mem::take(&mut self.scratch_actives),
-        );
-        for (i, mut a) in work.drain(..).enumerate() {
-            if a.prefilled >= a.req.prompt_len {
-                // Spent the iteration in its decode phase.
-                a.generated += 1;
-            } else if plan[i] > 0 {
-                a.prefilled += plan[i];
-                if a.prefilled >= a.req.prompt_len {
-                    // Final chunk: first token out with it.
-                    a.generated = 1;
-                    self.obs.record(a.req.id, now, LifecycleKind::FirstToken);
-                } else {
-                    self.replicas[r].actives.push(a);
-                    continue;
-                }
-            } else {
-                // Out of chunk budget this iteration; stays admitted.
-                self.replicas[r].actives.push(a);
-                continue;
-            }
-            self.finish_or_keep(a, r, pool, target, now);
-        }
-        self.scratch_actives = work;
-        self.replicas[r].plan = plan;
-        self.flush_handoffs(ctx, r, now);
-    }
-
-    /// Routes a request that just produced a token: complete at its
-    /// budget, hand off from the prefill pool, else keep decoding.
-    fn finish_or_keep(&mut self, a: FActive, r: usize, pool: PoolRole, target: u32, now: SimTime) {
-        if a.generated >= target {
-            self.complete(a.req, r, now);
-        } else if pool == PoolRole::Prefill {
-            self.scratch_handoffs.push(a.req);
-        } else {
-            self.replicas[r].actives.push(a);
-        }
-    }
-
-    /// Starts every handoff parked in the scratch buffer (reused across
-    /// retires).
-    fn flush_handoffs(&mut self, ctx: &mut SimContext<'_, FEvent>, r: usize, now: SimTime) {
-        let mut handoffs = std::mem::take(&mut self.scratch_handoffs);
-        for req in handoffs.drain(..) {
-            self.start_handoff(ctx, r, req, now);
-        }
-        self.scratch_handoffs = handoffs;
-    }
-
-    fn complete(&mut self, req: Request, r: usize, now: SimTime) {
-        self.obs
-            .record(req.id, now, LifecycleKind::Completed { replica: r as u32 });
-        let lc = &self.obs.lifecycles[req.id as usize];
-        let ttft = lc.ttft().unwrap_or(SimDuration::ZERO);
-        let e2e = lc.e2e().unwrap_or(SimDuration::ZERO);
-        self.finished.push((ttft, e2e));
-        self.last_completion = self.last_completion.max(now);
-    }
-
-    /// Queues `req`'s KV on a decode replica's ingress link, starting the
-    /// transfer immediately when the link is idle.
-    fn start_handoff(
-        &mut self,
-        ctx: &mut SimContext<'_, FEvent>,
-        from: usize,
-        req: Request,
-        now: SimTime,
-    ) {
-        let dst = self.route_handoff(&req);
-        // Prompt plus the first token produced by prefill, in whole
-        // blocks — what paged attention actually migrates.
-        let bytes = self
-            .kv
-            .handoff_bytes(u64::from(req.prompt_len).saturating_add(1));
-        let src_p = &self.platforms[self.replicas[from].platform_idx];
-        let dst_p = &self.platforms[self.replicas[dst].platform_idx];
-        let transfer = src_p.kv_handoff_time(dst_p, bytes);
-        self.obs.record(
-            req.id,
-            now,
-            LifecycleKind::HandoffQueued {
-                from: from as u32,
-                bytes,
-            },
-        );
-        self.links[dst].queue.push_back(Handoff {
-            req,
-            queued_at: now,
-            bytes,
-            transfer,
-        });
-        self.pump_link(ctx, dst, now);
-    }
-
-    /// Starts the next queued transfer on `dst`'s link if it is idle.
-    fn pump_link(&mut self, ctx: &mut SimContext<'_, FEvent>, dst: usize, now: SimTime) {
-        if self.links[dst].inflight.is_some() {
-            return;
-        }
-        if let Some(h) = self.links[dst].queue.pop_front() {
-            let transfer = h.transfer;
-            self.links[dst].inflight = Some((h, now));
-            ctx.schedule(now + transfer, FEvent::HandoffDone(dst));
-        }
-    }
-
-    /// Fills `eligible_buf` with the replica indices eligible for new
-    /// work in the given direction (buffer reused across routing
-    /// decisions, so steady-state routing allocates nothing).
-    fn fill_eligible(&mut self, arrivals: bool) {
-        let want = |rep: &ReplicaRt| {
-            if arrivals {
-                rep.takes_arrivals()
-            } else {
-                rep.pool == PoolRole::Decode
-            }
-        };
-        self.eligible_buf.clear();
-        for i in 0..self.replicas.len() {
-            let rep = &self.replicas[i];
-            if rep.state == RState::Up && want(rep) {
-                self.eligible_buf.push(i);
-            }
-        }
-        if !self.eligible_buf.is_empty() {
-            return;
-        }
-        // Degenerate fallback (every candidate mid-drain): route to any
-        // non-down replica of the right pool so no request is stranded.
-        for i in 0..self.replicas.len() {
-            let rep = &self.replicas[i];
-            if rep.state != RState::Down && want(rep) {
-                self.eligible_buf.push(i);
-            }
-        }
-    }
-
-    fn route_arrival(&mut self, req: &Request) -> usize {
-        self.fill_eligible(true);
-        let pick = self.pick(&self.eligible_buf, self.rr_arrival, req);
-        if self.cfg.router == FleetRouterPolicy::RoundRobin {
-            self.rr_arrival += 1;
-        }
-        pick
-    }
-
-    fn route_handoff(&mut self, req: &Request) -> usize {
-        self.fill_eligible(false);
-        let pick = self.pick(&self.eligible_buf, self.rr_handoff, req);
-        if self.cfg.router == FleetRouterPolicy::RoundRobin {
-            self.rr_handoff += 1;
-        }
-        pick
-    }
-
-    fn pick(&self, eligible: &[usize], rr_cursor: usize, _req: &Request) -> usize {
-        assert!(!eligible.is_empty(), "fleet has no routable replica");
-        match self.cfg.router {
-            FleetRouterPolicy::RoundRobin => eligible[rr_cursor % eligible.len()],
-            FleetRouterPolicy::JoinShortestQueue => *eligible
-                .iter()
-                .min_by_key(|&&i| (self.backlog(i), i))
-                .expect("non-empty"),
-            FleetRouterPolicy::CostModelJsq => {
-                let mut best = eligible[0];
-                let mut best_cost = f64::INFINITY;
-                for &i in eligible {
-                    let cost = f64::from(self.backlog(i) + 1) * self.unit_cost_ns(i);
-                    if cost < best_cost {
-                        best = i;
-                        best_cost = cost;
-                    }
-                }
-                best
-            }
-        }
-    }
-
-    /// Outstanding work at replica `i`: its queue, its running batch, and
-    /// (for decode replicas) handoffs already committed to its link.
-    fn backlog(&self, i: usize) -> u32 {
-        self.replicas[i].outstanding() + self.links[i].depth()
-    }
-
-    /// Per-request service estimate on `i`'s platform, in nanoseconds —
-    /// the cost-model JSQ's exchange rate between queue depths on
-    /// different platforms. Memoized inside the [`LatencyModel`], so this
-    /// is two map hits after the first call.
-    fn unit_cost_ns(&self, i: usize) -> f64 {
-        let rep = &self.replicas[i];
-        let lat = &self.lat[rep.platform_idx];
-        let b = self.cfg.max_batch.max(1);
-        let prefill = lat.prefill(b, self.cfg.prompt_len.max(1)).as_nanos_f64() / f64::from(b);
-        let steps = self.cfg.new_tokens.max(1) - 1;
-        let decode = lat
-            .decode_step(b, self.cfg.prompt_len + self.cfg.new_tokens)
-            .as_nanos_f64()
-            / f64::from(b);
-        match rep.pool {
-            PoolRole::Prefill => prefill,
-            PoolRole::Decode => decode * f64::from(steps.max(1)),
-            PoolRole::Unified => prefill + decode * f64::from(steps),
-        }
-    }
-
-    fn scale_tick(&mut self, ctx: &mut SimContext<'_, FEvent>, now: SimTime) {
-        let Some(auto) = &self.cfg.autoscale else {
-            return;
-        };
-        let auto = *auto;
-        let all_done = self.obs.completed_total() >= self.cfg.requests;
-        if !all_done {
-            let pools: &[PoolRole] = if self.disagg {
-                &[PoolRole::Prefill, PoolRole::Decode]
-            } else {
-                &[PoolRole::Unified]
-            };
-            for &pool in pools {
-                self.scale_pool(ctx, pool, auto, now);
-            }
-            ctx.schedule(now + auto.interval, FEvent::ScaleTick);
-        }
-        self.settle_drains(now);
-    }
-
-    fn scale_pool(
-        &mut self,
-        ctx: &mut SimContext<'_, FEvent>,
-        pool: PoolRole,
-        auto: crate::fleet::autoscale::AutoscaleConfig,
-        now: SimTime,
-    ) {
-        // One counting pass over the pool: outstanding work, up/launching
-        // tallies, the newest up replica (drain victim), and the pool's
-        // seed platform — no per-tick index vectors.
-        let mut outstanding = 0u32;
-        let mut up_count = 0u32;
-        let mut last_up = None;
-        let mut launching = 0u32;
-        let mut seed_platform = None;
-        for i in 0..self.replicas.len() {
-            if self.replicas[i].pool != pool {
-                continue;
-            }
-            if seed_platform.is_none() {
-                seed_platform = Some(self.replicas[i].platform_idx);
-            }
-            outstanding += self.backlog(i);
-            match self.replicas[i].state {
-                RState::Up => {
-                    up_count += 1;
-                    last_up = Some(i);
-                }
-                RState::Launching => launching += 1,
-                _ => {}
-            }
-        }
-        let pressure = f64::from(outstanding) / f64::from(up_count.max(1));
-        if pressure > auto.high_load && (up_count + launching) < auto.max_per_pool {
-            // Clone the pool's seed platform for the new replica.
-            let platform_idx = seed_platform.expect("pool has at least one replica");
-            let weights = self.cfg.model.weight_bytes_fp16();
-            let launch_cost =
-                auto.provision_delay + self.platforms[platform_idx].h2d_transfer(weights);
-            let new_idx = self.replicas.len();
-            self.replicas.push(ReplicaRt {
-                platform_idx,
-                pool,
-                state: RState::Launching,
-                queue: VecDeque::new(),
-                actives: Vec::new(),
-                busy: false,
-                plan: Vec::new(),
-            });
-            self.links.push(LinkRt::default());
-            self.obs.scaling.push(ScalingEvent {
-                at: now,
-                pool,
-                replica: new_idx as u32,
-                action: ScaleAction::LaunchRequested,
-            });
-            ctx.schedule(now + launch_cost, FEvent::ReplicaUp(new_idx));
-        } else if pressure < auto.low_load && up_count > auto.min_per_pool && launching == 0 {
-            // Drain the newest up replica; it keeps its backlog and
-            // leaves once empty.
-            let victim = last_up.expect("up set non-empty above");
-            self.bill(now);
-            self.replicas[victim].state = RState::Draining;
-            self.obs.scaling.push(ScalingEvent {
-                at: now,
-                pool,
-                replica: victim as u32,
-                action: ScaleAction::DrainRequested,
-            });
-        }
-    }
-
-    /// Retires draining replicas whose backlog has fully emptied.
-    fn settle_drains(&mut self, now: SimTime) {
-        for i in 0..self.replicas.len() {
-            let empty = self.replicas[i].state == RState::Draining
-                && !self.replicas[i].busy
-                && self.replicas[i].outstanding() == 0
-                && self.links[i].depth() == 0;
-            if empty {
-                self.bill(now);
-                self.replicas[i].state = RState::Down;
-                self.scale_downs += 1;
-                self.obs.scaling.push(ScalingEvent {
-                    at: now,
-                    pool: self.replicas[i].pool,
-                    replica: i as u32,
-                    action: ScaleAction::Down,
-                });
-            }
-        }
-    }
-
-    fn live_count(&self) -> u32 {
-        self.replicas
-            .iter()
-            .filter(|r| matches!(r.state, RState::Up | RState::Draining))
-            .count() as u32
-    }
-
-    /// Accrues replica-seconds up to `now` at the current live count.
-    /// Called before any state transition and once at the end.
-    fn bill(&mut self, now: SimTime) {
-        let live = self.live_count();
-        self.replica_ns +=
-            now.saturating_duration_since(self.last_bill).as_nanos_f64() * f64::from(live);
-        self.last_bill = now;
-        self.peak_live = self.peak_live.max(live);
-    }
-
-    /// The bill the run has provably accrued by `now`, without mutating
-    /// billing state — what a cost-ceiling [`StopCondition`] compares
-    /// against between events.
-    fn accrued_replica_seconds(&self, now: SimTime) -> f64 {
-        (self.replica_ns
-            + now.saturating_duration_since(self.last_bill).as_nanos_f64()
-                * f64::from(self.live_count()))
-            / 1e9
-    }
-
-    fn sample(&mut self, now: SimTime) {
-        let mut prefill_queue = 0u32;
-        let mut decode_queue = 0u32;
-        let mut running = 0u32;
-        for rep in &self.replicas {
-            running += rep.actives.len() as u32;
-            if rep.pool == PoolRole::Decode {
-                decode_queue += rep.queue.len() as u32;
-            } else {
-                prefill_queue += rep.queue.len() as u32;
-            }
-        }
-        let handoff_queued: u32 = self.links.iter().map(|l| l.queue.len() as u32).sum();
-        let handoff_inflight = self.links.iter().filter(|l| l.inflight.is_some()).count() as u32;
-        let live = self.live_count();
-        self.peak_live = self.peak_live.max(live);
-        self.obs.push_sample(FleetSample {
-            at: now,
-            prefill_queue,
-            decode_queue,
-            running,
-            handoff_queued,
-            handoff_inflight,
-            live_replicas: live,
-            arrived_total: self.obs.arrived_total(),
-            completed_total: self.obs.completed_total(),
-        });
-    }
-}
+use crate::observe::SloReport;
+use crate::policy::ReplicaState;
+use crate::stop::StopCondition;
+use crate::unified::{
+    run_unified, unit_cost_ns, CostBasis, Event, FloorObs, LinkRt, RState, ReplicaMeta,
+    ReplicaSet, UnifiedFloor,
+};
 
 /// Runs the fleet simulation, returning the scalar report.
 ///
@@ -800,7 +80,7 @@ fn run_fleet(cfg: &FleetConfig, stop: StopCondition) -> (FleetReport, FleetTrace
     // replicas reference them by index so a 4-replica group shares one
     // memo cache.
     let mut platforms: Vec<Platform> = Vec::new();
-    let mut replicas: Vec<ReplicaRt> = Vec::new();
+    let mut meta: Vec<ReplicaMeta> = Vec::new();
     for g in &cfg.spec.groups {
         let platform_idx = match platforms.iter().position(|p| p.name == g.platform.name) {
             Some(i) => i,
@@ -810,14 +90,11 @@ fn run_fleet(cfg: &FleetConfig, stop: StopCondition) -> (FleetReport, FleetTrace
             }
         };
         for _ in 0..g.count {
-            replicas.push(ReplicaRt {
+            meta.push(ReplicaMeta {
                 platform_idx,
                 pool: g.role,
                 state: RState::Up,
-                queue: VecDeque::new(),
-                actives: Vec::with_capacity(cfg.max_batch as usize),
-                busy: false,
-                plan: Vec::new(),
+                unit_cost_ns: 0.0,
             });
         }
     }
@@ -825,7 +102,19 @@ fn run_fleet(cfg: &FleetConfig, stop: StopCondition) -> (FleetReport, FleetTrace
         .iter()
         .map(|p| LatencyModel::new(p.clone(), cfg.model.clone()))
         .collect();
-    let links: Vec<LinkRt> = (0..replicas.len()).map(|_| LinkRt::default()).collect();
+    // The cost-model router's exchange rate, one per replica. Pure and
+    // memoized, so pricing eagerly here only warms the latency caches.
+    for m in &mut meta {
+        m.unit_cost_ns = unit_cost_ns(
+            &lat[m.platform_idx],
+            m.pool,
+            cfg.max_batch,
+            cfg.prompt_len,
+            cfg.new_tokens,
+        );
+    }
+    let n = meta.len();
+    let links: Vec<LinkRt> = (0..n).map(|_| LinkRt::default()).collect();
 
     let arrivals = cfg.arrivals.generate(
         cfg.requests as usize,
@@ -834,15 +123,15 @@ fn run_fleet(cfg: &FleetConfig, stop: StopCondition) -> (FleetReport, FleetTrace
         cfg.seed,
     );
     let first_arrival = arrivals.first().map(|r| r.arrival);
-    let mut sim: Simulator<FEvent> = Simulator::new();
+    let mut sim: Simulator<Event> = Simulator::new();
     for req in &arrivals {
-        sim.schedule(req.arrival, FEvent::Arrival(*req));
+        sim.schedule(req.arrival, Event::Arrival(*req));
     }
     if let Some(auto) = &cfg.autoscale {
-        sim.schedule(SimTime::ZERO + auto.interval, FEvent::ScaleTick);
+        sim.schedule(SimTime::ZERO + auto.interval, Event::ScaleTick);
     }
 
-    let initial_live = replicas.len() as u32;
+    let initial_live = n as u32;
     let disagg = cfg.spec.is_disaggregated();
     // Preallocate the whole-run observation storage: every request's
     // lifecycle takes a bounded number of events (arrive/admit/first
@@ -850,78 +139,84 @@ fn run_fleet(cfg: &FleetConfig, stop: StopCondition) -> (FleetReport, FleetTrace
     // so the recording hot path never reallocates mid-simulation.
     let mut obs = FleetTrace::new(cfg.model.name.clone(), cfg.spec.label());
     obs.reserve(cfg.requests, if disagg { 7 } else { 4 });
-    let mut floor = FleetFloor {
-        cfg,
-        lat,
-        kv: KvSpec::for_model(&cfg.model, KvSpec::DEFAULT_BLOCK_TOKENS),
-        links,
-        disagg,
-        rr_arrival: 0,
-        rr_handoff: 0,
+    let mut floor = UnifiedFloor {
+        set: ReplicaSet {
+            platforms,
+            lat,
+            meta,
+            links,
+            arrival_router: cfg.router.build(),
+            // A second instance, so round-robin handoff dispatch keeps
+            // its own cursor, independent of arrival dispatch.
+            handoff_router: cfg.router.build(),
+            kv: KvSpec::for_model(&cfg.model, KvSpec::DEFAULT_BLOCK_TOKENS),
+            disagg,
+            targeted: true,
+            autoscale: cfg.autoscale,
+            weight_bytes: cfg.model.weight_bytes_fp16(),
+            handoffs: 0,
+            handoff_bytes: 0,
+            handoff_waits: Vec::with_capacity(if disagg { cfg.requests as usize } else { 0 }),
+            handoff_transfer_ns: 0.0,
+            scale_ups: 0,
+            scale_downs: 0,
+            peak_live: initial_live,
+            replica_ns: 0.0,
+            last_bill: SimTime::ZERO,
+        },
+        policy: cfg.policy.build(cfg.max_batch),
+        queues: (0..n).map(|_| VecDeque::new()).collect(),
+        queue_of: (0..n).collect(),
+        states: (0..n)
+            .map(|_| ReplicaState {
+                actives: Vec::with_capacity(cfg.max_batch as usize),
+                ..ReplicaState::default()
+            })
+            .collect(),
+        mem: None,
         finished: Vec::with_capacity(cfg.requests as usize),
+        last_completion: SimTime::ZERO,
+        // Fleet policies admit at every boundary, so no flush timers.
+        flush: Vec::new(),
+        obs: FloorObs::Fleet(obs),
+        expired_buf: Vec::new(),
+        load_buf: Vec::with_capacity(n),
         scratch_actives: Vec::with_capacity(cfg.max_batch as usize),
         scratch_handoffs: Vec::with_capacity(if disagg { cfg.max_batch as usize } else { 0 }),
-        eligible_buf: Vec::with_capacity(replicas.len()),
-        replicas,
-        last_completion: SimTime::ZERO,
-        obs,
-        handoffs: 0,
-        handoff_bytes: 0,
-        handoff_waits: Vec::with_capacity(if disagg { cfg.requests as usize } else { 0 }),
-        handoff_transfer_ns: 0.0,
-        scale_ups: 0,
-        scale_downs: 0,
-        peak_live: initial_live,
-        replica_ns: 0.0,
-        last_bill: SimTime::ZERO,
-        platforms,
+        prompt_len: cfg.prompt_len,
+        new_tokens: cfg.new_tokens,
+        max_batch: cfg.max_batch,
+        requests: cfg.requests,
     };
 
-    let mut aborted = false;
-    if stop.is_unbounded() {
-        sim.run(|ctx, event| floor.handle(ctx, event));
-    } else {
-        // Same event loop, one step at a time, with incremental miss and
-        // bill bookkeeping between steps. The handled events are
-        // byte-identical to `sim.run` up to the abort instant, so a run
-        // no budget stops produces the unbounded run's exact report.
-        let mut guard = StopGuard::new(stop, cfg.slo);
-        let mut noted = 0usize;
-        while sim.step(|ctx, event| floor.handle(ctx, event)) {
-            while noted < floor.finished.len() {
-                let (ttft, e2e) = floor.finished[noted];
-                noted += 1;
-                guard.note(ttft, e2e);
-            }
-            if guard.miss_budget_blown()
-                || (guard.wants_cost()
-                    && guard.cost_blown(floor.accrued_replica_seconds(sim.now())))
-            {
-                aborted = true;
-                break;
-            }
-        }
-    }
+    let aborted = run_unified(&mut floor, &mut sim, stop, cfg.slo, CostBasis::Billed);
+
     let bill_to = if aborted {
         // Bill the span actually simulated — the truncated report still
         // prices what the run rented before it was called off.
-        sim.now().max(floor.last_completion).max(floor.last_bill)
+        sim.now()
+            .max(floor.last_completion)
+            .max(floor.set.last_bill)
     } else {
-        floor.last_completion.max(floor.last_bill)
+        floor.last_completion.max(floor.set.last_bill)
     };
-    floor.bill(bill_to);
+    floor.set.bill(bill_to);
 
     let mut report = assemble_fleet_report(cfg, &floor, first_arrival);
     report.aborted = aborted;
-    (report, floor.obs)
+    let FloorObs::Fleet(trace) = floor.obs else {
+        unreachable!("fleet front records a FleetTrace")
+    };
+    (report, trace)
 }
 
 fn assemble_fleet_report(
     cfg: &FleetConfig,
-    floor: &FleetFloor<'_>,
+    floor: &UnifiedFloor,
     first_arrival: Option<SimTime>,
 ) -> FleetReport {
-    let latencies = &floor.finished;
+    let latencies: Vec<(SimDuration, SimDuration)> =
+        floor.finished.iter().map(|f| (f.ttft, f.e2e)).collect();
     let ttfts: Vec<f64> = latencies.iter().map(|(t, _)| t.as_nanos_f64()).collect();
     let e2es: Vec<f64> = latencies.iter().map(|(_, e)| e.as_nanos_f64()).collect();
     let makespan = floor
@@ -935,6 +230,7 @@ fn assemble_fleet_report(
         total_tokens as f64 / makespan.as_secs_f64().max(1e-12)
     };
     let d = |v: f64| SimDuration::from_nanos_f64(v);
+    let set = &floor.set;
     FleetReport {
         completed,
         ttft_p50: d(percentile(&ttfts, 50.0)),
@@ -944,16 +240,16 @@ fn assemble_fleet_report(
         e2e_p95: d(percentile(&e2es, 95.0)),
         throughput_tok_s,
         makespan,
-        slo: SloReport::evaluate(cfg.slo, latencies, cfg.new_tokens.max(1), makespan),
-        handoffs: floor.handoffs,
-        handoff_bytes: floor.handoff_bytes,
-        handoff_wait_p50: d(percentile(&floor.handoff_waits, 50.0)),
-        handoff_wait_p95: d(percentile(&floor.handoff_waits, 95.0)),
-        handoff_transfer_total: d(floor.handoff_transfer_ns),
-        scale_ups: floor.scale_ups,
-        scale_downs: floor.scale_downs,
-        peak_replicas: floor.peak_live,
-        replica_seconds: floor.replica_ns / 1e9,
+        slo: SloReport::evaluate(cfg.slo, &latencies, cfg.new_tokens.max(1), makespan),
+        handoffs: set.handoffs,
+        handoff_bytes: set.handoff_bytes,
+        handoff_wait_p50: d(percentile(&set.handoff_waits, 50.0)),
+        handoff_wait_p95: d(percentile(&set.handoff_waits, 95.0)),
+        handoff_transfer_total: d(set.handoff_transfer_ns),
+        scale_ups: set.scale_ups,
+        scale_downs: set.scale_downs,
+        peak_replicas: set.peak_live,
+        replica_seconds: set.replica_ns / 1e9,
         aborted: false,
     }
 }
@@ -962,9 +258,9 @@ fn assemble_fleet_report(
 mod tests {
     use super::*;
     use crate::fleet::arrivals::ArrivalProcess;
-    use crate::fleet::autoscale::AutoscaleConfig;
-    use crate::fleet::spec::FleetSpec;
-    use crate::observe::SloTargets;
+    use crate::fleet::autoscale::{AutoscaleConfig, ScaleAction};
+    use crate::fleet::spec::{FleetBatchPolicy, FleetRouterPolicy, FleetSpec, PoolRole};
+    use crate::observe::{LifecycleKind, SloTargets};
     use skip_hw::{Coupling, Interconnect, PlatformBuilder};
     use skip_llm::zoo;
 

@@ -41,6 +41,7 @@ use skip_hw::Platform;
 use skip_llm::ModelConfig;
 use skip_mem::KvSpec;
 
+use crate::config::check;
 use crate::fleet::arrivals::ArrivalProcess;
 use crate::fleet::autoscale::AutoscaleConfig;
 use crate::fleet::floor::{simulate_fleet, simulate_fleet_bounded};
@@ -131,16 +132,12 @@ pub enum PlanError {
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::ZeroMaxReplicas => write!(f, "max replicas must be at least 1"),
+            PlanError::ZeroMaxReplicas => f.write_str(&check::at_least_one("max replicas")),
             PlanError::BadAttainmentFloor(v) => {
                 write!(f, "attainment floor must be in (0, 1], got {v}")
             }
-            PlanError::EmptyEnvelope => {
-                write!(f, "the traffic envelope must score at least one request")
-            }
-            PlanError::BadLoad(v) => {
-                write!(f, "offered load must be positive and finite, got {v} req/s")
-            }
+            PlanError::EmptyEnvelope => f.write_str(check::ZERO_REQUESTS),
+            PlanError::BadLoad(v) => f.write_str(&check::positive_rate("offered load", *v)),
             PlanError::NoPlatforms => write!(f, "the platform menu is empty"),
         }
     }

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use skip_hw::Platform;
 use skip_llm::ModelConfig;
 
+use crate::config::check;
 use crate::fleet::arrivals::ArrivalProcess;
 use crate::fleet::autoscale::AutoscaleConfig;
 use crate::observe::SloTargets;
@@ -401,10 +402,10 @@ impl fmt::Display for FleetError {
             FleetError::MissingPool(role) => {
                 write!(f, "disaggregated fleet needs a {} pool", role.label())
             }
-            FleetError::ZeroRequests => write!(f, "simulate at least one request"),
-            FleetError::ZeroMaxBatch => write!(f, "max_batch must be positive"),
+            FleetError::ZeroRequests => f.write_str(check::ZERO_REQUESTS),
+            FleetError::ZeroMaxBatch => f.write_str(&check::at_least_one("max_batch")),
             FleetError::ZeroChunkTokens => {
-                write!(f, "chunked prefill needs a positive chunk_tokens budget")
+                f.write_str(&check::at_least_one("chunked-prefill chunk_tokens"))
             }
             FleetError::BadArrivals(msg) => write!(f, "bad arrival process: {msg}"),
             FleetError::BadAutoscale(msg) => write!(f, "bad autoscale config: {msg}"),

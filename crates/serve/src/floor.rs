@@ -1,27 +1,28 @@
-//! The serving floor: the DES loop and nothing else.
+//! The single-node serving front: a thin constructor over the unified
+//! floor.
 //!
-//! The floor owns event dispatch, flush timers, counter sampling, and the
-//! final report. Every scheduling decision is delegated through the three
-//! seams: the [`Router`](crate::router::Router) picks a queue for each
-//! arrival, the [`BatchPolicy`](crate::policy::BatchPolicy) forms and
-//! retires iterations through a [`Lane`], and the
-//! [`MemoryLayer`](crate::memctx::MemoryLayer) (inside the lane) owns all
-//! KV-block bookkeeping. Adding a policy or router never touches this
-//! file.
+//! This module owns the public single-node API — [`simulate`],
+//! [`simulate_replicas`], [`simulate_traced`], and the bounded variant —
+//! plus the [`ServingReport`] shape. The event loop itself lives in
+//! `crate::unified`: a single-node endpoint is the degenerate
+//! [`ReplicaSet`](crate::unified::ReplicaSet) — one homogeneous
+//! always-up group in one unified pool, with inert handoff links and
+//! broadcast (flush-timer-driven) wake-ups.
 
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
-use skip_des::{percentile, SimContext, SimDuration, SimTime, Simulator};
+use skip_des::{percentile, SimDuration, SimTime, Simulator};
 
 use crate::config::ServingConfig;
-use crate::latency::LatencyModel;
 use crate::memctx::MemoryLayer;
-use crate::observe::{CounterSample, LifecycleKind, ServingTrace, SloReport};
-use crate::policy::{BatchPolicy, Finished, Lane, ReplicaState};
-use crate::request::{Request, RequestStream};
-use crate::router::{ReplicaLoad, Router};
-use crate::stop::{StopCondition, StopGuard};
+use crate::observe::{ServingTrace, SloReport};
+use crate::policy::{Finished, ReplicaState};
+use crate::request::RequestStream;
+use crate::stop::StopCondition;
+use crate::unified::{
+    run_unified, CostBasis, Event, FloorObs, FlushTimer, ReplicaSet, UnifiedFloor,
+};
 
 /// Measured serving behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,228 +66,6 @@ pub struct ServingReport {
     /// unbounded runs keep their pinned serde bytes.
     #[serde(default, skip_serializing_if = "std::ops::Not::not")]
     pub aborted: bool,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    Arrival(Request),
-    /// A replica finished its current iteration/job.
-    IterationDone(usize),
-    /// The flush timer armed for `queue` expired.
-    FlushTimeout {
-        queue: usize,
-        generation: u64,
-    },
-}
-
-/// One queue's flush timer: the deadline of the oldest pending arrival
-/// plus the policy's `max_wait`. The generation counter invalidates
-/// superseded timer events still sitting in the DES queue.
-#[derive(Default)]
-struct FlushTimer {
-    generation: u64,
-    deadline: Option<SimTime>,
-}
-
-/// The serving floor: DES state plus the three policy seams.
-struct Floor<'a> {
-    cfg: &'a ServingConfig,
-    lat: &'a LatencyModel,
-    policy: Box<dyn BatchPolicy>,
-    router: Box<dyn Router>,
-    /// Pending queues — one shared (index 0) or one per replica,
-    /// whichever topology the router declared.
-    queues: Vec<VecDeque<Request>>,
-    /// Which queue each replica pulls from.
-    queue_of: Vec<usize>,
-    states: Vec<ReplicaState>,
-    mem: Option<MemoryLayer>,
-    finished: Vec<Finished>,
-    last_completion: SimTime,
-    flush: Vec<FlushTimer>,
-    /// The observability recording: lifecycle records + counter samples.
-    obs: ServingTrace,
-    /// Reused per-event scratch: which queues' oldest waiter timed out.
-    /// Refilled by [`refresh_expired`](Self::refresh_expired); never
-    /// reallocated after construction.
-    expired_buf: Vec<bool>,
-    /// Reused per-arrival scratch: the router's load snapshot.
-    load_buf: Vec<ReplicaLoad>,
-}
-
-impl Floor<'_> {
-    fn handle(&mut self, ctx: &mut SimContext<'_, Event>, event: Event) {
-        let now = ctx.now();
-        match event {
-            Event::Arrival(req) => {
-                self.obs.record(req.id, now, LifecycleKind::Arrived);
-                self.snapshot_load();
-                let q = self
-                    .router
-                    .route(&req, &self.load_buf)
-                    .min(self.queues.len() - 1);
-                self.queues[q].push_back(req);
-                self.refresh_expired(now);
-                self.kick_idle_replicas(ctx);
-                self.arm_flush_timers(ctx);
-            }
-            Event::FlushTimeout { queue, generation } => {
-                if generation == self.flush[queue].generation {
-                    self.flush[queue].deadline = None;
-                    if !self.queues[queue].is_empty() {
-                        self.expired_buf.iter_mut().for_each(|e| *e = false);
-                        self.expired_buf[queue] = true;
-                        self.kick_idle_replicas(ctx);
-                    }
-                    self.arm_flush_timers(ctx);
-                }
-            }
-            Event::IterationDone(replica) => {
-                self.states[replica].busy = false;
-                self.with_lane(now, replica, |policy, lane| policy.retire(lane));
-                self.refresh_expired(now);
-                self.kick_idle_replicas(ctx);
-                self.arm_flush_timers(ctx);
-            }
-        }
-        self.sample(now);
-    }
-
-    /// Builds the lane — one replica's complete scheduling context — and
-    /// hands it to `f` together with the batch policy.
-    fn with_lane<R>(
-        &mut self,
-        now: SimTime,
-        replica: usize,
-        f: impl FnOnce(&dyn BatchPolicy, &mut Lane<'_>) -> R,
-    ) -> R {
-        let q = self.queue_of[replica];
-        let mut lane = Lane {
-            cfg: self.cfg,
-            lat: self.lat,
-            now,
-            replica,
-            queue: &mut self.queues[q],
-            state: &mut self.states[replica],
-            mem: self.mem.as_mut().map(|m| m.lane(replica)),
-            obs: &mut self.obs,
-            done: &mut self.finished,
-            last_completion: &mut self.last_completion,
-        };
-        f(&*self.policy, &mut lane)
-    }
-
-    /// Starts work on every idle replica that has something to do.
-    /// `expired_buf` marks queues whose oldest waiter timed out (forcing a
-    /// partial static batch); the caller fills it once per pass so a
-    /// replica consuming a queue's head cannot change the flush decision
-    /// for the replicas after it.
-    fn kick_idle_replicas(&mut self, ctx: &mut SimContext<'_, Event>) {
-        let now = ctx.now();
-        for replica in 0..self.states.len() {
-            if self.states[replica].busy {
-                continue;
-            }
-            let flush = self.expired_buf[self.queue_of[replica]];
-            let dur = self.with_lane(now, replica, |policy, lane| {
-                policy.next_iteration(lane, flush)
-            });
-            if let Some(dur) = dur {
-                self.states[replica].busy = true;
-                ctx.schedule(now + dur, Event::IterationDone(replica));
-            }
-        }
-    }
-
-    /// Refills `expired_buf` with which queues' oldest pending arrival has
-    /// waited the policy's full flush window.
-    fn refresh_expired(&mut self, now: SimTime) {
-        let Some(max_wait) = self.policy.flush_after() else {
-            self.expired_buf.iter_mut().for_each(|e| *e = false);
-            return;
-        };
-        for (e, q) in self.expired_buf.iter_mut().zip(&self.queues) {
-            *e = q
-                .front()
-                .is_some_and(|r| now.saturating_duration_since(r.arrival) >= max_wait);
-        }
-    }
-
-    /// Arms each queue's flush timer for its **oldest** pending arrival.
-    ///
-    /// The pre-fix scheduler re-armed the timer on *every* arrival,
-    /// measuring `max_wait` from the newest request — under a steady
-    /// trickle the deadline slid forever and the oldest request waited
-    /// unboundedly. The timer tracks the head of the queue and is only
-    /// re-armed when the head's deadline differs from the one outstanding;
-    /// heads already past their deadline are handled by the
-    /// [`expired_queues`](Self::expired_queues) check every event performs,
-    /// so no timer is needed for them.
-    fn arm_flush_timers(&mut self, ctx: &mut SimContext<'_, Event>) {
-        let Some(max_wait) = self.policy.flush_after() else {
-            return;
-        };
-        for q in 0..self.queues.len() {
-            let desired = self.queues[q]
-                .front()
-                .map(|r| r.arrival + max_wait)
-                .filter(|&deadline| deadline > ctx.now());
-            let timer = &mut self.flush[q];
-            if desired == timer.deadline {
-                continue;
-            }
-            timer.generation += 1; // invalidates any outstanding timer
-            timer.deadline = desired;
-            if let Some(deadline) = desired {
-                ctx.schedule(
-                    deadline,
-                    Event::FlushTimeout {
-                        queue: q,
-                        generation: timer.generation,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Refills `load_buf` with per-replica load snapshots for the router.
-    fn snapshot_load(&mut self) {
-        let Floor {
-            queues,
-            queue_of,
-            states,
-            mem,
-            load_buf,
-            ..
-        } = self;
-        load_buf.clear();
-        load_buf.extend((0..states.len()).map(|r| ReplicaLoad {
-            queued: queues[queue_of[r]].len() as u32,
-            running: states[r].running() as u32,
-            parked: mem.as_ref().map_or(0, |m| m.parked_len(r)) as u32,
-        }));
-    }
-
-    /// Samples every counter track at an iteration boundary. Re-sampling
-    /// at the same instant overwrites, so each boundary keeps its final
-    /// state.
-    fn sample(&mut self, now: SimTime) {
-        let running: usize = self.states.iter().map(ReplicaState::running).sum();
-        let parked = self.mem.as_ref().map_or(0, MemoryLayer::parked_total);
-        let busy = self.states.iter().filter(|s| s.busy).count();
-        let sample = CounterSample {
-            at: now,
-            queue_depth: self.queues.iter().map(VecDeque::len).sum::<usize>() as u32,
-            running: running as u32,
-            parked: parked as u32,
-            busy_replicas: busy as u32,
-            kv_used_blocks: self.mem.as_ref().map_or(0, MemoryLayer::used_blocks),
-            kv_total_blocks: self.mem.as_ref().map_or(0, MemoryLayer::total_blocks),
-            admitted_total: self.obs.admitted_total(),
-            completed_total: self.obs.completed_total(),
-        };
-        self.obs.push_sample(sample);
-    }
 }
 
 /// Runs the serving simulation on a single replica.
@@ -365,7 +144,6 @@ fn run_floor(
     }
 
     let n = replicas as usize;
-    let lat = LatencyModel::new(cfg.platform.clone(), cfg.model.clone());
     let mut sim: Simulator<Event> = Simulator::new();
     let mut first_arrival: Option<SimTime> = None;
     for req in RequestStream::poisson(
@@ -386,11 +164,9 @@ fn run_floor(
     // Every request records at least arrive/admit/first-token/complete;
     // memory pressure adds preempt/resume pairs.
     obs.reserve(cfg.requests, if cfg.kv.is_some() { 6 } else { 4 });
-    let mut floor = Floor {
-        cfg,
-        lat: &lat,
+    let mut floor = UnifiedFloor {
+        set: ReplicaSet::single_group(cfg.platform.clone(), &cfg.model, n, router),
         policy: cfg.policy.build(),
-        router,
         queues: (0..nq).map(|_| VecDeque::new()).collect(),
         queue_of: (0..n).map(|r| r.min(nq - 1)).collect(),
         states: (0..n).map(|_| ReplicaState::default()).collect(),
@@ -398,38 +174,24 @@ fn run_floor(
         finished: Vec::with_capacity(cfg.requests as usize),
         last_completion: SimTime::ZERO,
         flush: (0..nq).map(|_| FlushTimer::default()).collect(),
-        obs,
+        obs: FloorObs::Serve(obs),
         expired_buf: vec![false; nq],
         load_buf: Vec::with_capacity(n),
+        scratch_actives: Vec::new(),
+        scratch_handoffs: Vec::new(),
+        prompt_len: cfg.prompt_len,
+        new_tokens: cfg.new_tokens,
+        max_batch: 0,
+        requests: cfg.requests,
     };
 
-    let mut aborted = false;
-    if stop.is_unbounded() {
-        sim.run(|ctx, event| floor.handle(ctx, event));
-    } else {
-        // Same event loop, one step at a time, with incremental miss and
-        // bill bookkeeping between steps (see the fleet floor's twin).
-        let mut guard = StopGuard::new(stop, cfg.slo);
-        let mut noted = 0usize;
-        while sim.step(|ctx, event| floor.handle(ctx, event)) {
-            while noted < floor.finished.len() {
-                let f = &floor.finished[noted];
-                noted += 1;
-                guard.note(f.ttft, f.e2e);
-            }
-            let accrued = || {
-                f64::from(replicas)
-                    * sim
-                        .now()
-                        .saturating_duration_since(SimTime::ZERO)
-                        .as_secs_f64()
-            };
-            if guard.miss_budget_blown() || (guard.wants_cost() && guard.cost_blown(accrued())) {
-                aborted = true;
-                break;
-            }
-        }
-    }
+    let aborted = run_unified(
+        &mut floor,
+        &mut sim,
+        stop,
+        cfg.slo,
+        CostBasis::FixedReplicas(replicas),
+    );
 
     let mut report = assemble_report(
         cfg,
@@ -439,7 +201,10 @@ fn run_floor(
         floor.mem.as_ref(),
     );
     report.aborted = aborted;
-    (report, floor.obs)
+    let FloorObs::Serve(trace) = floor.obs else {
+        unreachable!("single-node front records a ServingTrace")
+    };
+    (report, trace)
 }
 
 /// Folds the finished set into percentile metrics.
@@ -490,6 +255,7 @@ fn assemble_report(
 mod tests {
     use super::*;
     use crate::config::{KvCacheConfig, Policy, RouterPolicy};
+    use crate::latency::LatencyModel;
     use crate::observe::SloTargets;
     use skip_hw::Platform;
     use skip_llm::zoo;

@@ -86,12 +86,15 @@ mod config;
 pub mod fleet;
 mod floor;
 mod latency;
+#[cfg(test)]
+mod legacy;
 mod memctx;
 mod observe;
 mod policy;
 mod request;
 mod router;
 mod stop;
+mod unified;
 
 pub use config::{ConfigError, KvCacheConfig, Policy, RouterPolicy, ServingConfig};
 pub use fleet::{

@@ -13,7 +13,7 @@ use skip_mem::{swap_cost, BlockAllocator, EvictionAction, KvSpec, OffloadPolicy}
 
 use crate::config::{KvCacheConfig, ServingConfig};
 use crate::latency::LatencyModel;
-use crate::observe::{LifecycleKind, ResumeAction, ServingTrace};
+use crate::observe::{LifecycleKind, RecordSink, ResumeAction};
 use crate::policy::Active;
 
 /// How a preempted request gets its KV state back on resume.
@@ -159,7 +159,7 @@ impl MemLane<'_> {
         lat: &LatencyModel,
         now: SimTime,
         actives: &mut Vec<Active>,
-        obs: &mut ServingTrace,
+        obs: &mut impl RecordSink,
     ) -> Option<SimDuration> {
         if slots == 0 || self.parked.is_empty() {
             return None;
@@ -223,7 +223,7 @@ impl MemLane<'_> {
         needs: impl Fn(&Active) -> Option<u64>,
         lat: &LatencyModel,
         now: SimTime,
-        obs: &mut ServingTrace,
+        obs: &mut impl RecordSink,
         mut on_evict: impl FnMut(u64),
     ) -> SimDuration {
         let spec = &self.shared.spec;
@@ -274,7 +274,7 @@ impl MemLane<'_> {
         lat: &LatencyModel,
         now: SimTime,
         actives: &mut Vec<Active>,
-        obs: &mut ServingTrace,
+        obs: &mut impl RecordSink,
     ) -> SimDuration {
         let a = actives.remove(victim);
         let tokens = u64::from(a.prefilled) + u64::from(a.generated);

@@ -310,6 +310,27 @@ impl CounterSample {
     }
 }
 
+/// Anything that can absorb lifecycle transitions. The memory layer and
+/// the batch policies record through this seam, so the same scheduling
+/// code serves both the single-node [`ServingTrace`] and the fleet
+/// recording without knowing which is behind it.
+pub(crate) trait RecordSink {
+    /// Appends a lifecycle transition for request `id`.
+    fn record(&mut self, id: u64, at: SimTime, kind: LifecycleKind);
+}
+
+impl<S: RecordSink + ?Sized> RecordSink for &mut S {
+    fn record(&mut self, id: u64, at: SimTime, kind: LifecycleKind) {
+        (**self).record(id, at, kind);
+    }
+}
+
+impl RecordSink for ServingTrace {
+    fn record(&mut self, id: u64, at: SimTime, kind: LifecycleKind) {
+        ServingTrace::record(self, id, at, kind);
+    }
+}
+
 /// Everything a serving run recorded beyond the scalar report: lifecycle
 /// records and counter tracks, exportable to the Chrome-trace timeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -7,17 +7,26 @@
 //! replica's pending queue, its running state, an optional
 //! [`MemLane`](crate::memctx::MemLane) for KV bookkeeping, and the
 //! observability recorder. The DES loop, flush timers, and replica routing
-//! live in `floor.rs` and never depend on which policy runs.
+//! live in `unified.rs` and never depend on which policy runs.
+//!
+//! One trait covers both serving floors. The single-node policies
+//! ([`Policy::build`]) admit through memory-aware seams and track TTFT on
+//! the [`Active`] itself; the fleet policies ([`FleetBatchPolicy::build`])
+//! admit inside the iteration (recording pool-aware lifecycle events),
+//! give prefill strict priority over decode, and route finished prefills
+//! to the lane's handoff buffer when the replica sits in a prefill pool.
 
 use std::collections::VecDeque;
 
 use skip_des::{SimDuration, SimTime};
 
-use crate::config::{Policy, ServingConfig};
+use crate::config::Policy;
+use crate::fleet::spec::{FleetBatchPolicy, PoolRole};
 use crate::latency::LatencyModel;
 use crate::memctx::MemLane;
-use crate::observe::{LifecycleKind, ServingTrace};
+use crate::observe::LifecycleKind;
 use crate::request::Request;
+use crate::unified::FloorObs;
 
 /// A request in the running batch.
 pub(crate) struct Active {
@@ -54,8 +63,12 @@ pub(crate) struct ReplicaState {
     pub(crate) actives: Vec<Active>,
     /// In-flight static job: each request with its first-token instant.
     pub(crate) static_job: Vec<(Request, SimTime)>,
-    /// The in-flight iteration's plan (chunked prefill).
+    /// The in-flight iteration's plan (single-node chunked prefill).
     pub(crate) plan: Vec<PlanStep>,
+    /// Fleet chunked-prefill plan for the running iteration:
+    /// `chunk_plan[i]` is the prompt-token budget granted to `actives[i]`
+    /// (0 = no chunk). Reused across iterations; empty otherwise.
+    pub(crate) chunk_plan: Vec<u32>,
     pub(crate) busy: bool,
 }
 
@@ -68,19 +81,30 @@ impl ReplicaState {
 
 /// Everything a batch policy may touch while scheduling one replica:
 /// the replica's queue and state, the shared pricing model, the optional
-/// memory lane, and the trace/metrics sinks. Borrowed afresh from the
-/// floor for each decision, so policies hold no state of their own beyond
-/// their knobs.
+/// memory lane, the pool the replica serves, and the trace/metrics sinks.
+/// Borrowed afresh from the floor for each decision, so policies hold no
+/// state of their own beyond their knobs.
 pub(crate) struct Lane<'a> {
-    pub(crate) cfg: &'a ServingConfig,
+    pub(crate) prompt_len: u32,
+    pub(crate) new_tokens: u32,
     pub(crate) lat: &'a LatencyModel,
     pub(crate) now: SimTime,
     pub(crate) replica: usize,
+    /// The pool this replica serves; single-node floors always say
+    /// [`PoolRole::Unified`].
+    pub(crate) pool: PoolRole,
     pub(crate) queue: &'a mut VecDeque<Request>,
     pub(crate) state: &'a mut ReplicaState,
     pub(crate) mem: Option<MemLane<'a>>,
-    pub(crate) obs: &'a mut ServingTrace,
+    pub(crate) obs: &'a mut FloorObs,
     pub(crate) done: &'a mut Vec<Finished>,
+    /// Finished prefills awaiting a KV handoff to the decode pool; the
+    /// floor drains this after every retire.
+    pub(crate) handoffs_out: &'a mut Vec<Request>,
+    /// Reusable retire scratch: the drained running set ping-pongs between
+    /// here and `state.actives`, so fleet retires allocate nothing once
+    /// the buffers have grown to batch size.
+    pub(crate) scratch: &'a mut Vec<Active>,
     pub(crate) last_completion: &'a mut SimTime,
 }
 
@@ -145,6 +169,20 @@ impl Policy {
     }
 }
 
+impl FleetBatchPolicy {
+    /// Instantiates the configured fleet batch policy for `max_batch`
+    /// admission slots per replica.
+    pub(crate) fn build(self, max_batch: u32) -> Box<dyn BatchPolicy> {
+        match self {
+            FleetBatchPolicy::Continuous => Box::new(FleetContinuous { max_batch }),
+            FleetBatchPolicy::ChunkedPrefill { chunk_tokens } => Box::new(FleetChunked {
+                max_batch,
+                chunk_tokens,
+            }),
+        }
+    }
+}
+
 /// Classic static batching: collect `batch_size` requests (or time out
 /// waiting), run the whole batch to completion as one job.
 pub(crate) struct StaticBatch {
@@ -161,10 +199,10 @@ impl BatchPolicy for StaticBatch {
         let take = (lane.queue.len() as u32).min(self.batch_size);
         let batch: Vec<Request> = (0..take).filter_map(|_| lane.queue.pop_front()).collect();
         let b = batch.len() as u32;
-        let prefill = lane.lat.prefill(b, lane.cfg.prompt_len);
+        let prefill = lane.lat.prefill(b, lane.prompt_len);
         let mut total = prefill;
-        for step in 1..lane.cfg.new_tokens.max(1) {
-            total += lane.lat.decode_step(b, lane.cfg.prompt_len + step);
+        for step in 1..lane.new_tokens.max(1) {
+            total += lane.lat.decode_step(b, lane.prompt_len + step);
         }
         let first_token_at = lane.now + prefill;
         for req in batch {
@@ -239,7 +277,7 @@ impl ContinuousBatch {
                     ttft: None,
                 });
             }
-            Some(lane.lat.prefill(newcomers as u32, lane.cfg.prompt_len))
+            Some(lane.lat.prefill(newcomers as u32, lane.prompt_len))
         } else if !lane.state.actives.is_empty() {
             // One decode step for the whole running batch.
             let ctx = lane
@@ -261,7 +299,7 @@ impl ContinuousBatch {
     /// fits.
     fn memory_iteration(&self, lane: &mut Lane<'_>) -> Option<SimDuration> {
         let Lane {
-            cfg,
+            prompt_len,
             lat,
             now,
             replica,
@@ -308,7 +346,7 @@ impl ContinuousBatch {
                 admitted += 1;
             }
             if admitted > 0 {
-                return Some(lat.prefill(admitted, cfg.prompt_len));
+                return Some(lat.prefill(admitted, *prompt_len));
             }
         }
 
@@ -564,6 +602,212 @@ impl BatchPolicy for ChunkedPrefillBatch {
                 i += 1;
             }
         }
+    }
+}
+
+/// Admits newcomers at the iteration boundary, fleet style: up to
+/// `max_batch` actives, recording pool-aware lifecycle events. Requests
+/// joining a decode replica arrive with their prompt prefilled and their
+/// first token already produced by the prefill pool.
+fn fleet_admit(lane: &mut Lane<'_>, max_batch: u32) {
+    let room = (max_batch as usize).saturating_sub(lane.state.actives.len());
+    let decode_side = lane.pool == PoolRole::Decode;
+    for _ in 0..room {
+        let Some(req) = lane.queue.pop_front() else {
+            break;
+        };
+        let kind = if decode_side {
+            LifecycleKind::DecodeAdmitted {
+                replica: lane.replica as u32,
+            }
+        } else {
+            LifecycleKind::Admitted {
+                replica: lane.replica as u32,
+            }
+        };
+        lane.obs.record(req.id, lane.now, kind);
+        lane.state.actives.push(Active {
+            generated: u32::from(decode_side),
+            prefilled: if decode_side { req.prompt_len } else { 0 },
+            ttft: None,
+            req,
+        });
+    }
+}
+
+/// Routes a request that just produced a token: complete at its budget,
+/// hand off from the prefill pool, else keep decoding.
+fn fleet_finish_or_keep(lane: &mut Lane<'_>, a: Active, target: u32) {
+    if a.generated >= target {
+        fleet_complete(lane, a.req);
+    } else if lane.pool == PoolRole::Prefill {
+        lane.handoffs_out.push(a.req);
+    } else {
+        lane.state.actives.push(a);
+    }
+}
+
+/// Completes a fleet request, deriving its latencies from the recorded
+/// lifecycle (a handed-off request's TTFT happened on another replica).
+fn fleet_complete(lane: &mut Lane<'_>, req: Request) {
+    lane.obs.record(
+        req.id,
+        lane.now,
+        LifecycleKind::Completed {
+            replica: lane.replica as u32,
+        },
+    );
+    let (ttft, e2e) = lane.obs.recorded_latencies(req.id);
+    lane.done.push(Finished { ttft, e2e });
+    *lane.last_completion = (*lane.last_completion).max(lane.now);
+}
+
+/// Fleet continuous batching with strict prefill priority: when any
+/// admitted request still needs its prompt, the iteration prefills those
+/// whole while decoders idle; otherwise one decode step advances the
+/// entire batch.
+pub(crate) struct FleetContinuous {
+    max_batch: u32,
+}
+
+impl BatchPolicy for FleetContinuous {
+    fn next_iteration(&self, lane: &mut Lane<'_>, _flush: bool) -> Option<SimDuration> {
+        fleet_admit(lane, self.max_batch);
+        if lane.state.actives.is_empty() {
+            return None;
+        }
+        // Price the iteration in a single counting pass.
+        let mut fresh_rows = 0u32;
+        let mut fresh_len = 0u32;
+        let mut batch_ctx = 0u32;
+        for a in &lane.state.actives {
+            if a.generated == 0 {
+                fresh_rows += 1;
+                fresh_len = fresh_len.max(a.req.prompt_len);
+            }
+            batch_ctx = batch_ctx.max(a.req.prompt_len + a.generated);
+        }
+        Some(if fresh_rows == 0 {
+            lane.lat
+                .decode_step(lane.state.actives.len() as u32, batch_ctx)
+        } else {
+            lane.lat.prefill(fresh_rows, fresh_len)
+        })
+    }
+
+    fn retire(&self, lane: &mut Lane<'_>) {
+        let was_prefill = lane.state.actives.iter().any(|a| a.generated == 0);
+        let target = lane.new_tokens.max(1);
+        let now = lane.now;
+        // Drain through the reusable scratch buffer: swap the running set
+        // out, push survivors straight back, and keep both capacities for
+        // the next retire.
+        let mut work = std::mem::replace(&mut lane.state.actives, std::mem::take(lane.scratch));
+        for mut a in work.drain(..) {
+            if was_prefill {
+                if a.generated == 0 {
+                    a.generated = 1;
+                    a.prefilled = a.req.prompt_len;
+                    lane.obs.record(a.req.id, now, LifecycleKind::FirstToken);
+                } else {
+                    // Decoding requests idled through the prefill
+                    // iteration (prefill-priority continuous batching).
+                    lane.state.actives.push(a);
+                    continue;
+                }
+            } else {
+                a.generated += 1;
+            }
+            fleet_finish_or_keep(lane, a, target);
+        }
+        *lane.scratch = work;
+    }
+}
+
+/// Fleet chunked prefill: a token-budgeted chunk plan (oldest first) with
+/// co-scheduled decode steps, mirroring [`ChunkedPrefillBatch`] without
+/// the memory seams. The plan lives in [`ReplicaState::chunk_plan`]
+/// (reused across iterations) and is applied at retire.
+pub(crate) struct FleetChunked {
+    max_batch: u32,
+    chunk_tokens: u32,
+}
+
+impl BatchPolicy for FleetChunked {
+    fn next_iteration(&self, lane: &mut Lane<'_>, _flush: bool) -> Option<SimDuration> {
+        fleet_admit(lane, self.max_batch);
+        let state = &mut *lane.state;
+        if state.actives.is_empty() {
+            return None;
+        }
+        state.chunk_plan.clear();
+        state.chunk_plan.resize(state.actives.len(), 0);
+        let mut budget = self.chunk_tokens;
+        for (i, a) in state.actives.iter().enumerate() {
+            if budget == 0 {
+                break;
+            }
+            if a.prefilled >= a.req.prompt_len {
+                continue;
+            }
+            let tokens = (a.req.prompt_len - a.prefilled).min(budget);
+            state.chunk_plan[i] = tokens;
+            budget -= tokens;
+        }
+        // Price: one batched prefill over the chunk rows (sized by the
+        // largest chunk) plus one decode step over the decode rows (sized
+        // by the longest context).
+        let mut chunk_rows = 0u32;
+        let mut max_chunk = 0u32;
+        let mut decode_rows = 0u32;
+        let mut decode_ctx = 0u32;
+        for (i, a) in state.actives.iter().enumerate() {
+            if state.chunk_plan[i] > 0 {
+                chunk_rows += 1;
+                max_chunk = max_chunk.max(state.chunk_plan[i]);
+            } else if a.prefilled >= a.req.prompt_len {
+                decode_rows += 1;
+                decode_ctx = decode_ctx.max(a.prefilled + a.generated);
+            }
+        }
+        let mut cost = SimDuration::ZERO;
+        if chunk_rows > 0 {
+            cost += lane.lat.prefill(chunk_rows, max_chunk);
+        }
+        if decode_rows > 0 {
+            cost += lane.lat.decode_step(decode_rows, decode_ctx);
+        }
+        (chunk_rows + decode_rows > 0).then_some(cost)
+    }
+
+    fn retire(&self, lane: &mut Lane<'_>) {
+        let target = lane.new_tokens.max(1);
+        let now = lane.now;
+        let plan = std::mem::take(&mut lane.state.chunk_plan);
+        let mut work = std::mem::replace(&mut lane.state.actives, std::mem::take(lane.scratch));
+        for (i, mut a) in work.drain(..).enumerate() {
+            if a.prefilled >= a.req.prompt_len {
+                // Spent the iteration in its decode phase.
+                a.generated += 1;
+            } else if plan[i] > 0 {
+                a.prefilled += plan[i];
+                if a.prefilled >= a.req.prompt_len {
+                    // Final chunk: first token out with it.
+                    a.generated = 1;
+                    lane.obs.record(a.req.id, now, LifecycleKind::FirstToken);
+                } else {
+                    lane.state.actives.push(a);
+                    continue;
+                }
+            } else {
+                // Out of chunk budget this iteration; stays admitted.
+                lane.state.actives.push(a);
+                continue;
+            }
+            fleet_finish_or_keep(lane, a, target);
+        }
+        *lane.scratch = work;
+        lane.state.chunk_plan = plan;
     }
 }
 

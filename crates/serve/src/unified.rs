@@ -1,0 +1,883 @@
+//! The unified serving floor: one DES loop behind both public fronts.
+//!
+//! A [`UnifiedFloor`] is a generic event loop over a [`ReplicaSet`] — a
+//! pool-aware collection of replicas with per-platform pricing, optional
+//! handoff links, and optional autoscaling. The single-node front
+//! (`crate::floor`) builds a one-group, one-pool set with zero-cost
+//! (inert) links and broadcast wake-ups; the fleet front
+//! (`crate::fleet::floor`) builds a heterogeneous, optionally
+//! disaggregated set with targeted wake-ups. Both fronts are thin
+//! constructors: every event, every scheduling decision, and every
+//! counter sample flows through this one loop.
+//!
+//! Scheduling itself still lives behind the three seams: the
+//! [`Router`] picks a queue for each arrival (and a destination for each
+//! KV handoff), the [`BatchPolicy`] forms and retires iterations through
+//! a [`Lane`], and the [`MemoryLayer`] (inside the lane) owns all
+//! KV-block bookkeeping. Adding a policy or router never touches this
+//! file.
+
+use std::collections::VecDeque;
+
+use skip_des::{SimContext, SimDuration, SimTime, Simulator};
+use skip_hw::Platform;
+use skip_llm::ModelConfig;
+use skip_mem::KvSpec;
+
+use crate::config::RouterPolicy;
+use crate::fleet::autoscale::{AutoscaleConfig, ScaleAction, ScalingEvent};
+use crate::fleet::observe::{FleetSample, FleetTrace};
+use crate::fleet::spec::PoolRole;
+use crate::latency::LatencyModel;
+use crate::memctx::MemoryLayer;
+use crate::observe::{CounterSample, LifecycleKind, RecordSink, ServingTrace, SloTargets};
+use crate::policy::{Active, BatchPolicy, Finished, Lane, ReplicaState};
+use crate::request::Request;
+use crate::router::{ReplicaLoad, Router};
+use crate::stop::{StopCondition, StopGuard};
+
+/// The observability recording behind the floor: the single-node
+/// [`ServingTrace`] or the fleet's [`FleetTrace`]. Policies and the loop
+/// record through one vocabulary; each trace keeps its own sample shape
+/// and serde bytes.
+pub(crate) enum FloorObs {
+    Serve(ServingTrace),
+    Fleet(FleetTrace),
+}
+
+impl FloorObs {
+    pub(crate) fn record(&mut self, id: u64, at: SimTime, kind: LifecycleKind) {
+        match self {
+            FloorObs::Serve(t) => t.record(id, at, kind),
+            FloorObs::Fleet(t) => t.record(id, at, kind),
+        }
+    }
+
+    fn completed_total(&self) -> u32 {
+        match self {
+            FloorObs::Serve(t) => t.completed_total(),
+            FloorObs::Fleet(t) => t.completed_total(),
+        }
+    }
+
+    fn push_scaling(&mut self, ev: ScalingEvent) {
+        if let FloorObs::Fleet(t) = self {
+            t.scaling.push(ev);
+        }
+    }
+
+    /// The recorded TTFT/e2e of request `id` — what fleet completion
+    /// reads back, since a handed-off request's first token happened on
+    /// another replica.
+    pub(crate) fn recorded_latencies(&self, id: u64) -> (SimDuration, SimDuration) {
+        let lc = match self {
+            FloorObs::Serve(t) => &t.lifecycles[id as usize],
+            FloorObs::Fleet(t) => &t.lifecycles[id as usize],
+        };
+        (
+            lc.ttft().unwrap_or(SimDuration::ZERO),
+            lc.e2e().unwrap_or(SimDuration::ZERO),
+        )
+    }
+}
+
+impl RecordSink for FloorObs {
+    fn record(&mut self, id: u64, at: SimTime, kind: LifecycleKind) {
+        FloorObs::record(self, id, at, kind);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    Arrival(Request),
+    /// A replica finished its current iteration/job.
+    IterationDone(usize),
+    /// The flush timer armed for `queue` expired (static batching).
+    FlushTimeout { queue: usize, generation: u64 },
+    /// The in-flight transfer on `dst`'s handoff link landed.
+    HandoffDone(usize),
+    /// Autoscaler decision point.
+    ScaleTick,
+    /// A launching replica finished provisioning + weight load.
+    ReplicaUp(usize),
+}
+
+/// Replica lifecycle under autoscaling; fixed sets stay [`RState::Up`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RState {
+    Launching,
+    Up,
+    Draining,
+    Down,
+}
+
+/// A KV handoff parked on (or moving over) a destination link.
+#[derive(Debug, Clone, Copy)]
+struct Handoff {
+    req: Request,
+    queued_at: SimTime,
+    bytes: u64,
+    transfer: SimDuration,
+}
+
+/// Per-replica ingress link: FIFO queue plus at most one in-flight
+/// transfer, so concurrent handoffs to the same destination serialize and
+/// the interconnect shows up as occupancy. Single-node sets keep these
+/// permanently empty (zero-cost links).
+#[derive(Debug, Default)]
+pub(crate) struct LinkRt {
+    queue: VecDeque<Handoff>,
+    inflight: Option<(Handoff, SimTime)>,
+}
+
+impl LinkRt {
+    fn depth(&self) -> u32 {
+        (self.queue.len() + usize::from(self.inflight.is_some())) as u32
+    }
+}
+
+/// One queue's flush timer: the deadline of the oldest pending arrival
+/// plus the policy's `max_wait`. The generation counter invalidates
+/// superseded timer events still sitting in the DES queue.
+#[derive(Default)]
+pub(crate) struct FlushTimer {
+    generation: u64,
+    deadline: Option<SimTime>,
+}
+
+/// One replica's identity inside the set: which platform prices it,
+/// which pool it serves, its scaling state, and its unit serving cost
+/// (the cost-model router's exchange rate; 0 when pricing is uniform).
+pub(crate) struct ReplicaMeta {
+    pub(crate) platform_idx: usize,
+    pub(crate) pool: PoolRole,
+    pub(crate) state: RState,
+    pub(crate) unit_cost_ns: f64,
+}
+
+/// The replica-set abstraction the unified floor is generic over: the
+/// platforms and their latency models, per-replica identities, handoff
+/// links, the two routing seams, and the scaling/billing knobs. A
+/// single-node floor is the degenerate case — one group, one pool,
+/// always-up replicas, inert links, no autoscaler.
+pub(crate) struct ReplicaSet {
+    pub(crate) platforms: Vec<Platform>,
+    pub(crate) lat: Vec<LatencyModel>,
+    pub(crate) meta: Vec<ReplicaMeta>,
+    pub(crate) links: Vec<LinkRt>,
+    /// Routes arrivals to a queue.
+    pub(crate) arrival_router: Box<dyn Router>,
+    /// Routes finished prefills to a decode replica (separate instance,
+    /// so round-robin keeps independent cursors per direction).
+    pub(crate) handoff_router: Box<dyn Router>,
+    /// KV geometry for handoff sizing.
+    pub(crate) kv: KvSpec,
+    pub(crate) disagg: bool,
+    /// `true` for fleet-style targeted wake-ups (kick only the touched
+    /// replica); `false` for the single-node broadcast sweep with flush
+    /// timers.
+    pub(crate) targeted: bool,
+    pub(crate) autoscale: Option<AutoscaleConfig>,
+    /// Model weight bytes a launching replica loads over its host link.
+    pub(crate) weight_bytes: u64,
+    // Cumulative handoff and scaling telemetry.
+    pub(crate) handoffs: u64,
+    pub(crate) handoff_bytes: u64,
+    pub(crate) handoff_waits: Vec<f64>,
+    pub(crate) handoff_transfer_ns: f64,
+    pub(crate) scale_ups: u32,
+    pub(crate) scale_downs: u32,
+    pub(crate) peak_live: u32,
+    pub(crate) replica_ns: f64,
+    pub(crate) last_bill: SimTime,
+}
+
+impl ReplicaSet {
+    /// One homogeneous always-up group of `replicas` — the single-node
+    /// serving endpoint as a degenerate fleet: one pool, zero-cost links,
+    /// broadcast wake-ups, uniform (zero) unit pricing.
+    pub(crate) fn single_group(
+        platform: Platform,
+        model: &ModelConfig,
+        replicas: usize,
+        arrival_router: Box<dyn Router>,
+    ) -> Self {
+        let lat = LatencyModel::new(platform.clone(), model.clone());
+        ReplicaSet {
+            kv: KvSpec::for_model(model, KvSpec::DEFAULT_BLOCK_TOKENS),
+            platforms: vec![platform],
+            lat: vec![lat],
+            meta: (0..replicas)
+                .map(|_| ReplicaMeta {
+                    platform_idx: 0,
+                    pool: PoolRole::Unified,
+                    state: RState::Up,
+                    unit_cost_ns: 0.0,
+                })
+                .collect(),
+            links: (0..replicas).map(|_| LinkRt::default()).collect(),
+            arrival_router,
+            // Never consulted: a one-pool set finishes every request in
+            // place, so nothing reaches the handoff seam.
+            handoff_router: RouterPolicy::SharedQueue.build(),
+            disagg: false,
+            targeted: false,
+            autoscale: None,
+            weight_bytes: 0,
+            handoffs: 0,
+            handoff_bytes: 0,
+            handoff_waits: Vec::new(),
+            handoff_transfer_ns: 0.0,
+            scale_ups: 0,
+            scale_downs: 0,
+            peak_live: replicas as u32,
+            replica_ns: 0.0,
+            last_bill: SimTime::ZERO,
+        }
+    }
+
+    fn live_count(&self) -> u32 {
+        self.meta
+            .iter()
+            .filter(|m| matches!(m.state, RState::Up | RState::Draining))
+            .count() as u32
+    }
+
+    /// Accrues replica-seconds up to `now` at the current live count.
+    /// Called before any state transition and once at the end.
+    pub(crate) fn bill(&mut self, now: SimTime) {
+        let live = self.live_count();
+        self.replica_ns +=
+            now.saturating_duration_since(self.last_bill).as_nanos_f64() * f64::from(live);
+        self.last_bill = now;
+        self.peak_live = self.peak_live.max(live);
+    }
+
+    /// The bill the run has provably accrued by `now`, without mutating
+    /// billing state — what a cost-ceiling [`StopCondition`] compares
+    /// against between events.
+    fn accrued_replica_seconds(&self, now: SimTime) -> f64 {
+        (self.replica_ns
+            + now.saturating_duration_since(self.last_bill).as_nanos_f64()
+                * f64::from(self.live_count()))
+            / 1e9
+    }
+}
+
+/// Per-request service estimate on one platform, in nanoseconds — the
+/// cost-model JSQ's exchange rate between queue depths on different
+/// platforms. Memoized inside the [`LatencyModel`], so this is two map
+/// hits after the first call.
+pub(crate) fn unit_cost_ns(
+    lat: &LatencyModel,
+    pool: PoolRole,
+    max_batch: u32,
+    prompt_len: u32,
+    new_tokens: u32,
+) -> f64 {
+    let b = max_batch.max(1);
+    let prefill = lat.prefill(b, prompt_len.max(1)).as_nanos_f64() / f64::from(b);
+    let steps = new_tokens.max(1) - 1;
+    let decode = lat.decode_step(b, prompt_len + new_tokens).as_nanos_f64() / f64::from(b);
+    match pool {
+        PoolRole::Prefill => prefill,
+        PoolRole::Decode => decode * f64::from(steps.max(1)),
+        PoolRole::Unified => prefill + decode * f64::from(steps),
+    }
+}
+
+/// How a bounded run prices elapsed time against a cost ceiling.
+#[derive(Clone, Copy)]
+pub(crate) enum CostBasis {
+    /// Fixed fleet: `replicas × elapsed` seconds.
+    FixedReplicas(u32),
+    /// Autoscale-aware: the set's accrued replica-seconds.
+    Billed,
+}
+
+/// The unified floor: DES state shared by both serving fronts, plus the
+/// policy/router/memory seams.
+pub(crate) struct UnifiedFloor {
+    pub(crate) set: ReplicaSet,
+    pub(crate) policy: Box<dyn BatchPolicy>,
+    /// Pending queues — one shared (index 0) or one per replica,
+    /// whichever topology the router declared.
+    pub(crate) queues: Vec<VecDeque<Request>>,
+    /// Which queue each replica pulls from.
+    pub(crate) queue_of: Vec<usize>,
+    pub(crate) states: Vec<ReplicaState>,
+    pub(crate) mem: Option<MemoryLayer>,
+    pub(crate) finished: Vec<Finished>,
+    pub(crate) last_completion: SimTime,
+    pub(crate) flush: Vec<FlushTimer>,
+    /// The observability recording: lifecycle records + counter samples.
+    pub(crate) obs: FloorObs,
+    /// Reused per-event scratch: which queues' oldest waiter timed out.
+    /// Refilled by [`refresh_expired`](Self::refresh_expired); never
+    /// reallocated after construction.
+    pub(crate) expired_buf: Vec<bool>,
+    /// Reused per-arrival scratch: the router's load snapshot.
+    pub(crate) load_buf: Vec<ReplicaLoad>,
+    /// Reusable retire scratch (see [`Lane::scratch`]).
+    pub(crate) scratch_actives: Vec<Active>,
+    /// Reusable buffer for handoffs discovered during a retire.
+    pub(crate) scratch_handoffs: Vec<Request>,
+    pub(crate) prompt_len: u32,
+    pub(crate) new_tokens: u32,
+    /// Per-replica admission slots (fleet policies; scaling unit costs).
+    pub(crate) max_batch: u32,
+    /// Total requests this run serves (the autoscaler's done check).
+    pub(crate) requests: u32,
+}
+
+impl UnifiedFloor {
+    pub(crate) fn handle(&mut self, ctx: &mut SimContext<'_, Event>, event: Event) {
+        let now = ctx.now();
+        match event {
+            Event::Arrival(req) => {
+                self.obs.record(req.id, now, LifecycleKind::Arrived);
+                self.snapshot_load(true);
+                let q = self
+                    .set
+                    .arrival_router
+                    .route(&req, &self.load_buf)
+                    .min(self.queues.len() - 1);
+                self.queues[q].push_back(req);
+                self.wake(ctx, q);
+            }
+            Event::FlushTimeout { queue, generation } => {
+                if generation == self.flush[queue].generation {
+                    self.flush[queue].deadline = None;
+                    if !self.queues[queue].is_empty() {
+                        self.expired_buf.iter_mut().for_each(|e| *e = false);
+                        self.expired_buf[queue] = true;
+                        self.kick_all(ctx);
+                    }
+                    self.arm_flush_timers(ctx);
+                }
+            }
+            Event::IterationDone(replica) => {
+                self.states[replica].busy = false;
+                self.with_lane(now, replica, |policy, lane| policy.retire(lane));
+                self.dispatch_handoffs(ctx, replica, now);
+                self.wake(ctx, replica);
+                if self.set.targeted {
+                    self.settle_drains(now);
+                }
+            }
+            Event::HandoffDone(dst) => {
+                let (h, started) = self.set.links[dst]
+                    .inflight
+                    .take()
+                    .expect("HandoffDone without an in-flight transfer");
+                self.obs.record(
+                    h.req.id,
+                    now,
+                    LifecycleKind::HandoffDone {
+                        to: dst as u32,
+                        wait: started.saturating_duration_since(h.queued_at),
+                        transfer: h.transfer,
+                    },
+                );
+                self.set.handoffs += 1;
+                self.set.handoff_bytes += h.bytes;
+                self.set.handoff_waits.push(
+                    started
+                        .saturating_duration_since(h.queued_at)
+                        .as_nanos_f64(),
+                );
+                self.set.handoff_transfer_ns += h.transfer.as_nanos_f64();
+                self.queues[self.queue_of[dst]].push_back(h.req);
+                self.pump_link(ctx, dst, now);
+                self.kick(ctx, dst);
+            }
+            Event::ScaleTick => self.scale_tick(ctx, now),
+            Event::ReplicaUp(r) => {
+                self.set.bill(now);
+                self.set.meta[r].state = RState::Up;
+                self.set.scale_ups += 1;
+                self.obs.push_scaling(ScalingEvent {
+                    at: now,
+                    pool: self.set.meta[r].pool,
+                    replica: r as u32,
+                    action: ScaleAction::Up,
+                });
+                self.kick(ctx, r);
+            }
+        }
+        self.sample(now);
+    }
+
+    /// Restarts idle replicas after `touched`'s queue or state changed:
+    /// a targeted set kicks just that replica; a broadcast set refreshes
+    /// flush expiry, sweeps every replica, and re-arms the timers.
+    fn wake(&mut self, ctx: &mut SimContext<'_, Event>, touched: usize) {
+        if self.set.targeted {
+            self.kick(ctx, touched);
+        } else {
+            self.refresh_expired(ctx.now());
+            self.kick_all(ctx);
+            self.arm_flush_timers(ctx);
+        }
+    }
+
+    /// Builds the lane — one replica's complete scheduling context — and
+    /// hands it to `f` together with the batch policy.
+    fn with_lane<R>(
+        &mut self,
+        now: SimTime,
+        replica: usize,
+        f: impl FnOnce(&dyn BatchPolicy, &mut Lane<'_>) -> R,
+    ) -> R {
+        let q = self.queue_of[replica];
+        let meta = &self.set.meta[replica];
+        let mut lane = Lane {
+            prompt_len: self.prompt_len,
+            new_tokens: self.new_tokens,
+            lat: &self.set.lat[meta.platform_idx],
+            now,
+            replica,
+            pool: meta.pool,
+            queue: &mut self.queues[q],
+            state: &mut self.states[replica],
+            mem: self.mem.as_mut().map(|m| m.lane(replica)),
+            obs: &mut self.obs,
+            done: &mut self.finished,
+            handoffs_out: &mut self.scratch_handoffs,
+            scratch: &mut self.scratch_actives,
+            last_completion: &mut self.last_completion,
+        };
+        f(&*self.policy, &mut lane)
+    }
+
+    /// Starts the next iteration on replica `r` if it is idle, routable,
+    /// and has work (targeted wake-up).
+    fn kick(&mut self, ctx: &mut SimContext<'_, Event>, r: usize) {
+        if self.states[r].busy
+            || matches!(self.set.meta[r].state, RState::Launching | RState::Down)
+        {
+            return;
+        }
+        let now = ctx.now();
+        let dur = self.with_lane(now, r, |policy, lane| policy.next_iteration(lane, false));
+        if let Some(dur) = dur {
+            self.states[r].busy = true;
+            ctx.schedule(now + dur, Event::IterationDone(r));
+        }
+    }
+
+    /// Starts work on every idle replica that has something to do.
+    /// `expired_buf` marks queues whose oldest waiter timed out (forcing a
+    /// partial static batch); the caller fills it once per pass so a
+    /// replica consuming a queue's head cannot change the flush decision
+    /// for the replicas after it.
+    fn kick_all(&mut self, ctx: &mut SimContext<'_, Event>) {
+        let now = ctx.now();
+        for replica in 0..self.states.len() {
+            if self.states[replica].busy {
+                continue;
+            }
+            let flush = self.expired_buf[self.queue_of[replica]];
+            let dur = self.with_lane(now, replica, |policy, lane| {
+                policy.next_iteration(lane, flush)
+            });
+            if let Some(dur) = dur {
+                self.states[replica].busy = true;
+                ctx.schedule(now + dur, Event::IterationDone(replica));
+            }
+        }
+    }
+
+    /// Refills `expired_buf` with which queues' oldest pending arrival has
+    /// waited the policy's full flush window.
+    fn refresh_expired(&mut self, now: SimTime) {
+        let Some(max_wait) = self.policy.flush_after() else {
+            self.expired_buf.iter_mut().for_each(|e| *e = false);
+            return;
+        };
+        for (e, q) in self.expired_buf.iter_mut().zip(&self.queues) {
+            *e = q
+                .front()
+                .is_some_and(|r| now.saturating_duration_since(r.arrival) >= max_wait);
+        }
+    }
+
+    /// Arms each queue's flush timer for its **oldest** pending arrival.
+    ///
+    /// The timer tracks the head of the queue and is only re-armed when
+    /// the head's deadline differs from the one outstanding; heads already
+    /// past their deadline are handled by the expiry check every event
+    /// performs, so no timer is needed for them.
+    fn arm_flush_timers(&mut self, ctx: &mut SimContext<'_, Event>) {
+        let Some(max_wait) = self.policy.flush_after() else {
+            return;
+        };
+        for q in 0..self.queues.len() {
+            let desired = self.queues[q]
+                .front()
+                .map(|r| r.arrival + max_wait)
+                .filter(|&deadline| deadline > ctx.now());
+            let timer = &mut self.flush[q];
+            if desired == timer.deadline {
+                continue;
+            }
+            timer.generation += 1; // invalidates any outstanding timer
+            timer.deadline = desired;
+            if let Some(deadline) = desired {
+                ctx.schedule(
+                    deadline,
+                    Event::FlushTimeout {
+                        queue: q,
+                        generation: timer.generation,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Refills `load_buf` with per-replica load snapshots for the
+    /// routers. A targeted set additionally marks pool/state eligibility
+    /// for the routed direction (`arrivals` or handoffs); a broadcast set
+    /// leaves every replica eligible.
+    fn snapshot_load(&mut self, arrivals: bool) {
+        let UnifiedFloor {
+            set,
+            queues,
+            queue_of,
+            states,
+            mem,
+            load_buf,
+            ..
+        } = self;
+        load_buf.clear();
+        load_buf.extend((0..states.len()).map(|r| ReplicaLoad {
+            queued: queues[queue_of[r]].len() as u32,
+            running: states[r].running() as u32,
+            parked: mem.as_ref().map_or(0, |m| m.parked_len(r)) as u32,
+            link: set.links[r].depth(),
+            eligible: true,
+            unit_cost_ns: set.meta[r].unit_cost_ns,
+        }));
+        if !set.targeted {
+            return;
+        }
+        let want = |m: &ReplicaMeta| {
+            if arrivals {
+                matches!(m.pool, PoolRole::Unified | PoolRole::Prefill)
+            } else {
+                m.pool == PoolRole::Decode
+            }
+        };
+        let mut any = false;
+        for (l, m) in load_buf.iter_mut().zip(&set.meta) {
+            l.eligible = m.state == RState::Up && want(m);
+            any |= l.eligible;
+        }
+        if !any {
+            // Degenerate fallback (every candidate mid-drain): route to
+            // any non-down replica of the right pool so no request is
+            // stranded.
+            for (l, m) in load_buf.iter_mut().zip(&set.meta) {
+                l.eligible = m.state != RState::Down && want(m);
+                any |= l.eligible;
+            }
+        }
+        assert!(any, "fleet has no routable replica");
+    }
+
+    /// Starts every handoff the retire just parked in the scratch buffer
+    /// (reused across retires).
+    fn dispatch_handoffs(&mut self, ctx: &mut SimContext<'_, Event>, from: usize, now: SimTime) {
+        if self.scratch_handoffs.is_empty() {
+            return;
+        }
+        let mut handoffs = std::mem::take(&mut self.scratch_handoffs);
+        for req in handoffs.drain(..) {
+            self.start_handoff(ctx, from, req, now);
+        }
+        self.scratch_handoffs = handoffs;
+    }
+
+    /// Queues `req`'s KV on a decode replica's ingress link, starting the
+    /// transfer immediately when the link is idle.
+    fn start_handoff(
+        &mut self,
+        ctx: &mut SimContext<'_, Event>,
+        from: usize,
+        req: Request,
+        now: SimTime,
+    ) {
+        self.snapshot_load(false);
+        let dst = self
+            .set
+            .handoff_router
+            .route(&req, &self.load_buf)
+            .min(self.queues.len() - 1);
+        // Prompt plus the first token produced by prefill, in whole
+        // blocks — what paged attention actually migrates.
+        let bytes = self
+            .set
+            .kv
+            .handoff_bytes(u64::from(req.prompt_len).saturating_add(1));
+        let src_p = &self.set.platforms[self.set.meta[from].platform_idx];
+        let dst_p = &self.set.platforms[self.set.meta[dst].platform_idx];
+        let transfer = src_p.kv_handoff_time(dst_p, bytes);
+        self.obs.record(
+            req.id,
+            now,
+            LifecycleKind::HandoffQueued {
+                from: from as u32,
+                bytes,
+            },
+        );
+        self.set.links[dst].queue.push_back(Handoff {
+            req,
+            queued_at: now,
+            bytes,
+            transfer,
+        });
+        self.pump_link(ctx, dst, now);
+    }
+
+    /// Starts the next queued transfer on `dst`'s link if it is idle.
+    fn pump_link(&mut self, ctx: &mut SimContext<'_, Event>, dst: usize, now: SimTime) {
+        if self.set.links[dst].inflight.is_some() {
+            return;
+        }
+        if let Some(h) = self.set.links[dst].queue.pop_front() {
+            let transfer = h.transfer;
+            self.set.links[dst].inflight = Some((h, now));
+            ctx.schedule(now + transfer, Event::HandoffDone(dst));
+        }
+    }
+
+    /// Outstanding work at replica `i`: its queue, its running batch, and
+    /// handoffs already committed to its link.
+    fn backlog(&self, i: usize) -> u32 {
+        (self.queues[self.queue_of[i]].len() + self.states[i].running()) as u32
+            + self.set.links[i].depth()
+    }
+
+    fn scale_tick(&mut self, ctx: &mut SimContext<'_, Event>, now: SimTime) {
+        let Some(auto) = self.set.autoscale else {
+            return;
+        };
+        let all_done = self.obs.completed_total() >= self.requests;
+        if !all_done {
+            let pools: &[PoolRole] = if self.set.disagg {
+                &[PoolRole::Prefill, PoolRole::Decode]
+            } else {
+                &[PoolRole::Unified]
+            };
+            for &pool in pools {
+                self.scale_pool(ctx, pool, auto, now);
+            }
+            ctx.schedule(now + auto.interval, Event::ScaleTick);
+        }
+        self.settle_drains(now);
+    }
+
+    fn scale_pool(
+        &mut self,
+        ctx: &mut SimContext<'_, Event>,
+        pool: PoolRole,
+        auto: AutoscaleConfig,
+        now: SimTime,
+    ) {
+        // One counting pass over the pool: outstanding work, up/launching
+        // tallies, the newest up replica (drain victim), and the pool's
+        // seed platform — no per-tick index vectors.
+        let mut outstanding = 0u32;
+        let mut up_count = 0u32;
+        let mut last_up = None;
+        let mut launching = 0u32;
+        let mut seed_platform = None;
+        for i in 0..self.set.meta.len() {
+            if self.set.meta[i].pool != pool {
+                continue;
+            }
+            if seed_platform.is_none() {
+                seed_platform = Some(self.set.meta[i].platform_idx);
+            }
+            outstanding += self.backlog(i);
+            match self.set.meta[i].state {
+                RState::Up => {
+                    up_count += 1;
+                    last_up = Some(i);
+                }
+                RState::Launching => launching += 1,
+                _ => {}
+            }
+        }
+        let pressure = f64::from(outstanding) / f64::from(up_count.max(1));
+        if pressure > auto.high_load && (up_count + launching) < auto.max_per_pool {
+            // Clone the pool's seed platform for the new replica.
+            let platform_idx = seed_platform.expect("pool has at least one replica");
+            let launch_cost = auto.provision_delay
+                + self.set.platforms[platform_idx].h2d_transfer(self.set.weight_bytes);
+            let new_idx = self.set.meta.len();
+            self.set.meta.push(ReplicaMeta {
+                platform_idx,
+                pool,
+                state: RState::Launching,
+                unit_cost_ns: unit_cost_ns(
+                    &self.set.lat[platform_idx],
+                    pool,
+                    self.max_batch,
+                    self.prompt_len,
+                    self.new_tokens,
+                ),
+            });
+            self.set.links.push(LinkRt::default());
+            self.states.push(ReplicaState::default());
+            self.queues.push(VecDeque::new());
+            self.queue_of.push(new_idx);
+            self.obs.push_scaling(ScalingEvent {
+                at: now,
+                pool,
+                replica: new_idx as u32,
+                action: ScaleAction::LaunchRequested,
+            });
+            ctx.schedule(now + launch_cost, Event::ReplicaUp(new_idx));
+        } else if pressure < auto.low_load && up_count > auto.min_per_pool && launching == 0 {
+            // Drain the newest up replica; it keeps its backlog and
+            // leaves once empty.
+            let victim = last_up.expect("up set non-empty above");
+            self.set.bill(now);
+            self.set.meta[victim].state = RState::Draining;
+            self.obs.push_scaling(ScalingEvent {
+                at: now,
+                pool,
+                replica: victim as u32,
+                action: ScaleAction::DrainRequested,
+            });
+        }
+    }
+
+    /// Retires draining replicas whose backlog has fully emptied.
+    fn settle_drains(&mut self, now: SimTime) {
+        for i in 0..self.set.meta.len() {
+            let empty = self.set.meta[i].state == RState::Draining
+                && !self.states[i].busy
+                && self.queues[self.queue_of[i]].is_empty()
+                && self.states[i].running() == 0
+                && self.set.links[i].depth() == 0;
+            if empty {
+                self.set.bill(now);
+                self.set.meta[i].state = RState::Down;
+                self.set.scale_downs += 1;
+                self.obs.push_scaling(ScalingEvent {
+                    at: now,
+                    pool: self.set.meta[i].pool,
+                    replica: i as u32,
+                    action: ScaleAction::Down,
+                });
+            }
+        }
+    }
+
+    /// Samples every counter track at an iteration boundary, in the shape
+    /// the run's trace expects. Re-sampling at the same instant
+    /// overwrites, so each boundary keeps its final state.
+    fn sample(&mut self, now: SimTime) {
+        let UnifiedFloor {
+            set,
+            queues,
+            queue_of,
+            states,
+            mem,
+            obs,
+            ..
+        } = self;
+        match obs {
+            FloorObs::Serve(t) => {
+                let running: usize = states.iter().map(ReplicaState::running).sum();
+                let parked = mem.as_ref().map_or(0, MemoryLayer::parked_total);
+                let busy = states.iter().filter(|s| s.busy).count();
+                let sample = CounterSample {
+                    at: now,
+                    queue_depth: queues.iter().map(VecDeque::len).sum::<usize>() as u32,
+                    running: running as u32,
+                    parked: parked as u32,
+                    busy_replicas: busy as u32,
+                    kv_used_blocks: mem.as_ref().map_or(0, MemoryLayer::used_blocks),
+                    kv_total_blocks: mem.as_ref().map_or(0, MemoryLayer::total_blocks),
+                    admitted_total: t.admitted_total(),
+                    completed_total: t.completed_total(),
+                };
+                t.push_sample(sample);
+            }
+            FloorObs::Fleet(t) => {
+                let mut prefill_queue = 0u32;
+                let mut decode_queue = 0u32;
+                let mut running = 0u32;
+                for (r, m) in set.meta.iter().enumerate() {
+                    running += states[r].actives.len() as u32;
+                    if m.pool == PoolRole::Decode {
+                        decode_queue += queues[queue_of[r]].len() as u32;
+                    } else {
+                        prefill_queue += queues[queue_of[r]].len() as u32;
+                    }
+                }
+                let handoff_queued: u32 = set.links.iter().map(|l| l.queue.len() as u32).sum();
+                let handoff_inflight =
+                    set.links.iter().filter(|l| l.inflight.is_some()).count() as u32;
+                let live = set.live_count();
+                set.peak_live = set.peak_live.max(live);
+                t.push_sample(FleetSample {
+                    at: now,
+                    prefill_queue,
+                    decode_queue,
+                    running,
+                    handoff_queued,
+                    handoff_inflight,
+                    live_replicas: live,
+                    arrived_total: t.arrived_total(),
+                    completed_total: t.completed_total(),
+                });
+            }
+        }
+    }
+}
+
+/// Drives the event loop to completion (or to the first blown budget),
+/// returning whether the run aborted. Bounded runs step the same loop
+/// one event at a time with incremental miss and bill bookkeeping, so a
+/// run no budget stops is byte-identical to the unbounded run.
+pub(crate) fn run_unified(
+    floor: &mut UnifiedFloor,
+    sim: &mut Simulator<Event>,
+    stop: StopCondition,
+    slo: SloTargets,
+    cost: CostBasis,
+) -> bool {
+    let mut aborted = false;
+    if stop.is_unbounded() {
+        sim.run(|ctx, event| floor.handle(ctx, event));
+    } else {
+        let mut guard = StopGuard::new(stop, slo);
+        let mut noted = 0usize;
+        while sim.step(|ctx, event| floor.handle(ctx, event)) {
+            while noted < floor.finished.len() {
+                let f = &floor.finished[noted];
+                noted += 1;
+                guard.note(f.ttft, f.e2e);
+            }
+            let accrued = || match cost {
+                CostBasis::FixedReplicas(n) => {
+                    f64::from(n)
+                        * sim
+                            .now()
+                            .saturating_duration_since(SimTime::ZERO)
+                            .as_secs_f64()
+                }
+                CostBasis::Billed => floor.set.accrued_replica_seconds(sim.now()),
+            };
+            if guard.miss_budget_blown() || (guard.wants_cost() && guard.cost_blown(accrued())) {
+                aborted = true;
+                break;
+            }
+        }
+    }
+    aborted
+}

@@ -88,6 +88,16 @@ fn fleet_cfg(requests: u32) -> FleetConfig {
     }
 }
 
+/// The degenerate fleet the unified floor reduces to: one homogeneous
+/// unified group, no handoff links exercised. Its hot path is the same
+/// event loop as the serving floor's, so it must meet the same budget.
+fn one_group_cfg(requests: u32) -> FleetConfig {
+    FleetConfig {
+        spec: FleetSpec::homogeneous(Platform::intel_h100(), 3),
+        ..fleet_cfg(requests)
+    }
+}
+
 /// Marginal allocations per additional request the serving floor may pay.
 /// Each request records 4 lifecycle events and drives ~1.5 iterations; the
 /// pre-audit floor paid 2 fresh `Vec`s per *event* (router snapshot +
@@ -118,6 +128,28 @@ fn serving_floor_allocations_per_request_are_bounded() {
         marginal < extra * SERVE_BUDGET_PER_REQUEST,
         "serving floor allocated {marginal} times for {extra} additional requests \
          ({:.2}/request; budget {SERVE_BUDGET_PER_REQUEST})",
+        marginal as f64 / extra as f64
+    );
+}
+
+#[test]
+fn one_group_fleet_allocations_per_request_are_bounded() {
+    let (small, large) = (2_000u32, 6_000u32);
+    let _ = simulate_fleet_traced(&one_group_cfg(64));
+    let base = count(|| {
+        let (r, _) = simulate_fleet_traced(&one_group_cfg(small));
+        assert_eq!(r.completed, small);
+    });
+    let full = count(|| {
+        let (r, _) = simulate_fleet_traced(&one_group_cfg(large));
+        assert_eq!(r.completed, large);
+    });
+    let extra = u64::from(large - small);
+    let marginal = full.saturating_sub(base);
+    assert!(
+        marginal < extra * FLEET_BUDGET_PER_REQUEST,
+        "one-group fleet allocated {marginal} times for {extra} additional requests \
+         ({:.2}/request; budget {FLEET_BUDGET_PER_REQUEST})",
         marginal as f64 / extra as f64
     );
 }

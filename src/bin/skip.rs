@@ -131,6 +131,30 @@ fn get_u32(flags: &BTreeMap<String, String>, key: &str, default: u32) -> Result<
     }
 }
 
+/// Parses an optional `--slo-*-ms` flag into an SLO target. Every
+/// subcommand that scores against SLOs shares this, so the same bad input
+/// prints the same message regardless of subcommand.
+fn get_slo_ms(flags: &BTreeMap<String, String>, key: &str) -> Result<Option<SimDuration>, String> {
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse::<f64>()
+                .map(|ms| SimDuration::from_nanos_f64(ms * 1e6))
+                .map_err(|_| format!("--{key}: bad number '{v}'"))
+        })
+        .transpose()
+}
+
+/// Rejects a zero count flag with the validators' canonical wording
+/// (`... must be at least 1`), shared across subcommands.
+fn require_at_least_one(flag: &str, v: u32) -> Result<(), String> {
+    if v == 0 {
+        Err(format!("--{flag} must be at least 1"))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_profile(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     let model = find_model(flags.get("model").ok_or("--model is required")?)?;
     let platform = find_platform(flags.get("platform").map_or("intel_h100", String::as_str))?;
@@ -332,16 +356,6 @@ fn cmd_serve_fleet(
             .into())
         }
     };
-    let slo_ms = |key: &str| -> Result<Option<SimDuration>, String> {
-        flags
-            .get(key)
-            .map(|v| {
-                v.parse::<f64>()
-                    .map(|ms| SimDuration::from_nanos_f64(ms * 1e6))
-                    .map_err(|_| format!("--{key}: bad number '{v}'"))
-            })
-            .transpose()
-    };
     let cfg = FleetConfig {
         spec,
         model: model.clone(),
@@ -352,8 +366,8 @@ fn cmd_serve_fleet(
         new_tokens: get_u32(flags, "tokens", 8)?,
         seed: 2026,
         slo: SloTargets {
-            ttft: slo_ms("slo-ttft-ms")?,
-            e2e: slo_ms("slo-e2e-ms")?,
+            ttft: get_slo_ms(flags, "slo-ttft-ms")?,
+            e2e: get_slo_ms(flags, "slo-e2e-ms")?,
         },
         router,
         policy,
@@ -437,19 +451,9 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         .map(|v| v.parse())
         .transpose()
         .map_err(|_| "--peak-qps: bad number")?;
-    let slo_ms = |key: &str| -> Result<Option<SimDuration>, String> {
-        flags
-            .get(key)
-            .map(|v| {
-                v.parse::<f64>()
-                    .map(|ms| SimDuration::from_nanos_f64(ms * 1e6))
-                    .map_err(|_| format!("--{key}: bad number '{v}'"))
-            })
-            .transpose()
-    };
     let slo = SloTargets {
-        ttft: slo_ms("slo-ttft-ms")?,
-        e2e: slo_ms("slo-e2e-ms")?,
+        ttft: get_slo_ms(flags, "slo-ttft-ms")?,
+        e2e: get_slo_ms(flags, "slo-e2e-ms")?,
     };
     let mut cfg = PlannerConfig::new(TrafficEnvelope {
         model: model.clone(),
@@ -463,6 +467,7 @@ fn cmd_plan(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     });
     cfg.max_batch = get_u32(flags, "max-batch", 8)?;
     cfg.max_replicas = get_u32(flags, "max-replicas", 4)?;
+    require_at_least_one("max-replicas", cfg.max_replicas)?;
     cfg.validate().map_err(|e| format!("skip plan: {e}"))?;
     let workers = match get_u32(flags, "workers", 0)? as usize {
         0 => skip_bench::harness::threads(),
@@ -544,9 +549,7 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
     let requests = get_u32(flags, "requests", 100)?;
     let max_batch = get_u32(flags, "max-batch", 16)?;
     let replicas = get_u32(flags, "replicas", 1)?;
-    if replicas == 0 {
-        return Err("--replicas must be at least 1".into());
-    }
+    require_at_least_one("replicas", replicas)?;
     let policy = match flags.get("policy").map_or("continuous", String::as_str) {
         "static" => Policy::Static {
             batch_size: get_u32(flags, "batch-size", max_batch)?,
@@ -571,19 +574,9 @@ fn cmd_serve(flags: &BTreeMap<String, String>) -> Result<(), Box<dyn Error>> {
         .map_or(Ok(OffloadPolicy::Auto), |v| OffloadPolicy::parse(v))?;
     let prompt_len = get_u32(flags, "seq", 128)?;
     let new_tokens = get_u32(flags, "tokens", 8)?;
-    let slo_ms = |key: &str| -> Result<Option<SimDuration>, String> {
-        flags
-            .get(key)
-            .map(|v| {
-                v.parse::<f64>()
-                    .map(|ms| SimDuration::from_nanos_f64(ms * 1e6))
-                    .map_err(|_| format!("--{key}: bad number '{v}'"))
-            })
-            .transpose()
-    };
     let slo = SloTargets {
-        ttft: slo_ms("slo-ttft-ms")?,
-        e2e: slo_ms("slo-e2e-ms")?,
+        ttft: get_slo_ms(flags, "slo-ttft-ms")?,
+        e2e: get_slo_ms(flags, "slo-e2e-ms")?,
     };
     // --kv-blocks 0 (the default) models an infinite KV cache.
     let kv = match get_u32(flags, "kv-blocks", 0)? {
